@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test vet bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/
+	$(GO) test -fuzz=FuzzGenerators -fuzztime=30s ./internal/uam/
+
+experiments:
+	$(GO) run ./cmd/euasim -exp all -seeds 3 -horizon 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/awacs
+	$(GO) run ./examples/airdefense
+	$(GO) run ./examples/mobilemedia
+	$(GO) run ./examples/sharedbus
+
+clean:
+	$(GO) clean ./...

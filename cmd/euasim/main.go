@@ -1,0 +1,200 @@
+// Command euasim regenerates the paper's evaluation artifacts: Table 1
+// (task settings), Table 2 (energy settings), Figure 2 (normalized utility
+// and energy vs load, per energy setting), Figure 3 (energy vs load per
+// UAM bound), the Section 4 assurance verification, and the EUA* ablation
+// study.
+//
+// Usage:
+//
+//	euasim -exp all
+//	euasim -exp fig2 -energy E3 -seeds 5 -horizon 2
+//	euasim -exp fig3 -loads 0.2,0.5,0.9,1.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "euasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("euasim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|all")
+		chart    = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
+		preset   = fs.String("energy", "E1", "energy setting for fig2/ablation: E1|E2|E3")
+		loads    = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
+		seeds    = fs.Int("seeds", 3, "number of replications (seeds 1..n)")
+		horizon  = fs.Float64("horizon", 1.0, "arrival horizon per run in seconds")
+		jsonPath = fs.String("json", "", "additionally write results as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiment.Config{
+		Energy:  energy.Preset(*preset),
+		Horizon: *horizon,
+	}
+	if *loads != "" {
+		parsed, err := parseLoads(*loads)
+		if err != nil {
+			return err
+		}
+		cfg.Loads = parsed
+	}
+	for i := 1; i <= *seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, uint64(i))
+	}
+
+	var docs []experiment.JSONDocument
+	todo := strings.Split(*exp, ",")
+	if *exp == "all" {
+		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention"}
+	}
+	for _, e := range todo {
+		fmt.Fprintf(out, "== %s (%s) ==\n", e, experiment.Describe(cfg))
+		switch e {
+		case "table1":
+			if err := experiment.WriteTable1(out); err != nil {
+				return err
+			}
+		case "table2":
+			if err := experiment.WriteTable2(out); err != nil {
+				return err
+			}
+		case "fig2":
+			rows, err := experiment.Figure2(cfg)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteRows(out, fmt.Sprintf("Figure 2 (%s)", cfg.Energy), rows); err != nil {
+				return err
+			}
+			if *chart {
+				if err := experiment.WriteRowsChart(out, fmt.Sprintf("Figure 2 (%s)", cfg.Energy), rows); err != nil {
+					return err
+				}
+			}
+			docs = append(docs, experiment.JSONDocument{
+				Experiment: "fig2", Config: experiment.Describe(cfg), Rows: rows,
+			})
+		case "fig3":
+			rows, err := experiment.Figure3(cfg, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteFig3(out, rows); err != nil {
+				return err
+			}
+			if *chart {
+				if err := experiment.WriteFig3Chart(out, rows); err != nil {
+					return err
+				}
+			}
+			docs = append(docs, experiment.JSONDocument{
+				Experiment: "fig3", Config: experiment.Describe(cfg), Fig3Rows: rows,
+			})
+		case "assurance":
+			rows, err := experiment.Assurance(cfg)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteAssurance(out, rows); err != nil {
+				return err
+			}
+			docs = append(docs, experiment.JSONDocument{
+				Experiment: "assurance", Config: experiment.Describe(cfg), Assurance: rows,
+			})
+		case "ablation":
+			rows, err := experiment.Ablation(cfg)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteRows(out, "Ablation", rows); err != nil {
+				return err
+			}
+			docs = append(docs, experiment.JSONDocument{
+				Experiment: "ablation", Config: experiment.Describe(cfg), Rows: rows,
+			})
+		case "budget":
+			rows, err := experiment.Budget(cfg, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteBudget(out, rows); err != nil {
+				return err
+			}
+		case "latency":
+			rows, err := experiment.SwitchLatency(cfg, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteLatency(out, rows); err != nil {
+				return err
+			}
+		case "ladder":
+			rows, err := experiment.Ladder(cfg, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteLadder(out, rows); err != nil {
+				return err
+			}
+		case "contention":
+			rows, err := experiment.Contention(cfg, nil)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteContention(out, rows); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+		fmt.Fprintln(out)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, doc := range docs {
+			if err := experiment.WriteJSON(f, doc); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "JSON results written to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+func parseLoads(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("load %v must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

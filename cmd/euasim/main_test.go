@@ -1,0 +1,70 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("0.2, 0.5,1.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.2 || got[2] != 1.8 {
+		t.Fatalf("loads = %v", got)
+	}
+	for _, bad := range []string{"", "x", "0.5,-1", "0"} {
+		if _, err := parseLoads(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	if err := run([]string{"-exp", "table1,table2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSmallSweeps(t *testing.T) {
+	args := []string{"-seeds", "1", "-horizon", "0.3", "-loads", "0.5,1.5"}
+	for _, exp := range []string{"fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention"} {
+		if err := run(append([]string{"-exp", exp}, args...), io.Discard); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunChartAndJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := run([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "0.3",
+		"-loads", "0.5", "-chart", "-json", path}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"experiment": "fig2"`) {
+		t.Fatalf("json output: %.200s", data)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nonsense"}, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-loads", "abc"}, io.Discard); err == nil {
+		t.Fatal("bad loads accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewScheduler(t *testing.T) {
+	names := []string{"eua", "eua-nodvs", "edf", "edf-na", "ccedf", "laedf", "laedf-na", "dasa", "gus"}
+	for _, n := range names {
+		s, abort, err := newScheduler(n)
+		if err != nil || s == nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if strings.HasSuffix(n, "-na") && abort {
+			t.Fatalf("%s: NA variant aborts", n)
+		}
+	}
+	if _, _, err := newScheduler("bogus"); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunDefaultScenario(t *testing.T) {
+	for _, args := range [][]string{
+		{"-horizon", "0.2"},
+		{"-sched", "laedf-na", "-load", "1.4", "-horizon", "0.2"},
+		{"-app", "A1", "-tuf", "linear", "-horizon", "0.2"},
+		{"-app", "A3", "-energy", "E3", "-horizon", "0.2", "-gantt", "-width", "40"},
+	} {
+		if err := run(args, io.Discard); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-horizon", "0.2", "-csv", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "task,job,start,end") {
+		t.Fatalf("csv header: %.60s", data)
+	}
+}
+
+func TestRunTasksFile(t *testing.T) {
+	doc := `{"tasks": [
+	  {"id":1,"name":"x","a":1,"window_ms":100,
+	   "tuf":{"shape":"step","umax":5},
+	   "mean_cycles":1e6,"variance_cycles":0,"nu":1,"rho":0.9}]}`
+	path := filepath.Join(t.TempDir(), "tasks.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-tasks", path, "-load", "0.5", "-horizon", "0.3"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-sched", "bogus"},
+		{"-app", "A9"},
+		{"-tuf", "cubic"},
+		{"-energy", "E9"},
+		{"-tasks", "/nonexistent/tasks.json"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+func TestShippedWorkloadFileLoads(t *testing.T) {
+	if err := run([]string{"-tasks", "../../examples/quickstart/workload.json",
+		"-load", "0.4", "-horizon", "0.2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package euastar_test
+
+import (
+	"fmt"
+	"log"
+
+	euastar "github.com/euastar/euastar"
+)
+
+// A deterministic single-task workload: one 10-Mcycle job every 100 ms
+// with a hard step deadline.
+func deterministicTask() *euastar.Task {
+	return &euastar.Task{
+		ID:      1,
+		Name:    "control",
+		Arrival: euastar.Periodic(100 * euastar.Millisecond),
+		TUF:     euastar.StepTUF(10, 100*euastar.Millisecond),
+		Demand:  euastar.Demand{Mean: 10e6, Variance: 0},
+		Req:     euastar.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func ExampleSimulate() {
+	res, err := euastar.Simulate(euastar.SimConfig{
+		Tasks:              euastar.TaskSet{deterministicTask()},
+		Scheduler:          euastar.NewEUA(),
+		Horizon:            0.5,
+		Seed:               1,
+		AbortAtTermination: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := euastar.Analyze(res)
+	fmt.Printf("jobs: %d completed, %d aborted\n", rep.Completed, rep.Aborted)
+	fmt.Printf("utility: %.0f of %.0f\n", rep.AccruedUtility, rep.MaxPossibleUtility)
+	fmt.Printf("assured: %v\n", rep.AssuranceSatisfied())
+	// Output:
+	// jobs: 5 completed, 0 aborted
+	// utility: 50 of 50
+	// assured: true
+}
+
+func ExampleCompare() {
+	cfg := euastar.SimConfig{
+		Tasks:              euastar.TaskSet{deterministicTask()},
+		Horizon:            0.5,
+		Seed:               1,
+		AbortAtTermination: true,
+	}
+	reports, err := euastar.Compare(cfg, euastar.NewEDF(true), euastar.NewEUA())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := euastar.Normalize(reports[1], reports[0])
+	fmt.Printf("EUA* accrues %.0f%% of EDF's utility\n", 100*n.Utility)
+	fmt.Printf("EUA* consumes %.1f%% of EDF's energy\n", 100*n.Energy)
+	// Output:
+	// EUA* accrues 100% of EDF's utility
+	// EUA* consumes 13.0% of EDF's energy
+}
+
+func ExampleSchedulable() {
+	tasks := euastar.TaskSet{deterministicTask()}
+	ok, _ := euastar.Schedulable(tasks, 1000e6)
+	fmt.Println("schedulable at f_m:", ok)
+	fmin, found := euastar.MinimumFrequency(tasks, euastar.PowerNowK6())
+	fmt.Printf("minimum table frequency: %.0f MHz (found=%v)\n", fmin/1e6, found)
+	// Output:
+	// schedulable at f_m: true
+	// minimum table frequency: 360 MHz (found=true)
+}
+
+func ExampleTaskSet_ScaleToLoad() {
+	tasks := euastar.TaskSet{deterministicTask()}
+	fm := euastar.PowerNowK6().Max()
+	scaled := tasks.ScaleToLoad(0.5, fm)
+	fmt.Printf("load before: %.2f, after: %.2f\n", tasks.Load(fm), scaled.Load(fm))
+	// Output:
+	// load before: 0.10, after: 0.50
+}
+
+func ExampleUAM() {
+	spec := euastar.UAM(3, 50*euastar.Millisecond)
+	fmt.Println(spec, "max rate:", spec.MaxRate(), "jobs/s")
+	// Output:
+	// <3, 0.05> max rate: 60 jobs/s
+}

@@ -1,0 +1,84 @@
+// Mobile media player: a battery-powered device decoding video frames,
+// mixing audio and polling the UI — the consumer-electronics setting of
+// the paper's introduction. The example compares the three Table 2 energy
+// models on the same workload and shows the paper's key systems insight:
+// under a system-level model with constant-power components (E3), running
+// as slowly as possible wastes energy, and EUA*'s UER-optimal frequency
+// clamp keeps execution near the true energy optimum instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	euastar "github.com/euastar/euastar"
+)
+
+const ms = euastar.Millisecond
+
+func main() {
+	// 30 fps decode with occasional double frames after seeks (UAM ⟨2,P⟩),
+	// 10 ms audio mixing, sporadic UI events.
+	tasks := euastar.TaskSet{
+		{
+			ID: 1, Name: "video",
+			Arrival: euastar.UAM(2, 33.3*ms),
+			TUF:     euastar.LinearTUF(30, 0, 33.3*ms),
+			Demand:  euastar.Demand{Mean: 5e6, Variance: 10e6},
+			Req:     euastar.Requirement{Nu: 0.4, Rho: 0.95},
+		},
+		{
+			ID: 2, Name: "audio",
+			Arrival: euastar.Periodic(10 * ms),
+			TUF:     euastar.StepTUF(20, 10*ms),
+			Demand:  euastar.Demand{Mean: 8e5, Variance: 8e5},
+			Req:     euastar.Requirement{Nu: 1, Rho: 0.96},
+		},
+		{
+			ID: 3, Name: "ui",
+			Arrival: euastar.UAM(3, 100*ms),
+			TUF:     euastar.ExponentialTUF(8, 30*ms, 100*ms),
+			Demand:  euastar.Demand{Mean: 1.5e6, Variance: 3e6},
+			Req:     euastar.Requirement{Nu: 0.3, Rho: 0.9},
+		},
+	}
+
+	ft := euastar.PowerNowK6()
+	fmt.Println("Mobile media player — system-level energy models (Table 2)")
+	fmt.Printf("%-6s %-22s %14s %14s %8s\n",
+		"model", "subsystems", "EUA* energy", "EDF-fm energy", "saving")
+	desc := map[string]string{
+		"E1": "CPU only",
+		"E2": "CPU + memory bus",
+		"E3": "CPU + display backlight",
+	}
+	for _, name := range []string{"E1", "E2", "E3"} {
+		model, err := euastar.EnergyPreset(name, ft.Max())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := euastar.SimConfig{
+			Tasks:              tasks,
+			Freqs:              ft,
+			Energy:             model,
+			Horizon:            10,
+			Seed:               3,
+			AbortAtTermination: true,
+		}
+		reports, err := euastar.Compare(cfg, euastar.NewEUA(), euastar.NewEDF(true))
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := euastar.Normalize(reports[0], reports[1])
+		fmt.Printf("%-6s %-22s %14.4g %14.4g %7.1f%%\n",
+			name, desc[name], reports[0].TotalEnergy, reports[1].TotalEnergy,
+			100*(1-n.Energy))
+		if !reports[0].AssuranceSatisfied() {
+			fmt.Printf("  WARNING: {nu, rho} violated under %s\n", name)
+		}
+	}
+
+	fmt.Println("\nUnder E1/E2 the slowest sufficient clock wins; under E3 the display")
+	fmt.Println("keeps drawing power while the CPU crawls, so EUA* clamps execution to")
+	fmt.Println("the UER-optimal ~820 MHz step and still beats the fixed-frequency EDF.")
+}

@@ -1,0 +1,79 @@
+// Shared bus: three activities on a sensor platform contend for a shared
+// I²C bus (a single-unit, mutually exclusive resource). The example shows
+// the resource extension of the simulator — blocking, execution
+// inheritance (the bus holder runs when a more urgent activity waits on
+// it), and how contention stretches completion times — together with
+// EUA*'s energy behaviour under contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	euastar "github.com/euastar/euastar"
+)
+
+const ms = euastar.Millisecond
+
+// tasks builds the platform workload; busFrac is the fraction of each
+// job's work spent holding the bus.
+func tasks(busFrac float64) euastar.TaskSet {
+	return euastar.TaskSet{
+		{
+			ID: 1, Name: "imu",
+			Arrival:  euastar.Periodic(10 * ms),
+			TUF:      euastar.StepTUF(20, 10*ms),
+			Demand:   euastar.Demand{Mean: 1e6, Variance: 1e6},
+			Req:      euastar.Requirement{Nu: 1, Rho: 0.9},
+			Sections: []euastar.Section{{Resource: 1, Start: 0, End: busFrac}},
+		},
+		{
+			ID: 2, Name: "camera",
+			Arrival:  euastar.UAM(2, 66*ms),
+			TUF:      euastar.LinearTUF(35, 0, 66*ms),
+			Demand:   euastar.Demand{Mean: 12e6, Variance: 12e6},
+			Req:      euastar.Requirement{Nu: 0.3, Rho: 0.9},
+			Sections: []euastar.Section{{Resource: 1, Start: 0.4, End: 0.4 + busFrac/2}},
+		},
+		{
+			ID: 3, Name: "logger",
+			Arrival: euastar.Periodic(100 * ms),
+			TUF:     euastar.QuadraticTUF(5, 100*ms),
+			Demand:  euastar.Demand{Mean: 6e6, Variance: 6e6},
+			Req:     euastar.Requirement{Nu: 0.2, Rho: 0.8},
+			// The logger drains buffers over the bus for most of its run.
+			Sections: []euastar.Section{{Resource: 1, Start: 0.1, End: 0.1 + busFrac}},
+		},
+	}
+}
+
+func main() {
+	fmt.Println("Shared-bus contention — EUA* with single-unit resources")
+	fmt.Printf("%-12s %-8s %12s %10s %13s %9s\n",
+		"bus share", "scheme", "utilityRatio", "energy", "inheritances", "assured")
+	for _, busFrac := range []float64{0.1, 0.3, 0.6} {
+		for _, mk := range []func() euastar.Scheduler{
+			func() euastar.Scheduler { return euastar.NewEUA() },
+			func() euastar.Scheduler { return euastar.NewEDF(true) },
+		} {
+			s := mk()
+			res, err := euastar.Simulate(euastar.SimConfig{
+				Tasks:              tasks(busFrac),
+				Scheduler:          s,
+				Horizon:            5,
+				Seed:               17,
+				AbortAtTermination: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep := euastar.Analyze(res)
+			fmt.Printf("%-12.1f %-8s %12.3f %10.3g %13d %9v\n",
+				busFrac, rep.Scheduler, rep.UtilityRatio(), rep.TotalEnergy,
+				res.Inheritances, rep.AssuranceSatisfied())
+		}
+	}
+	fmt.Println("\nLonger bus sections mean more blocking: urgent IMU samples wait for")
+	fmt.Println("the logger's drain, which then executes under inheritance. EUA* keeps")
+	fmt.Println("its energy advantage while honouring the mutual exclusion.")
+}

@@ -1,0 +1,3 @@
+module github.com/euastar/euastar
+
+go 1.22

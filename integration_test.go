@@ -1,0 +1,198 @@
+package euastar_test
+
+import (
+	"math"
+	"testing"
+
+	euastar "github.com/euastar/euastar"
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/trace"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// integrationSet synthesizes a Table 1 style workload through the public
+// API types, at the requested load.
+func integrationSet(t *testing.T, seed uint64, load float64) euastar.TaskSet {
+	t.Helper()
+	ts, err := workload.A2().Synthesize(rng.New(seed), workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return euastar.TaskSet(ts).ScaleToLoad(load, euastar.PowerNowK6().Max())
+}
+
+// TestIntegrationFullPipeline drives workload synthesis → simulation →
+// trace validation → metrics for every scheduler on one workload.
+func TestIntegrationFullPipeline(t *testing.T) {
+	tasks := integrationSet(t, 3, 0.7)
+	schedulers := []euastar.Scheduler{
+		euastar.NewEUA(),
+		euastar.NewEDF(true),
+		euastar.NewCCEDF(true),
+		euastar.NewLAEDF(true),
+		euastar.NewStaticEDF(true),
+		euastar.NewDASA(),
+	}
+	for _, s := range schedulers {
+		res, err := euastar.Simulate(euastar.SimConfig{
+			Tasks:              tasks,
+			Scheduler:          s,
+			Horizon:            1,
+			Seed:               3,
+			AbortAtTermination: true,
+			RecordTrace:        true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := trace.Validate(res, cpu.PowerNowK6()); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		rep := euastar.Analyze(res)
+		if rep.Released == 0 || rep.Completed+rep.Aborted != rep.Released {
+			t.Fatalf("%s: inconsistent report %+v", s.Name(), rep)
+		}
+	}
+}
+
+// TestIntegrationEnergyOrdering checks the expected efficiency ordering on
+// a light load: every DVS scheme beats fixed-f_m EDF, and the dynamic
+// schemes beat static scaling.
+func TestIntegrationEnergyOrdering(t *testing.T) {
+	tasks := integrationSet(t, 9, 0.4)
+	cfg := euastar.SimConfig{Tasks: tasks, Horizon: 2, Seed: 9, AbortAtTermination: true}
+	reports, err := euastar.Compare(cfg,
+		euastar.NewEDF(true),       // 0: no DVS
+		euastar.NewStaticEDF(true), // 1: static DVS
+		euastar.NewCCEDF(true),     // 2: cycle conserving
+		euastar.NewLAEDF(true),     // 3: look-ahead
+		euastar.NewEUA(),           // 4: EUA*
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := func(i int) float64 { return reports[i].TotalEnergy }
+	if !(e(1) < e(0)) {
+		t.Fatalf("staticEDF %v !< EDF %v", e(1), e(0))
+	}
+	for i := 2; i <= 4; i++ {
+		if !(e(i) < e(1)*1.02) {
+			t.Fatalf("%s energy %v not <= staticEDF %v", reports[i].Scheduler, e(i), e(1))
+		}
+	}
+	// Everyone satisfies the assurance at load 0.4.
+	for _, rep := range reports {
+		if !rep.AssuranceSatisfied() {
+			t.Fatalf("%s violated assurance at load 0.4", rep.Scheduler)
+		}
+	}
+}
+
+// TestIntegrationProfiledTaskRecovers drives the online-profiling loop
+// through the public API.
+func TestIntegrationProfiledTaskRecovers(t *testing.T) {
+	prof, err := euastar.NewProfiler(1e6, 1e6, 20) // bad prior: 10× low
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := euastar.TaskSet{{
+		ID:       1,
+		Arrival:  euastar.Periodic(20 * euastar.Millisecond),
+		TUF:      euastar.StepTUF(10, 20*euastar.Millisecond),
+		Demand:   euastar.Demand{Mean: 10e6, Variance: 10e6},
+		Req:      euastar.Requirement{Nu: 1, Rho: 0.9},
+		Profiler: prof,
+	}}
+	res, err := euastar.Simulate(euastar.SimConfig{
+		Tasks:              tasks,
+		Scheduler:          euastar.NewEUA(),
+		Horizon:            4,
+		Seed:               5,
+		AbortAtTermination: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Ready() {
+		t.Fatal("profiler never warmed")
+	}
+	if math.Abs(prof.Mean()-10e6) > 1e6 {
+		t.Fatalf("profiled mean %v", prof.Mean())
+	}
+	// Late-run jobs (well past warm-up) should meet the requirement.
+	late := res.Jobs[3*len(res.Jobs)/4:]
+	missed := 0
+	for _, j := range late {
+		if !j.MetRequirement() {
+			missed++
+		}
+	}
+	if frac := float64(missed) / float64(len(late)); frac > 0.1 {
+		t.Fatalf("late miss fraction %v after profiling", frac)
+	}
+}
+
+// TestIntegrationEnergyBudget drives the finite-battery extension through
+// the public API and checks EUA*'s battery stretch against EDF's.
+func TestIntegrationEnergyBudget(t *testing.T) {
+	tasks := integrationSet(t, 13, 0.5)
+	model, err := euastar.EnergyPreset("E1", euastar.PowerNowK6().Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget that depletes mid-run at f_m.
+	budget := 0.2 * model.PerCycle(1000e6) * 1e9
+	utility := func(s euastar.Scheduler) (float64, bool) {
+		res, err := euastar.Simulate(euastar.SimConfig{
+			Tasks:              tasks,
+			Scheduler:          s,
+			Horizon:            2,
+			Seed:               13,
+			AbortAtTermination: true,
+			EnergyBudget:       budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return euastar.Analyze(res).AccruedUtility, res.Depleted
+	}
+	ue, depletedEDF := utility(euastar.NewEDF(true))
+	ua, _ := utility(euastar.NewEUA())
+	if !depletedEDF {
+		t.Fatal("budget did not deplete EDF")
+	}
+	if ua <= ue {
+		t.Fatalf("EUA* utility %v <= EDF %v under the same energy budget", ua, ue)
+	}
+}
+
+// TestIntegrationGanttRenders exercises the visualization path end-to-end.
+func TestIntegrationGanttRenders(t *testing.T) {
+	tasks := integrationSet(t, 21, 0.8)
+	res, err := euastar.Simulate(euastar.SimConfig{
+		Tasks:              tasks,
+		Scheduler:          euastar.NewEUA(),
+		Horizon:            0.3,
+		Seed:               21,
+		AbortAtTermination: true,
+		RecordTrace:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb sbWriter
+	if err := trace.WriteGantt(&sb, res, cpu.PowerNowK6(), 80); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.data) == 0 {
+		t.Fatal("empty gantt")
+	}
+}
+
+type sbWriter struct{ data []byte }
+
+func (w *sbWriter) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}

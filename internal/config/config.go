@@ -1,0 +1,205 @@
+// Package config serializes task-set definitions as JSON so workloads can
+// be versioned, shared, and fed to the command-line tools without
+// recompiling. Times in the file format are in milliseconds (the natural
+// unit of the paper's workloads); cycle quantities are raw processor
+// cycles.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+// Document is the top-level JSON structure.
+type Document struct {
+	// Comment is free-form provenance (ignored by the loader).
+	Comment string     `json:"comment,omitempty"`
+	Tasks   []TaskSpec `json:"tasks"`
+}
+
+// TaskSpec describes one task.
+type TaskSpec struct {
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+
+	// UAM arrival bound ⟨a, P⟩; the window doubles as the TUF horizon.
+	A        int     `json:"a"`
+	WindowMS float64 `json:"window_ms"`
+
+	TUF TUFSpec `json:"tuf"`
+
+	MeanCycles     float64 `json:"mean_cycles"`
+	VarianceCycles float64 `json:"variance_cycles"`
+
+	Nu  float64 `json:"nu"`
+	Rho float64 `json:"rho"`
+
+	// Sections are optional critical sections on shared resources:
+	// [resource id, start fraction, end fraction].
+	Sections []SectionSpec `json:"sections,omitempty"`
+}
+
+// SectionSpec is one critical section in the file format.
+type SectionSpec struct {
+	Resource int     `json:"resource"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+}
+
+// TUFSpec describes a time/utility function. Shape selects the family;
+// the other fields apply per shape:
+//
+//	step:        Umax (the horizon is the deadline)
+//	linear:      Umax, UEnd
+//	quadratic:   Umax
+//	exponential: Umax, TauMS
+//	piecewise:   Points — [ms, utility] knots starting at 0
+type TUFSpec struct {
+	Shape  string       `json:"shape"`
+	Umax   float64      `json:"umax,omitempty"`
+	UEnd   float64      `json:"uend,omitempty"`
+	TauMS  float64      `json:"tau_ms,omitempty"`
+	Points [][2]float64 `json:"points,omitempty"`
+}
+
+const ms = 1e-3
+
+// Load parses a JSON document into a validated task set.
+func Load(r io.Reader) (task.Set, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return FromDocument(doc)
+}
+
+// FromDocument converts a decoded document into a validated task set.
+func FromDocument(doc Document) (task.Set, error) {
+	if len(doc.Tasks) == 0 {
+		return nil, fmt.Errorf("config: no tasks")
+	}
+	ts := make(task.Set, 0, len(doc.Tasks))
+	for i, spec := range doc.Tasks {
+		t, err := spec.Task()
+		if err != nil {
+			return nil, fmt.Errorf("config: task %d: %w", i, err)
+		}
+		ts = append(ts, t)
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return ts, nil
+}
+
+// Task materializes one task.
+func (spec TaskSpec) Task() (*task.Task, error) {
+	horizon := spec.WindowMS * ms
+	if horizon <= 0 {
+		return nil, fmt.Errorf("window_ms %g must be positive", spec.WindowMS)
+	}
+	f, err := spec.TUF.build(horizon)
+	if err != nil {
+		return nil, err
+	}
+	secs := make([]task.Section, len(spec.Sections))
+	for i, s := range spec.Sections {
+		secs[i] = task.Section{Resource: s.Resource, Start: s.Start, End: s.End}
+	}
+	return &task.Task{
+		ID:       spec.ID,
+		Name:     spec.Name,
+		Arrival:  uam.Spec{A: spec.A, P: horizon},
+		TUF:      f,
+		Demand:   task.Demand{Mean: spec.MeanCycles, Variance: spec.VarianceCycles},
+		Req:      task.Requirement{Nu: spec.Nu, Rho: spec.Rho},
+		Sections: secs,
+	}, nil
+}
+
+func (s TUFSpec) build(horizon float64) (f tuf.TUF, err error) {
+	defer func() {
+		// The tuf constructors panic on invalid parameters; surface those
+		// as errors with file-format context.
+		if r := recover(); r != nil {
+			f, err = nil, fmt.Errorf("tuf %q: %v", s.Shape, r)
+		}
+	}()
+	switch s.Shape {
+	case "step":
+		return tuf.NewStep(s.Umax, horizon), nil
+	case "linear":
+		return tuf.NewLinear(s.Umax, s.UEnd, horizon), nil
+	case "quadratic":
+		return tuf.NewQuadratic(s.Umax, horizon), nil
+	case "exponential":
+		return tuf.NewExponential(s.Umax, s.TauMS*ms, horizon), nil
+	case "piecewise":
+		pts := make([]tuf.Point, len(s.Points))
+		for i, p := range s.Points {
+			pts[i] = tuf.Point{T: p[0] * ms, U: p[1]}
+		}
+		return tuf.NewPiecewiseLinear(pts)
+	default:
+		return nil, fmt.Errorf("unknown TUF shape %q", s.Shape)
+	}
+}
+
+// Save serializes a task set into the JSON file format. Only the TUF
+// families this package defines can be saved.
+func Save(w io.Writer, ts task.Set, comment string) error {
+	doc := Document{Comment: comment, Tasks: make([]TaskSpec, 0, len(ts))}
+	for _, t := range ts {
+		spec, err := specOf(t)
+		if err != nil {
+			return err
+		}
+		doc.Tasks = append(doc.Tasks, spec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func specOf(t *task.Task) (TaskSpec, error) {
+	spec := TaskSpec{
+		ID:             t.ID,
+		Name:           t.Name,
+		A:              t.Arrival.A,
+		WindowMS:       t.Arrival.P / ms,
+		MeanCycles:     t.Demand.Mean,
+		VarianceCycles: t.Demand.Variance,
+		Nu:             t.Req.Nu,
+		Rho:            t.Req.Rho,
+	}
+	for _, s := range t.Sections {
+		spec.Sections = append(spec.Sections, SectionSpec{Resource: s.Resource, Start: s.Start, End: s.End})
+	}
+	switch f := t.TUF.(type) {
+	case tuf.Step:
+		spec.TUF = TUFSpec{Shape: "step", Umax: f.Height}
+	case tuf.Linear:
+		spec.TUF = TUFSpec{Shape: "linear", Umax: f.U0, UEnd: f.UEnd}
+	case tuf.Quadratic:
+		spec.TUF = TUFSpec{Shape: "quadratic", Umax: f.U0}
+	case tuf.Exponential:
+		spec.TUF = TUFSpec{Shape: "exponential", Umax: f.U0, TauMS: f.Tau / ms}
+	case tuf.PiecewiseLinear:
+		pts := f.Points()
+		wire := make([][2]float64, len(pts))
+		for i, p := range pts {
+			wire[i] = [2]float64{p.T / ms, p.U}
+		}
+		spec.TUF = TUFSpec{Shape: "piecewise", Points: wire}
+	default:
+		return TaskSpec{}, fmt.Errorf("config: cannot serialize TUF type %T", t.TUF)
+	}
+	return spec, nil
+}

@@ -1,0 +1,198 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+const sample = `{
+  "comment": "two-task demo",
+  "tasks": [
+    {
+      "id": 1, "name": "control",
+      "a": 1, "window_ms": 50,
+      "tuf": {"shape": "step", "umax": 10},
+      "mean_cycles": 4e6, "variance_cycles": 4e6,
+      "nu": 1, "rho": 0.96
+    },
+    {
+      "id": 2, "name": "sensor",
+      "a": 2, "window_ms": 80,
+      "tuf": {"shape": "linear", "umax": 40},
+      "mean_cycles": 6e6, "variance_cycles": 6e6,
+      "nu": 0.3, "rho": 0.9
+    }
+  ]
+}`
+
+func TestLoadSample(t *testing.T) {
+	ts, err := Load(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("%d tasks", len(ts))
+	}
+	c := ts[0]
+	if c.Name != "control" || c.Arrival.A != 1 || c.Arrival.P != 0.05 {
+		t.Fatalf("task 0 = %+v", c)
+	}
+	if _, ok := c.TUF.(tuf.Step); !ok || c.TUF.MaxUtility() != 10 {
+		t.Fatalf("task 0 TUF = %v", c.TUF)
+	}
+	s := ts[1]
+	if s.Req != (task.Requirement{Nu: 0.3, Rho: 0.9}) {
+		t.Fatalf("task 1 req = %+v", s.Req)
+	}
+	if s.TUF.Termination() != 0.08 {
+		t.Fatalf("task 1 horizon = %v", s.TUF.Termination())
+	}
+}
+
+func TestLoadAllShapes(t *testing.T) {
+	doc := `{"tasks": [
+	  {"id":1,"a":1,"window_ms":100,"tuf":{"shape":"quadratic","umax":5},"mean_cycles":1e6,"variance_cycles":0,"nu":0.5,"rho":0.9},
+	  {"id":2,"a":1,"window_ms":100,"tuf":{"shape":"exponential","umax":5,"tau_ms":30},"mean_cycles":1e6,"variance_cycles":0,"nu":0.5,"rho":0.9},
+	  {"id":3,"a":1,"window_ms":100,"tuf":{"shape":"piecewise","points":[[0,5],[50,5],[100,0]]},"mean_cycles":1e6,"variance_cycles":0,"nu":0.5,"rho":0.9}
+	]}`
+	ts, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ts[0].TUF.(tuf.Quadratic); !ok {
+		t.Fatalf("TUF 0 = %T", ts[0].TUF)
+	}
+	if e, ok := ts[1].TUF.(tuf.Exponential); !ok || e.Tau != 0.03 {
+		t.Fatalf("TUF 1 = %v", ts[1].TUF)
+	}
+	if _, ok := ts[2].TUF.(tuf.PiecewiseLinear); !ok {
+		t.Fatalf("TUF 2 = %T", ts[2].TUF)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"tasks": []}`,
+		`{"tasks": [{"id":1}]}`, // missing everything
+		`{"tasks": [{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"bogus","umax":5},"mean_cycles":1e6,"nu":1,"rho":0.9}]}`,
+		`{"tasks": [{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"step","umax":0},"mean_cycles":1e6,"nu":1,"rho":0.9}]}`, // panicky TUF param
+		`{"unknown_field": 1, "tasks": []}`,
+		`{"tasks": [{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"step","umax":5},"mean_cycles":1e6,"variance_cycles":0,"nu":1,"rho":0.9},
+		            {"id":1,"a":1,"window_ms":100,"tuf":{"shape":"step","umax":5},"mean_cycles":1e6,"variance_cycles":0,"nu":1,"rho":0.9}]}`, // dup IDs
+	}
+	for i, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	orig := task.Set{
+		{
+			ID: 1, Name: "a", Arrival: uam.Spec{A: 2, P: 0.05},
+			TUF:    tuf.NewStep(10, 0.05),
+			Demand: task.Demand{Mean: 1e6, Variance: 2e6},
+			Req:    task.Requirement{Nu: 1, Rho: 0.9},
+		},
+		{
+			ID: 2, Name: "b", Arrival: uam.Spec{A: 1, P: 0.1},
+			TUF:    tuf.NewLinear(40, 5, 0.1),
+			Demand: task.Demand{Mean: 3e6, Variance: 0},
+			Req:    task.Requirement{Nu: 0.3, Rho: 0.8},
+		},
+		{
+			ID: 3, Name: "c", Arrival: uam.Spec{A: 1, P: 0.2},
+			TUF:    tuf.MustPiecewiseLinear([]tuf.Point{{T: 0, U: 7}, {T: 0.1, U: 7}, {T: 0.2, U: 0}}),
+			Demand: task.Demand{Mean: 5e6, Variance: 5e6},
+			Req:    task.Requirement{Nu: 0.5, Rho: 0.7},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig, "roundtrip"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("%d tasks back", len(back))
+	}
+	for i := range orig {
+		o, b := orig[i], back[i]
+		if o.ID != b.ID || o.Name != b.Name || o.Arrival != b.Arrival ||
+			o.Demand != b.Demand || o.Req != b.Req {
+			t.Fatalf("task %d differs: %+v vs %+v", i, o, b)
+		}
+		// TUFs agree pointwise.
+		for _, frac := range []float64{0, 0.3, 0.6, 0.99} {
+			at := frac * o.Arrival.P
+			if diff := o.TUF.Utility(at) - b.TUF.Utility(at); diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("task %d TUF differs at %v", i, at)
+			}
+		}
+	}
+}
+
+func TestSectionsRoundtrip(t *testing.T) {
+	orig := task.Set{{
+		ID: 1, Arrival: uam.Spec{A: 1, P: 0.1},
+		TUF:    tuf.NewStep(10, 0.1),
+		Demand: task.Demand{Mean: 1e6, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+		Sections: []task.Section{
+			{Resource: 1, Start: 0.1, End: 0.5},
+			{Resource: 2, Start: 0.2, End: 0.3},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := Save(&buf, orig, ""); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back[0].Sections) != 2 || back[0].Sections[0] != orig[0].Sections[0] ||
+		back[0].Sections[1] != orig[0].Sections[1] {
+		t.Fatalf("sections = %+v", back[0].Sections)
+	}
+}
+
+func TestLoadRejectsBadSections(t *testing.T) {
+	doc := `{"tasks": [{"id":1,"a":1,"window_ms":100,
+	  "tuf":{"shape":"step","umax":5},
+	  "mean_cycles":1e6,"variance_cycles":0,"nu":1,"rho":0.9,
+	  "sections":[{"resource":1,"start":0.8,"end":0.2}]}]}`
+	if _, err := Load(strings.NewReader(doc)); err == nil {
+		t.Fatal("inverted section accepted")
+	}
+}
+
+func TestSaveRejectsUnknownTUF(t *testing.T) {
+	bad := task.Set{{
+		ID: 1, Arrival: uam.Spec{A: 1, P: 1},
+		TUF:    weird{},
+		Demand: task.Demand{Mean: 1, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.5},
+	}}
+	if err := Save(&bytes.Buffer{}, bad, ""); err == nil {
+		t.Fatal("unknown TUF type serialized")
+	}
+}
+
+type weird struct{}
+
+func (weird) Utility(float64) float64      { return 1 }
+func (weird) MaxUtility() float64          { return 1 }
+func (weird) Termination() float64         { return 1 }
+func (weird) CriticalTime(float64) float64 { return 1 }
+func (weird) String() string               { return "weird" }

@@ -1,0 +1,161 @@
+// Package cpu models the target variable-voltage processor of Section 2.1:
+// a uniprocessor that can run at one of m discrete clock frequencies
+// f_1 < f_2 < ... < f_m, switched by the scheduler (DVS).
+//
+// The paper's evaluation platform is the mobile AMD K6-2+ with the
+// PowerNow! mechanism and seven frequency steps; PowerNowK6 reproduces that
+// ladder.
+package cpu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FrequencyTable is an ascending list of available clock frequencies in Hz.
+type FrequencyTable []float64
+
+// PowerNowK6 returns the seven PowerNow! frequency steps of the mobile AMD
+// K6-2+ processor used in the paper's simulations:
+// {360, 550, 640, 730, 820, 910, 1000} MHz.
+func PowerNowK6() FrequencyTable {
+	return FrequencyTable{360e6, 550e6, 640e6, 730e6, 820e6, 910e6, 1000e6}
+}
+
+// Uniform returns n evenly spaced frequencies from lo to hi inclusive, a
+// convenient synthetic ladder for ablation studies. It panics if n < 1 or
+// the range is invalid.
+func Uniform(lo, hi float64, n int) FrequencyTable {
+	if n < 1 {
+		panic("cpu: Uniform needs n >= 1")
+	}
+	if lo <= 0 || hi < lo {
+		panic("cpu: Uniform needs 0 < lo <= hi")
+	}
+	if n == 1 {
+		return FrequencyTable{hi}
+	}
+	ft := make(FrequencyTable, n)
+	for i := range ft {
+		ft[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return ft
+}
+
+// Validate reports whether the table is non-empty, strictly ascending and
+// positive.
+func (ft FrequencyTable) Validate() error {
+	if len(ft) == 0 {
+		return fmt.Errorf("cpu: empty frequency table")
+	}
+	prev := 0.0
+	for i, f := range ft {
+		if f <= prev {
+			return fmt.Errorf("cpu: frequency %d (%g Hz) not strictly ascending", i, f)
+		}
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return fmt.Errorf("cpu: frequency %d is not finite", i)
+		}
+		prev = f
+	}
+	return nil
+}
+
+// Max returns the highest frequency f_m. It panics on an empty table.
+func (ft FrequencyTable) Max() float64 { return ft[len(ft)-1] }
+
+// Min returns the lowest frequency f_1. It panics on an empty table.
+func (ft FrequencyTable) Min() float64 { return ft[0] }
+
+// SelectAtLeast implements the paper's selectFreq(x): the lowest available
+// frequency f_i with x <= f_i. ok is false when x exceeds f_m (the paper's
+// "selectFreq would fail to return a value" overload case).
+func (ft FrequencyTable) SelectAtLeast(x float64) (f float64, ok bool) {
+	i := sort.SearchFloat64s(ft, x)
+	if i == len(ft) {
+		return 0, false
+	}
+	return ft[i], true
+}
+
+// ClampSelect is SelectAtLeast saturated at f_m: during overloads the
+// required frequency may exceed f_m and the algorithm "sets the upper limit
+// of the required frequency to be the highest frequency f_m" (Algorithm 2,
+// line 9).
+func (ft FrequencyTable) ClampSelect(x float64) float64 {
+	if f, ok := ft.SelectAtLeast(x); ok {
+		return f
+	}
+	return ft.Max()
+}
+
+// Contains reports whether f is one of the table's discrete steps.
+func (ft FrequencyTable) Contains(f float64) bool {
+	i := sort.SearchFloat64s(ft, f)
+	return i < len(ft) && ft[i] == f
+}
+
+// Index returns the position of f in the table, or -1.
+func (ft FrequencyTable) Index(f float64) int {
+	i := sort.SearchFloat64s(ft, f)
+	if i < len(ft) && ft[i] == f {
+		return i
+	}
+	return -1
+}
+
+// Normalized returns f / f_m, the dimensionless speed used in utilization
+// arguments.
+func (ft FrequencyTable) Normalized(f float64) float64 { return f / ft.Max() }
+
+// Processor tracks the simulated CPU's current frequency and accounts for
+// frequency switches. Switch latency is modelled as an optional fixed cost
+// in seconds (zero by default, matching the paper, which — like most DVS
+// papers of the era — neglects it; a non-zero value supports sensitivity
+// studies).
+type Processor struct {
+	Table         FrequencyTable
+	SwitchLatency float64
+
+	freq     float64
+	switches int
+}
+
+// NewProcessor returns a processor initialized at the highest frequency.
+// It panics on an invalid table or negative switch latency.
+func NewProcessor(table FrequencyTable, switchLatency float64) *Processor {
+	if err := table.Validate(); err != nil {
+		panic(err)
+	}
+	if switchLatency < 0 {
+		panic("cpu: negative switch latency")
+	}
+	return &Processor{Table: table, SwitchLatency: switchLatency, freq: table.Max()}
+}
+
+// Frequency returns the current clock frequency in Hz.
+func (p *Processor) Frequency() float64 { return p.freq }
+
+// Switches returns how many frequency changes have occurred.
+func (p *Processor) Switches() int { return p.switches }
+
+// SetFrequency switches the clock to f, which must be a table entry, and
+// returns the time cost of the switch (0 when f is already current).
+func (p *Processor) SetFrequency(f float64) float64 {
+	if !p.Table.Contains(f) {
+		panic(fmt.Sprintf("cpu: %g Hz is not an available frequency", f))
+	}
+	if f == p.freq {
+		return 0
+	}
+	p.freq = f
+	p.switches++
+	return p.SwitchLatency
+}
+
+// Reset restores the processor to f_m with zeroed counters.
+func (p *Processor) Reset() {
+	p.freq = p.Table.Max()
+	p.switches = 0
+}

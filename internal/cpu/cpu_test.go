@@ -1,0 +1,185 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerNowK6(t *testing.T) {
+	ft := PowerNowK6()
+	if len(ft) != 7 {
+		t.Fatalf("want 7 steps, got %d", len(ft))
+	}
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ft.Min() != 360e6 || ft.Max() != 1000e6 {
+		t.Fatalf("range = [%g, %g]", ft.Min(), ft.Max())
+	}
+}
+
+func TestUniform(t *testing.T) {
+	ft := Uniform(100, 500, 5)
+	want := FrequencyTable{100, 200, 300, 400, 500}
+	for i := range want {
+		if ft[i] != want[i] {
+			t.Fatalf("table = %v", ft)
+		}
+	}
+	if err := ft.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	one := Uniform(100, 500, 1)
+	if len(one) != 1 || one[0] != 500 {
+		t.Fatalf("n=1 table = %v", one)
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Uniform(1, 2, 0) },
+		func() { Uniform(0, 2, 3) },
+		func() { Uniform(5, 2, 3) },
+	} {
+		assertPanics(t, f)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []FrequencyTable{
+		{},
+		{0, 1},
+		{-1, 1},
+		{2, 1},
+		{1, 1},
+	}
+	for i, ft := range cases {
+		if err := ft.Validate(); err == nil {
+			t.Errorf("case %d: invalid table accepted: %v", i, ft)
+		}
+	}
+}
+
+func TestSelectAtLeast(t *testing.T) {
+	ft := PowerNowK6()
+	cases := []struct {
+		x    float64
+		want float64
+		ok   bool
+	}{
+		{0, 360e6, true},
+		{360e6, 360e6, true},
+		{360e6 + 1, 550e6, true},
+		{999e6, 1000e6, true},
+		{1000e6, 1000e6, true},
+		{1000e6 + 1, 0, false},
+	}
+	for _, c := range cases {
+		f, ok := ft.SelectAtLeast(c.x)
+		if f != c.want || ok != c.ok {
+			t.Errorf("SelectAtLeast(%g) = (%g, %v), want (%g, %v)", c.x, f, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestClampSelect(t *testing.T) {
+	ft := PowerNowK6()
+	if f := ft.ClampSelect(2000e6); f != 1000e6 {
+		t.Fatalf("overload clamp = %g", f)
+	}
+	if f := ft.ClampSelect(500e6); f != 550e6 {
+		t.Fatalf("clamp select = %g", f)
+	}
+}
+
+func TestContainsIndex(t *testing.T) {
+	ft := PowerNowK6()
+	if !ft.Contains(730e6) || ft.Contains(700e6) {
+		t.Fatal("Contains wrong")
+	}
+	if ft.Index(730e6) != 3 || ft.Index(700e6) != -1 {
+		t.Fatal("Index wrong")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	ft := PowerNowK6()
+	if n := ft.Normalized(500e6); n != 0.5 {
+		t.Fatalf("normalized = %v", n)
+	}
+}
+
+func TestQuickSelectAtLeastIsMinimal(t *testing.T) {
+	ft := PowerNowK6()
+	f := func(raw uint32) bool {
+		x := float64(raw) / float64(1<<32) * 1200e6
+		got, ok := ft.SelectAtLeast(x)
+		if !ok {
+			return x > ft.Max()
+		}
+		if got < x {
+			return false
+		}
+		// Minimality: every lower table frequency must be < x.
+		for _, cand := range ft {
+			if cand < got && cand >= x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorLifecycle(t *testing.T) {
+	p := NewProcessor(PowerNowK6(), 0)
+	if p.Frequency() != 1000e6 {
+		t.Fatalf("initial frequency = %g", p.Frequency())
+	}
+	if cost := p.SetFrequency(1000e6); cost != 0 || p.Switches() != 0 {
+		t.Fatal("no-op switch counted")
+	}
+	if cost := p.SetFrequency(360e6); cost != 0 {
+		t.Fatalf("zero-latency switch cost = %v", cost)
+	}
+	if p.Switches() != 1 || p.Frequency() != 360e6 {
+		t.Fatal("switch not applied")
+	}
+	p.Reset()
+	if p.Frequency() != 1000e6 || p.Switches() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestProcessorSwitchLatency(t *testing.T) {
+	p := NewProcessor(PowerNowK6(), 1e-4)
+	if cost := p.SetFrequency(550e6); cost != 1e-4 {
+		t.Fatalf("switch cost = %v", cost)
+	}
+}
+
+func TestProcessorPanics(t *testing.T) {
+	assertPanics(t, func() { NewProcessor(FrequencyTable{}, 0) })
+	assertPanics(t, func() { NewProcessor(PowerNowK6(), -1) })
+	p := NewProcessor(PowerNowK6(), 0)
+	assertPanics(t, func() { p.SetFrequency(123) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkSelectAtLeast(b *testing.B) {
+	ft := PowerNowK6()
+	for i := 0; i < b.N; i++ {
+		ft.SelectAtLeast(float64(i%1100) * 1e6)
+	}
+}

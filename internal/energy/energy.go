@@ -1,0 +1,215 @@
+// Package energy implements Martin's system-level energy consumption model
+// (Section 2.4).
+//
+// When the processor runs at frequency f, each system component draws
+// dynamic power according to how it scales with the clock: the CPU core
+// scales cubically (S3·f³), second-order effects (DC-DC regulator
+// efficiency, CMOS leakage) quadratically (S2·f²), fixed-voltage
+// components such as main memory linearly (S1·f), and frequency-
+// independent components such as displays constantly (S0). Summing over a
+// task's expected execution time e = E(Y)/f gives the energy *per cycle*:
+//
+//	E(f) = S3·f² + S2·f + S1 + S0/f        (paper Equation 1)
+//
+// Everything downstream (UER, normalized energy) is built on E(f).
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/euastar/euastar/internal/cpu"
+)
+
+// Model holds the four coefficients of Martin's model. Units are arbitrary
+// but must be mutually consistent; all reported results are ratios, so the
+// absolute scale cancels.
+type Model struct {
+	Name           string
+	S3, S2, S1, S0 float64
+}
+
+// Validate reports whether the model is physically meaningful: no negative
+// coefficients and at least one positive one.
+func (m Model) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{{"S3", m.S3}, {"S2", m.S2}, {"S1", m.S1}, {"S0", m.S0}} {
+		if c.v < 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("energy: coefficient %s = %g invalid", c.name, c.v)
+		}
+	}
+	if m.S3 == 0 && m.S2 == 0 && m.S1 == 0 && m.S0 == 0 {
+		return fmt.Errorf("energy: all coefficients zero")
+	}
+	return nil
+}
+
+// PerCycle returns E(f), the expected energy consumed per processor cycle
+// at frequency f (Equation 1). It panics if f <= 0.
+func (m Model) PerCycle(f float64) float64 {
+	if f <= 0 {
+		panic(fmt.Sprintf("energy: PerCycle at non-positive frequency %g", f))
+	}
+	return m.S3*f*f + m.S2*f + m.S1 + m.S0/f
+}
+
+// Power returns the system's power draw at frequency f:
+// P(f) = S3·f³ + S2·f² + S1·f + S0.
+func (m Model) Power(f float64) float64 {
+	if f <= 0 {
+		panic(fmt.Sprintf("energy: Power at non-positive frequency %g", f))
+	}
+	return m.S3*f*f*f + m.S2*f*f + m.S1*f + m.S0
+}
+
+// Energy returns the energy consumed by executing the given number of
+// cycles at frequency f.
+func (m Model) Energy(cycles, f float64) float64 {
+	if cycles < 0 {
+		panic(fmt.Sprintf("energy: negative cycle count %g", cycles))
+	}
+	return cycles * m.PerCycle(f)
+}
+
+// MinPerCycleFrequency returns the table frequency minimizing E(f). With
+// S0 = 0 this is always f_1; a positive S0 (constant-power subsystems)
+// creates an interior optimum — the paper's observation that the
+// UER-optimal frequency is "not necessarily the lowest one".
+func (m Model) MinPerCycleFrequency(table cpu.FrequencyTable) float64 {
+	best, bestE := table[0], math.Inf(1)
+	for _, f := range table {
+		if e := m.PerCycle(f); e < bestE {
+			best, bestE = f, e
+		}
+	}
+	return best
+}
+
+// Preset names the paper's Table 2 energy settings.
+type Preset string
+
+// The three energy settings evaluated in Section 5 (Table 2). The scanned
+// table is partially garbled; coefficients follow the structure given in
+// Sections 2.4 and 5 and the companion EMSOFT'04 paper:
+//
+//	E1 — conventional CPU-only model:          S3 = 1
+//	E2 — plus a fixed-voltage subsystem:       S3 = 1, S1 = 0.1·f_m²
+//	E3 — plus a constant-power subsystem:      S3 = 0.5, S0 = 0.5·f_m³
+//
+// Coefficients are expressed relative to f_m so that E(f_m) has the same
+// scale in all three settings.
+const (
+	E1 Preset = "E1"
+	E2 Preset = "E2"
+	E3 Preset = "E3"
+)
+
+// Presets lists the available presets in paper order.
+func Presets() []Preset { return []Preset{E1, E2, E3} }
+
+// NewPreset instantiates a Table 2 energy setting for a processor whose
+// maximum frequency is fmax.
+func NewPreset(p Preset, fmax float64) (Model, error) {
+	if fmax <= 0 {
+		return Model{}, fmt.Errorf("energy: fmax must be positive, got %g", fmax)
+	}
+	switch p {
+	case E1:
+		return Model{Name: string(E1), S3: 1}, nil
+	case E2:
+		return Model{Name: string(E2), S3: 1, S1: 0.1 * fmax * fmax}, nil
+	case E3:
+		return Model{Name: string(E3), S3: 0.5, S0: 0.5 * fmax * fmax * fmax}, nil
+	default:
+		return Model{}, fmt.Errorf("energy: unknown preset %q", p)
+	}
+}
+
+// MustPreset is NewPreset for statically valid arguments; it panics on
+// error.
+func MustPreset(p Preset, fmax float64) Model {
+	m, err := NewPreset(p, fmax)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Meter accumulates energy over a simulation run, attributing consumption
+// to busy execution (the paper's per-cycle model charges energy only while
+// a job executes).
+type Meter struct {
+	model Model
+
+	total   float64
+	idle    float64 // portion of total drawn while idle
+	cycles  float64
+	busy    float64 // busy time in seconds
+	horizon float64 // observed end time, for utilization reporting
+}
+
+// NewMeter returns a Meter for the given model. It panics on an invalid
+// model.
+func NewMeter(model Model) *Meter {
+	if err := model.Validate(); err != nil {
+		panic(err)
+	}
+	return &Meter{model: model}
+}
+
+// Model returns the meter's energy model.
+func (mt *Meter) Model() Model { return mt.model }
+
+// Charge records the execution of cycles at frequency f for dt seconds.
+func (mt *Meter) Charge(cycles, f, dt float64) {
+	if cycles < 0 || dt < 0 {
+		panic("energy: negative charge")
+	}
+	mt.total += mt.model.Energy(cycles, f)
+	mt.cycles += cycles
+	mt.busy += dt
+}
+
+// ChargeIdle records energy drawn while the processor idles (e.g. a
+// constant-power subsystem that stays on, per Config.IdleStaticPower).
+func (mt *Meter) ChargeIdle(e float64) {
+	if e < 0 {
+		panic("energy: negative idle charge")
+	}
+	mt.total += e
+	mt.idle += e
+}
+
+// IdleEnergy returns the portion of the total drawn while idle.
+func (mt *Meter) IdleEnergy() float64 { return mt.idle }
+
+// Observe extends the meter's time horizon to t (for busy-fraction
+// reporting); it never shrinks it.
+func (mt *Meter) Observe(t float64) {
+	if t > mt.horizon {
+		mt.horizon = t
+	}
+}
+
+// Total returns the accumulated energy.
+func (mt *Meter) Total() float64 { return mt.total }
+
+// Cycles returns the total executed cycles.
+func (mt *Meter) Cycles() float64 { return mt.cycles }
+
+// BusyTime returns the total busy time in seconds.
+func (mt *Meter) BusyTime() float64 { return mt.busy }
+
+// BusyFraction returns busy time divided by the observed horizon (0 when
+// nothing was observed).
+func (mt *Meter) BusyFraction() float64 {
+	if mt.horizon <= 0 {
+		return 0
+	}
+	return mt.busy / mt.horizon
+}
+
+// Reset zeroes the meter.
+func (mt *Meter) Reset() { m := mt.model; *mt = Meter{model: m} }

@@ -1,0 +1,205 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/euastar/euastar/internal/cpu"
+)
+
+func TestPerCycleEquation(t *testing.T) {
+	m := Model{S3: 2, S2: 3, S1: 5, S0: 7}
+	f := 10.0
+	want := 2*100 + 3*10 + 5 + 7/10.0
+	if got := m.PerCycle(f); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E(f) = %v, want %v", got, want)
+	}
+}
+
+func TestPowerIsPerCycleTimesF(t *testing.T) {
+	m := Model{S3: 1, S2: 0.5, S1: 2, S0: 4}
+	for _, f := range []float64{1, 10, 360e6} {
+		if got, want := m.Power(f), m.PerCycle(f)*f; math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("P(%g) = %v, want E(f)*f = %v", f, got, want)
+		}
+	}
+}
+
+func TestEnergyLinearInCycles(t *testing.T) {
+	m := Model{S3: 1}
+	if got, want := m.Energy(100, 2), 100*m.PerCycle(2); got != want {
+		t.Fatalf("Energy = %v, want %v", got, want)
+	}
+	if m.Energy(0, 5) != 0 {
+		t.Fatal("zero cycles should cost zero")
+	}
+}
+
+func TestModelPanics(t *testing.T) {
+	m := Model{S3: 1}
+	assertPanics(t, func() { m.PerCycle(0) })
+	assertPanics(t, func() { m.PerCycle(-1) })
+	assertPanics(t, func() { m.Power(0) })
+	assertPanics(t, func() { m.Energy(-1, 1) })
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{S3: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{},
+		{S3: -1},
+		{S0: math.NaN()},
+		{S1: math.Inf(1)},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	fmax := 1000e6
+	for _, p := range Presets() {
+		m, err := NewPreset(p, fmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if m.Name != string(p) {
+			t.Fatalf("preset name = %q", m.Name)
+		}
+	}
+	if _, err := NewPreset("E9", fmax); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := NewPreset(E1, 0); err == nil {
+		t.Fatal("fmax=0 accepted")
+	}
+}
+
+func TestMustPresetPanics(t *testing.T) {
+	assertPanics(t, func() { MustPreset("nope", 1) })
+}
+
+// TestE1MonotoneE3Interior verifies the qualitative distinction the paper
+// leans on: under E1 the per-cycle energy is strictly increasing in f (so
+// slower is always more efficient), while under E3 the constant-power term
+// creates an interior optimum — "an optimal value (not necessarily the
+// lowest one)".
+func TestE1MonotoneE3Interior(t *testing.T) {
+	table := cpu.PowerNowK6()
+	e1 := MustPreset(E1, table.Max())
+	prev := 0.0
+	for _, f := range table {
+		e := e1.PerCycle(f)
+		if e <= prev {
+			t.Fatalf("E1 not increasing at %g", f)
+		}
+		prev = e
+	}
+	if got := e1.MinPerCycleFrequency(table); got != table.Min() {
+		t.Fatalf("E1 optimum = %g, want f_1", got)
+	}
+
+	e3 := MustPreset(E3, table.Max())
+	opt := e3.MinPerCycleFrequency(table)
+	if opt == table.Min() || opt == table.Max() {
+		t.Fatalf("E3 optimum = %g Hz, want interior", opt)
+	}
+	// Analytic optimum of 0.5f² + 0.5f_m³/f is f = (f_m³/2)^(1/3) ≈ 0.794 f_m.
+	analytic := math.Cbrt(0.5) * table.Max()
+	// The discrete optimum must be one of the two steps bracketing it.
+	if opt < 0.7*analytic || opt > 1.3*analytic {
+		t.Fatalf("E3 optimum %g far from analytic %g", opt, analytic)
+	}
+}
+
+func TestE2BetweenE1AndConstant(t *testing.T) {
+	table := cpu.PowerNowK6()
+	e2 := MustPreset(E2, table.Max())
+	// E2 keeps a strictly increasing per-cycle energy (its extra term is
+	// constant per cycle), so the optimum is still f_1.
+	if got := e2.MinPerCycleFrequency(table); got != table.Min() {
+		t.Fatalf("E2 optimum = %g", got)
+	}
+}
+
+func TestQuickPerCyclePositive(t *testing.T) {
+	f := func(s3, s2, s1, s0 uint8, fraw uint16) bool {
+		m := Model{S3: float64(s3), S2: float64(s2), S1: float64(s1), S0: float64(s0)}
+		if m.Validate() != nil {
+			return true
+		}
+		freq := float64(fraw)/65535*999 + 1
+		return m.PerCycle(freq) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := MustPreset(E1, 1000e6)
+	mt := NewMeter(m)
+	mt.Charge(1e6, 500e6, 2e-3)
+	mt.Charge(2e6, 1000e6, 2e-3)
+	want := m.Energy(1e6, 500e6) + m.Energy(2e6, 1000e6)
+	if got := mt.Total(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+	if mt.Cycles() != 3e6 {
+		t.Fatalf("cycles = %v", mt.Cycles())
+	}
+	if mt.BusyTime() != 4e-3 {
+		t.Fatalf("busy = %v", mt.BusyTime())
+	}
+	mt.Observe(8e-3)
+	mt.Observe(4e-3) // must not shrink
+	if got := mt.BusyFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("busy fraction = %v", got)
+	}
+	mt.Reset()
+	if mt.Total() != 0 || mt.Cycles() != 0 || mt.BusyFraction() != 0 {
+		t.Fatal("reset failed")
+	}
+	if mt.Model().Name != "E1" {
+		t.Fatal("model lost on reset")
+	}
+}
+
+func TestMeterPanics(t *testing.T) {
+	assertPanics(t, func() { NewMeter(Model{}) })
+	mt := NewMeter(MustPreset(E1, 1))
+	assertPanics(t, func() { mt.Charge(-1, 1, 0) })
+	assertPanics(t, func() { mt.Charge(1, 1, -1) })
+}
+
+func TestMeterEmptyBusyFraction(t *testing.T) {
+	mt := NewMeter(MustPreset(E1, 1))
+	if mt.BusyFraction() != 0 {
+		t.Fatal("busy fraction of fresh meter != 0")
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkPerCycle(b *testing.B) {
+	m := MustPreset(E3, 1000e6)
+	for i := 0; i < b.N; i++ {
+		_ = m.PerCycle(550e6)
+	}
+}

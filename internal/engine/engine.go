@@ -1,0 +1,519 @@
+// Package engine is the uniprocessor DVS simulator: it releases jobs
+// according to each task's UAM arrival generator, invokes the scheduler at
+// every scheduling event (arrival, completion, termination expiry),
+// executes the selected job at the selected frequency with exact cycle
+// accounting, meters energy with Martin's model, and resolves every job as
+// completed or aborted.
+//
+// The engine enforces the information split of the paper: schedulers see
+// allocations and executed cycles, never the realized demand; the engine
+// alone knows each job's actual cycle requirement.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sim"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+// EventObserver is an optional scheduler extension: schedulers that keep
+// cross-event state (e.g. ccEDF's utilization ledger) implement it to be
+// notified of job lifecycle transitions.
+type EventObserver interface {
+	OnRelease(now float64, j *task.Job)
+	OnComplete(now float64, j *task.Job)
+}
+
+// BudgetObserver is an optional scheduler extension: when an energy budget
+// is configured, the engine reports the spent energy and the budget before
+// every decision, so budget-aware schedulers (the paper's "scheduling
+// under finite energy budgets" future work) can ration the remainder.
+type BudgetObserver interface {
+	OnEnergy(spent, budget float64)
+}
+
+// Span is one contiguous stretch of execution recorded in a trace.
+type Span struct {
+	Job        *task.Job
+	Start, End float64
+	Frequency  float64
+	Cycles     float64
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Tasks     task.Set
+	Scheduler sched.Scheduler
+	Freqs     cpu.FrequencyTable
+	Energy    energy.Model
+
+	// Horizon bounds job arrivals to [0, Horizon) seconds; the run itself
+	// continues until every released job is resolved.
+	Horizon float64
+	// Seed drives all stochastic inputs (arrival jitter, demands). Runs
+	// with equal seeds see identical arrival times and job demands
+	// regardless of the scheduler, so schemes are compared on the same
+	// realized workload.
+	Seed uint64
+
+	// Arrivals selects the arrival generator per task. Nil selects the
+	// default: Even (periodic) for ⟨1,P⟩ tasks, Burst for a > 1.
+	Arrivals func(*task.Task) uam.Generator
+
+	// AbortAtTermination raises the paper's termination-time exception:
+	// a job still executing at its termination time is aborted. Disable
+	// it for the "-NA" schemes.
+	AbortAtTermination bool
+
+	// SwitchLatency is the time cost of a frequency change (seconds,
+	// default 0 as in the paper).
+	SwitchLatency float64
+
+	// EnergyBudget, when positive, models a finite battery — the paper's
+	// "scheduling under finite energy budgets" future-work scenario. Once
+	// the metered energy reaches the budget the processor halts: the
+	// partially executed span is cut at the exact depletion instant, all
+	// pending jobs are aborted, and later arrivals abort on release.
+	EnergyBudget float64
+
+	// IdleStaticPower, when positive, charges this constant power (model
+	// energy units per second) whenever the processor is not executing —
+	// the system-level cost of components that stay on regardless of CPU
+	// activity. The paper's per-cycle model charges only busy execution;
+	// this extension makes race-to-idle trade-offs visible. Idle draw
+	// counts toward the total (and Result.IdleEnergy) but a configured
+	// EnergyBudget is only checked against busy execution.
+	IdleStaticPower float64
+
+	// ProgressUtility enables the paper's second future-work model:
+	// "activity models where activities accrue utility as a function of
+	// their progress". An aborted job then accrues
+	// U_J(abort time) · (executed/actual cycles) instead of zero — the
+	// anytime-algorithm semantics where partial work has partial value.
+	// Completed jobs are unaffected.
+	ProgressUtility bool
+
+	// RecordTrace retains the execution spans for validation and
+	// visualization.
+	RecordTrace bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Tasks.Validate(); err != nil {
+		return err
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("engine: nil scheduler")
+	}
+	if err := c.Freqs.Validate(); err != nil {
+		return err
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon <= 0 || math.IsInf(c.Horizon, 0) || math.IsNaN(c.Horizon) {
+		return fmt.Errorf("engine: horizon %g must be positive and finite", c.Horizon)
+	}
+	if c.SwitchLatency < 0 {
+		return fmt.Errorf("engine: negative switch latency")
+	}
+	if c.EnergyBudget < 0 {
+		return fmt.Errorf("engine: negative energy budget")
+	}
+	if c.IdleStaticPower < 0 {
+		return fmt.Errorf("engine: negative idle power")
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	SchedulerName string
+	Jobs          []*task.Job // every released job, resolved
+	TotalEnergy   float64
+	Cycles        float64
+	BusyTime      float64
+	EndTime       float64 // time of the last processed event
+	Switches      int
+	Decisions     int
+	Trace         []Span // non-nil only when Config.RecordTrace
+
+	// Depleted reports whether a configured energy budget ran out, and
+	// DepletedAt when.
+	Depleted   bool
+	DepletedAt float64
+
+	// Inheritances counts dispatches where the selected job was blocked on
+	// a resource and its blocking chain's head executed instead.
+	Inheritances int
+
+	// IdleEnergy is the portion of TotalEnergy drawn while idle (non-zero
+	// only with Config.IdleStaticPower).
+	IdleEnergy float64
+}
+
+// defaultArrivals is the generator selection described in Config.Arrivals.
+func defaultArrivals(t *task.Task) uam.Generator {
+	if t.Arrival.IsPeriodic() {
+		return uam.Even{S: t.Arrival}
+	}
+	return uam.Burst{S: t.Arrival}
+}
+
+// state is the mutable simulation state.
+type state struct {
+	cfg        Config
+	queue      sim.Queue
+	pending    []*task.Job
+	all        []*task.Job
+	running    *task.Job
+	runStart   float64    // when the running job (re)starts making progress
+	completion *sim.Event // queued completion event of the running job
+	demandSrc  map[int]*rng.Source
+	proc       *cpu.Processor
+	meter      *energy.Meter
+	lastTime   float64
+	observer   EventObserver
+	decision   int
+	trace      []Span
+	depleted   bool
+	depletedAt float64
+
+	// Resource state: holders maps resource id → holding job;
+	// inheritances counts dispatches where a blocked selection was
+	// resolved to its blocking chain's head.
+	holders      map[int]*task.Job
+	inheritances int
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx := &sched.Context{Tasks: cfg.Tasks, Freqs: cfg.Freqs, Energy: cfg.Energy}
+	if err := cfg.Scheduler.Init(ctx); err != nil {
+		return nil, err
+	}
+	st := &state{
+		cfg:   cfg,
+		proc:  cpu.NewProcessor(cfg.Freqs, cfg.SwitchLatency),
+		meter: energy.NewMeter(cfg.Energy),
+	}
+	if obs, ok := cfg.Scheduler.(EventObserver); ok {
+		st.observer = obs
+	}
+	st.seedArrivals()
+	st.loop()
+
+	res := &Result{
+		SchedulerName: cfg.Scheduler.Name(),
+		Jobs:          st.all,
+		TotalEnergy:   st.meter.Total(),
+		Cycles:        st.meter.Cycles(),
+		BusyTime:      st.meter.BusyTime(),
+		EndTime:       st.lastTime,
+		Switches:      st.proc.Switches(),
+		Decisions:     st.decision,
+		Trace:         st.trace,
+		Depleted:      st.depleted,
+		DepletedAt:    st.depletedAt,
+		Inheritances:  st.inheritances,
+		IdleEnergy:    st.meter.IdleEnergy(),
+	}
+	return res, nil
+}
+
+// arrivalPayload identifies a not-yet-released job.
+type arrivalPayload struct {
+	task  *task.Task
+	index int
+}
+
+// seedArrivals pre-generates every task's arrival trace and enqueues the
+// corresponding events. Each task gets independent RNG streams (in task
+// order) so that demands and arrivals are identical across schedulers.
+func (st *state) seedArrivals() {
+	root := rng.New(st.cfg.Seed)
+	genF := st.cfg.Arrivals
+	if genF == nil {
+		genF = defaultArrivals
+	}
+	tasks := append(task.Set(nil), st.cfg.Tasks...)
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+	st.demandSrc = make(map[int]*rng.Source, len(tasks))
+	for _, t := range tasks {
+		genSrc := root.Split()
+		st.demandSrc[t.ID] = root.Split()
+		trace := genF(t).Generate(st.cfg.Horizon, genSrc)
+		for k, at := range trace {
+			st.queue.Push(at, sim.Arrival, arrivalPayload{task: t, index: k})
+		}
+	}
+}
+
+func (st *state) loop() {
+	for {
+		ev, ok := st.queue.Pop()
+		if !ok {
+			break
+		}
+		now := ev.Time
+		st.advance(now)
+		st.handle(now, ev)
+		// Process all remaining events at the same instant before invoking
+		// the scheduler once.
+		for {
+			next, ok := st.queue.Peek()
+			if !ok || next.Time != now {
+				break
+			}
+			e, _ := st.queue.Pop()
+			st.handle(now, e)
+		}
+		st.decide(now)
+	}
+	if len(st.pending) != 0 {
+		// Cannot happen: with abortion every job resolves by its
+		// termination event; without abortion the dispatcher keeps a
+		// completion event queued whenever work is pending.
+		panic(fmt.Sprintf("engine: %d unresolved jobs after event queue drained", len(st.pending)))
+	}
+}
+
+// advance executes the running job from lastTime to now, cutting the span
+// at the energy budget's depletion instant if one is configured.
+func (st *state) advance(now float64) {
+	if st.cfg.IdleStaticPower > 0 {
+		// Charge the always-on subsystems for any non-executing portion
+		// of [lastTime, now): either the whole interval (idle) or the
+		// stretch before the running job makes progress (switch latency).
+		idleEnd := now
+		if st.running != nil && !st.depleted {
+			idleEnd = math.Min(now, math.Max(st.lastTime, st.runStart))
+		}
+		if dt := idleEnd - st.lastTime; dt > 0 {
+			st.meter.ChargeIdle(dt * st.cfg.IdleStaticPower)
+		}
+	}
+	if st.running != nil && !st.depleted {
+		start := math.Max(st.lastTime, st.runStart)
+		if now > start {
+			dt := now - start
+			f := st.proc.Frequency()
+			end := now
+			if st.cfg.EnergyBudget > 0 {
+				power := st.meter.Model().Power(f)
+				if left := st.cfg.EnergyBudget - st.meter.Total(); dt*power > left {
+					dt = left / power
+					end = start + dt
+					st.depleted = true
+					st.depletedAt = end
+				}
+			}
+			cyc := dt * f
+			if rem := st.running.Remaining(); cyc > rem {
+				cyc = rem
+			}
+			st.running.Executed += cyc
+			st.meter.Charge(cyc, f, dt)
+			if st.cfg.RecordTrace && cyc > 0 {
+				st.trace = append(st.trace, Span{
+					Job: st.running, Start: start, End: end, Frequency: f, Cycles: cyc,
+				})
+			}
+			if st.depleted {
+				st.stopRunning()
+				// The battery is dead: every pending job is lost.
+				for len(st.pending) > 0 {
+					st.abort(st.depletedAt, st.pending[0], "energy budget depleted")
+				}
+			}
+		}
+	}
+	st.lastTime = now
+	st.meter.Observe(now)
+}
+
+func (st *state) handle(now float64, ev *sim.Event) {
+	switch ev.Kind {
+	case sim.Arrival:
+		p := ev.Payload.(arrivalPayload)
+		j := task.NewJob(p.task, p.index, now, st.demandSrc[p.task.ID])
+		st.all = append(st.all, j)
+		if st.depleted {
+			// Released into a dead system: account it as an immediate loss.
+			j.State = task.Aborted
+			j.FinishedAt = now
+			j.AbortReason = "energy budget depleted"
+			return
+		}
+		st.pending = append(st.pending, j)
+		st.queue.Push(j.Termination, sim.Termination, j)
+		if st.observer != nil {
+			st.observer.OnRelease(now, j)
+		}
+	case sim.Completion:
+		j := ev.Payload.(*task.Job)
+		if j != st.running {
+			if st.depleted && j.State != task.Pending {
+				return // stale event of a job the depletion aborted
+			}
+			panic(fmt.Sprintf("engine: completion event for non-running job %v", j))
+		}
+		// advance() has executed the job to (numerically) zero remaining.
+		j.Executed = j.ActualCycles
+		j.State = task.Completed
+		j.FinishedAt = now
+		j.Utility = j.UtilityAt(now)
+		st.releaseAll(j)
+		st.removePending(j)
+		st.running = nil
+		st.completion = nil
+		if j.Task.Profiler != nil {
+			// Online profiling (Section 2.3): the measured cycle
+			// consumption of a finished job refines the task's demand
+			// moments and thereby its future allocations c_i.
+			j.Task.Profiler.Observe(j.ActualCycles)
+		}
+		if st.observer != nil {
+			st.observer.OnComplete(now, j)
+		}
+	case sim.Termination:
+		j := ev.Payload.(*task.Job)
+		if j.State != task.Pending {
+			return // already resolved
+		}
+		if st.cfg.AbortAtTermination {
+			st.abort(now, j, "termination time reached")
+		}
+		// Without abortion the expiry is still a scheduling event; the
+		// decide() after this batch re-evaluates the system.
+	case sim.Custom:
+		// A resource-section boundary of the running job: advance() has
+		// executed exactly up to it; sync acquires/releases and the
+		// decide() after this batch re-dispatches.
+		j := ev.Payload.(*task.Job)
+		if j != st.running {
+			if st.depleted && j.State != task.Pending {
+				return
+			}
+			panic(fmt.Sprintf("engine: boundary event for non-running job %v", j))
+		}
+		st.stopRunning()
+		st.syncResources(j)
+	default:
+		panic(fmt.Sprintf("engine: unexpected event kind %v", ev.Kind))
+	}
+}
+
+func (st *state) abort(now float64, j *task.Job, reason string) {
+	if j.State != task.Pending {
+		panic(fmt.Sprintf("engine: aborting resolved job %v", j))
+	}
+	j.State = task.Aborted
+	j.FinishedAt = now
+	j.Utility = 0
+	if st.cfg.ProgressUtility && j.ActualCycles > 0 {
+		j.Utility = j.UtilityAt(now) * (j.Executed / j.ActualCycles)
+	}
+	if j.AbortReason == "" {
+		j.AbortReason = reason
+	}
+	if j.Task.Profiler != nil && j.Executed > 0 {
+		// The aborted job consumed at least this many cycles: a censored
+		// demand observation.
+		j.Task.Profiler.ObserveCensored(j.Executed)
+	}
+	st.releaseAll(j)
+	st.removePending(j)
+	if st.running == j {
+		st.stopRunning()
+	}
+}
+
+func (st *state) removePending(j *task.Job) {
+	for i, p := range st.pending {
+		if p == j {
+			st.pending = append(st.pending[:i], st.pending[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("engine: job %v not pending", j))
+}
+
+func (st *state) decide(now float64) {
+	if st.depleted || len(st.pending) == 0 {
+		st.stopRunning()
+		return
+	}
+	if st.cfg.EnergyBudget > 0 {
+		if bo, ok := st.cfg.Scheduler.(BudgetObserver); ok {
+			bo.OnEnergy(st.meter.Total(), st.cfg.EnergyBudget)
+		}
+	}
+	ready := append([]*task.Job(nil), st.pending...)
+	d := st.cfg.Scheduler.Decide(now, ready)
+	st.decision++
+	for _, j := range d.Abort {
+		st.abort(now, j, "scheduler abort")
+	}
+	if st.running != nil && st.running.State != task.Pending {
+		st.stopRunning()
+	}
+	if d.Run == nil {
+		st.stopRunning()
+		return
+	}
+	if d.Run.State != task.Pending {
+		panic(fmt.Sprintf("engine: scheduler selected resolved job %v", d.Run))
+	}
+	if !st.cfg.Freqs.Contains(d.Freq) {
+		panic(fmt.Sprintf("engine: scheduler chose frequency %g Hz outside the table", d.Freq))
+	}
+	// Resolve resource blocking: execute the head of the selected job's
+	// blocking chain (no-op for independent tasks).
+	eff, err := st.effective(d.Run)
+	if err != nil {
+		// Deadlock: abort the selected job (releasing its resources breaks
+		// the cycle) and re-evaluate.
+		st.abort(now, d.Run, "resource deadlock resolved")
+		st.decide(now)
+		return
+	}
+	if eff != d.Run {
+		st.inheritances++
+	}
+	if eff == st.running && d.Freq == st.proc.Frequency() {
+		return // nothing changes; the queued progress event stands
+	}
+	st.stopRunning()
+	cost := st.proc.SetFrequency(d.Freq)
+	st.running = eff
+	st.runStart = now + cost
+	remCyc := eff.Remaining()
+	if boundCyc := nextBoundaryCycles(eff); boundCyc < remCyc {
+		st.completion = st.queue.Push(st.runStart+boundCyc/d.Freq, sim.Custom, eff)
+	} else {
+		st.completion = st.queue.Push(st.runStart+remCyc/d.Freq, sim.Completion, eff)
+	}
+}
+
+// stopRunning cancels the running job's pending completion event (the job
+// itself stays pending unless separately resolved).
+func (st *state) stopRunning() {
+	if st.completion != nil {
+		st.queue.Cancel(st.completion)
+		st.completion = nil
+	}
+	st.running = nil
+}

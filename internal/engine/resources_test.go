@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"github.com/euastar/euastar/internal/sched/edf"
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+// sectionTask builds a deterministic task whose jobs hold the given
+// critical sections.
+func sectionTask(id int, p, mean float64, secs ...task.Section) *task.Task {
+	tk := stepTask(id, p, 10, mean)
+	tk.Sections = secs
+	return tk
+}
+
+func TestSectionValidation(t *testing.T) {
+	bad := [][]task.Section{
+		{{Resource: 1, Start: -0.1, End: 0.5}},
+		{{Resource: 1, Start: 0.5, End: 0.5}},
+		{{Resource: 1, Start: 0.6, End: 0.4}},
+		{{Resource: 1, Start: 0, End: 1.2}},
+		{{Resource: 1, Start: 0, End: 0.5}, {Resource: 1, Start: 0.4, End: 0.8}}, // overlap same resource
+	}
+	for i, secs := range bad {
+		tk := sectionTask(1, 0.1, 1e6, secs...)
+		if err := tk.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := sectionTask(1, 0.1, 1e6,
+		task.Section{Resource: 1, Start: 0.1, End: 0.4},
+		task.Section{Resource: 1, Start: 0.6, End: 0.9},
+		task.Section{Resource: 2, Start: 0.2, End: 0.3}, // nested in R1's first
+	)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentTasksUnaffected(t *testing.T) {
+	// Sanity: the resource machinery must not change independent runs.
+	tk := stepTask(1, 0.1, 10, 1e6)
+	res, err := Run(baseConfig(task.Set{tk}, edf.New(true), 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inheritances != 0 {
+		t.Fatalf("inheritances = %d", res.Inheritances)
+	}
+	for _, j := range res.Jobs {
+		if j.State != task.Completed {
+			t.Fatalf("job %v: %v", j, j.State)
+		}
+	}
+}
+
+func TestMutualExclusionSerializes(t *testing.T) {
+	// Two simultaneous jobs whose whole bodies hold the same resource: the
+	// second cannot start until the first completes, even though EDF would
+	// otherwise interleave at the second job's earlier critical time.
+	a := sectionTask(1, 0.2, 50e6, task.Section{Resource: 7, Start: 0, End: 1})
+	b := sectionTask(2, 0.1, 20e6, task.Section{Resource: 7, Start: 0, End: 1})
+	cfg := baseConfig(task.Set{a, b}, edf.New(true), 0.05)
+	cfg.RecordTrace = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ja, jb *task.Job
+	for _, j := range res.Jobs {
+		if j.Task.ID == 1 {
+			ja = j
+		} else {
+			jb = j
+		}
+	}
+	// EDF picks b (critical time 0.1 < 0.2) at t=0; b acquires R7 first
+	// and runs to completion at 20 ms; then a runs 50 ms → done at 70 ms.
+	if jb.State != task.Completed || math.Abs(jb.FinishedAt-0.02) > 1e-9 {
+		t.Fatalf("b finished at %v (%v)", jb.FinishedAt, jb.State)
+	}
+	if ja.State != task.Completed || math.Abs(ja.FinishedAt-0.07) > 1e-9 {
+		t.Fatalf("a finished at %v (%v)", ja.FinishedAt, ja.State)
+	}
+	// No span may overlap another (single CPU) — and the holder intervals
+	// must not interleave: b entirely before a.
+	for _, sp := range res.Trace {
+		if sp.Job == ja && sp.End > 0.0 && sp.Start < 0.02 {
+			t.Fatalf("a ran during b's critical section: %+v", sp)
+		}
+	}
+}
+
+func TestInheritanceRunsHolder(t *testing.T) {
+	// Low-"priority" task L (late critical time) grabs the resource first;
+	// then H (early critical time) arrives and blocks on it. The engine
+	// must execute L (inheritance) until it releases, then run H.
+	l := sectionTask(1, 0.5, 40e6, task.Section{Resource: 3, Start: 0, End: 0.5})
+	h := sectionTask(2, 0.1, 10e6, task.Section{Resource: 3, Start: 0, End: 1})
+	cfg := baseConfig(task.Set{l, h}, edf.New(true), 0.05)
+	cfg.Arrivals = func(tk *task.Task) uam.Generator {
+		if tk.ID == 2 {
+			return uam.Burst{S: tk.Arrival, Offset: 0.005} // H arrives at 5 ms
+		}
+		return uam.Even{S: tk.Arrival}
+	}
+	cfg.RecordTrace = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inheritances == 0 {
+		t.Fatal("no inheritance recorded")
+	}
+	var jh *task.Job
+	for _, j := range res.Jobs {
+		if j.Task.ID == 2 {
+			jh = j
+		}
+	}
+	// L holds R3 for its first 20e6 cycles = 20 ms at f_m; release at
+	// t=20ms. H then runs its 10 ms → completes at 30 ms, within its 105
+	// ms termination.
+	if jh.State != task.Completed {
+		t.Fatalf("H %v (%s)", jh.State, jh.AbortReason)
+	}
+	if math.Abs(jh.FinishedAt-0.030) > 1e-6 {
+		t.Fatalf("H finished at %v, want 30 ms", jh.FinishedAt)
+	}
+}
+
+func TestSectionBoundariesReleaseMidJob(t *testing.T) {
+	// A job holding a resource only for its middle third: boundary events
+	// must fire and the resource must be free afterwards.
+	a := sectionTask(1, 0.2, 30e6, task.Section{Resource: 5, Start: 1.0 / 3, End: 2.0 / 3})
+	cfg := baseConfig(task.Set{a}, edf.New(true), 0.05)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.State != task.Completed {
+		t.Fatalf("state %v", j.State)
+	}
+	if len(j.Held) != 0 {
+		t.Fatalf("job still holds %v after completion", j.Held)
+	}
+}
+
+func TestDeadlockResolvedByAbort(t *testing.T) {
+	// T1 locks R1 then needs R2 inside; T2 locks R2 then needs R1 inside.
+	// Simultaneous arrivals interleave at section boundaries, producing
+	// the classic cycle; the engine must abort one job and complete the
+	// other.
+	t1 := sectionTask(1, 0.2, 40e6,
+		task.Section{Resource: 1, Start: 0, End: 1},
+		task.Section{Resource: 2, Start: 0.5, End: 0.9},
+	)
+	t2 := sectionTask(2, 0.21, 40e6,
+		task.Section{Resource: 2, Start: 0, End: 1},
+		task.Section{Resource: 1, Start: 0.5, End: 0.9},
+	)
+	// Force interleaving: run T1 to its R2 boundary, then T2 arrives...
+	// With EDF, T1 (earlier critical time) runs first to 0.5·40e6 = 20 ms,
+	// hits R2's boundary — but T2 hasn't run yet, so R2 is free; to create
+	// the deadlock, T2 must hold R2 first. Stagger arrivals so T2 starts
+	// first and runs past its R2 acquisition, then T1 preempts (earlier
+	// critical time), locks R1, and reaches its R2 boundary while T2
+	// holds R2; T2 resumes (inheritance) and reaches its R1 boundary: cycle.
+	cfg := baseConfig(task.Set{t1, t2}, edf.New(true), 0.05)
+	cfg.Arrivals = func(tk *task.Task) uam.Generator {
+		if tk.ID == 1 {
+			return uam.Burst{S: tk.Arrival, Offset: 0.005}
+		}
+		return uam.Even{S: tk.Arrival}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted, completed := 0, 0
+	for _, j := range res.Jobs {
+		switch j.State {
+		case task.Aborted:
+			aborted++
+			if j.AbortReason != "resource deadlock resolved" {
+				t.Fatalf("abort reason %q", j.AbortReason)
+			}
+		case task.Completed:
+			completed++
+		}
+	}
+	if aborted != 1 || completed != 1 {
+		t.Fatalf("aborted %d completed %d", aborted, completed)
+	}
+}
+
+func TestResourcesWithEUAAndDVS(t *testing.T) {
+	// The full stack: EUA* scheduling, DVS, and contention. All jobs must
+	// resolve with the blocking chains honoured.
+	a := sectionTask(1, 0.1, 5e6, task.Section{Resource: 1, Start: 0.2, End: 0.8})
+	b := sectionTask(2, 0.15, 8e6, task.Section{Resource: 1, Start: 0, End: 0.5})
+	c := stepTask(3, 0.08, 5, 2e6) // independent bystander
+	cfg := baseConfig(task.Set{a, b, c}, eua.New(), 1.0)
+	cfg.RecordTrace = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		if j.State == task.Pending {
+			t.Fatalf("unresolved job %v", j)
+		}
+		if len(j.Held) != 0 {
+			t.Fatalf("job %v retains resources %v", j, j.Held)
+		}
+	}
+	// Cycle conservation still holds with boundary events.
+	sum := 0.0
+	for _, sp := range res.Trace {
+		sum += sp.Cycles
+	}
+	if math.Abs(sum-res.Cycles) > 1e-3*res.Cycles+1 {
+		t.Fatalf("trace cycles %v vs metered %v", sum, res.Cycles)
+	}
+}
+
+func TestAbortReleasesResources(t *testing.T) {
+	// An overloaded holder gets aborted at its termination time; the
+	// waiter must then acquire the resource and complete.
+	hog := sectionTask(1, 0.1, 150e6, task.Section{Resource: 9, Start: 0, End: 1})
+	waiter := sectionTask(2, 0.3, 20e6, task.Section{Resource: 9, Start: 0, End: 1})
+	cfg := baseConfig(task.Set{hog, waiter}, edf.New(false), 0.05)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jw *task.Job
+	for _, j := range res.Jobs {
+		if j.Task.ID == 2 {
+			jw = j
+		}
+	}
+	if jw.State != task.Completed {
+		t.Fatalf("waiter %v (%s)", jw.State, jw.AbortReason)
+	}
+	// Hog aborted at 0.1; waiter then runs 20 ms → 0.12.
+	if math.Abs(jw.FinishedAt-0.12) > 1e-6 {
+		t.Fatalf("waiter finished at %v", jw.FinishedAt)
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/euastar/euastar/internal/viz"
+)
+
+// WriteRowsChart renders a Figure 2-style sweep as two ASCII charts
+// (normalized utility and normalized energy vs load).
+func WriteRowsChart(w io.Writer, title string, rows []Row) error {
+	names := SchemeNames(rows)
+	mk := func(get func(Row, string) float64) []viz.Series {
+		out := make([]viz.Series, 0, len(names))
+		for _, n := range names {
+			s := viz.Series{Name: n}
+			for _, r := range rows {
+				s.X = append(s.X, r.Load)
+				s.Y = append(s.Y, get(r, n))
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	if err := viz.Plot(w, title+" — normalized utility vs load",
+		mk(func(r Row, n string) float64 { return r.Utility[n] }), 70, 14); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return viz.Plot(w, title+" — normalized energy vs load",
+		mk(func(r Row, n string) float64 { return r.Energy[n] }), 70, 14)
+}
+
+// WriteFig3Chart renders the Figure 3 series as an ASCII chart.
+func WriteFig3Chart(w io.Writer, rows []Fig3Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	bounds := make([]int, 0, len(rows[0].Energy))
+	for a := range rows[0].Energy {
+		bounds = append(bounds, a)
+	}
+	sort.Ints(bounds)
+	series := make([]viz.Series, 0, len(bounds))
+	for _, a := range bounds {
+		s := viz.Series{Name: fmt.Sprintf("<%d,P>", a)}
+		for _, r := range rows {
+			s.X = append(s.X, r.Load)
+			s.Y = append(s.Y, r.Energy[a])
+		}
+		series = append(series, s)
+	}
+	return viz.Plot(w, "Figure 3 — EUA* energy (normalized to no-DVS) vs load", series, 70, 14)
+}

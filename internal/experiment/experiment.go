@@ -1,0 +1,390 @@
+// Package experiment reproduces the paper's evaluation (Section 5): it
+// synthesizes the Table 1 workloads, sweeps system load, runs every
+// scheduling scheme on the identical realized workload, and reports the
+// normalized utility and energy series behind Figures 2 and 3, plus the
+// assurance and ablation studies described in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/ccedf"
+	"github.com/euastar/euastar/internal/sched/dasa"
+	"github.com/euastar/euastar/internal/sched/edf"
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/sched/gus"
+	"github.com/euastar/euastar/internal/sched/laedf"
+	"github.com/euastar/euastar/internal/stats"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/uam"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// Scheme couples a scheduler constructor with its termination-time policy.
+// A fresh scheduler is constructed per run (schedulers carry per-run
+// state).
+type Scheme struct {
+	Name  string
+	New   func() sched.Scheduler
+	Abort bool // abort jobs at their termination time
+}
+
+// BaselineScheme is the normalization baseline used throughout Section 5:
+// EDF that always uses the highest frequency, with abortion.
+func BaselineScheme() Scheme {
+	return Scheme{Name: "EDF-fm", New: func() sched.Scheduler { return edf.New(true) }, Abort: true}
+}
+
+// Figure2Schemes are the schemes compared in Figure 2, paper order:
+// EUA*, ccEDF, laEDF, and the no-abort laEDF-NA that exposes the domino
+// effect.
+func Figure2Schemes() []Scheme {
+	return []Scheme{
+		{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true},
+		{Name: "ccEDF", New: func() sched.Scheduler { return ccedf.New(true) }, Abort: true},
+		{Name: "laEDF", New: func() sched.Scheduler { return laedf.New(true) }, Abort: true},
+		{Name: "laEDF-NA", New: func() sched.Scheduler { return laedf.New(false) }, Abort: false},
+	}
+}
+
+// AblationSchemes isolates each EUA* mechanism (DESIGN.md Section 5).
+func AblationSchemes() []Scheme {
+	mk := func(opts ...eua.Option) func() sched.Scheduler {
+		return func() sched.Scheduler { return eua.New(opts...) }
+	}
+	return []Scheme{
+		{Name: "EUA*", New: mk(), Abort: true},
+		{Name: "EUA*-noUER", New: mk(eua.WithoutUERInsertion()), Abort: true},
+		{Name: "EUA*-noFo", New: mk(eua.WithoutFoClamp()), Abort: true},
+		{Name: "EUA*-noWin", New: mk(eua.WithoutWindowedDemand()), Abort: true},
+		{Name: "EUA*-noPhantom", New: mk(eua.WithoutPhantomReservation()), Abort: true},
+		{Name: "EUA*-strictBreak", New: mk(eua.WithStrictBreak()), Abort: true},
+		{Name: "EUA*-noDVS", New: mk(eua.WithoutDVS()), Abort: true},
+		{Name: "DASA", New: func() sched.Scheduler { return dasa.New() }, Abort: true},
+		{Name: "GUS", New: func() sched.Scheduler { return gus.New() }, Abort: true},
+	}
+}
+
+// DefaultLoads is the Figure 2/3 load sweep: 0.2 to 1.8.
+func DefaultLoads() []float64 {
+	return []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8}
+}
+
+// Config is the common experiment parameterization.
+type Config struct {
+	Energy  energy.Preset
+	Loads   []float64
+	Seeds   []uint64
+	Horizon float64 // seconds of arrivals per run
+	// Apps defaults to the three Table 1 applications combined.
+	Apps []workload.App
+}
+
+func (c Config) withDefaults() Config {
+	if c.Energy == "" {
+		c.Energy = energy.E1
+	}
+	if len(c.Loads) == 0 {
+		c.Loads = DefaultLoads()
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []uint64{1, 2, 3}
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1.0
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = workload.Table1()
+	}
+	return c
+}
+
+// synthesize draws the combined task set of the configured applications,
+// with the given TUF shape and an optional burst-bound override (0 keeps
+// each app's own a_i).
+func synthesize(cfg Config, seed uint64, shape workload.Shape, burstOverride int) (task.Set, error) {
+	src := rng.New(seed * 0x9e3779b9)
+	var ts task.Set
+	id := 1
+	for _, app := range cfg.Apps {
+		if burstOverride > 0 {
+			app.A = burstOverride
+		}
+		set, err := app.Synthesize(src, workload.Options{Shape: shape, FirstID: id})
+		if err != nil {
+			return nil, err
+		}
+		ts = append(ts, set...)
+		id += len(set)
+	}
+	return ts, nil
+}
+
+// runOptions carries the per-run knobs the extension experiments vary.
+type runOptions struct {
+	arrivals      func(*task.Task) uam.Generator
+	freqs         cpu.FrequencyTable
+	switchLatency float64
+	energyBudget  float64
+}
+
+// runOne executes one scheme on one scaled task set.
+func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions) (*metrics.Report, error) {
+	ft := opts.freqs
+	if ft == nil {
+		ft = cpu.PowerNowK6()
+	}
+	model, err := energy.NewPreset(cfg.Energy, ft.Max())
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Run(engine.Config{
+		Tasks:              ts,
+		Scheduler:          scheme.New(),
+		Freqs:              ft,
+		Energy:             model,
+		Horizon:            cfg.Horizon,
+		Seed:               seed,
+		Arrivals:           opts.arrivals,
+		SwitchLatency:      opts.switchLatency,
+		EnergyBudget:       opts.energyBudget,
+		AbortAtTermination: scheme.Abort,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return metrics.Analyze(res), nil
+}
+
+// Row is one load point of a normalized comparison: per scheme, the mean
+// (over seeds) utility and energy relative to the EDF-f_m baseline on the
+// identical workload, with the standard error of each mean across the
+// replications.
+type Row struct {
+	Load       float64
+	Utility    map[string]float64
+	Energy     map[string]float64
+	UtilityErr map[string]float64
+	EnergyErr  map[string]float64
+}
+
+// Figure2 regenerates the four panels of Figure 2 for one energy setting:
+// periodic (⟨1,P⟩) Table 1 task sets with step TUFs and {ν=1, ρ=0.96},
+// swept over system load, all schemes normalized to EDF at f_m.
+func Figure2(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	schemes := Figure2Schemes()
+	return sweep(cfg, schemes, workload.Step, 1)
+}
+
+// Ablation runs the EUA* mechanism ablations on the same setup as
+// Figure 2 but with each application's native UAM burst bound.
+func Ablation(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	return sweep(cfg, AblationSchemes(), workload.Step, 0)
+}
+
+func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int) ([]Row, error) {
+	base := BaselineScheme()
+	rows := make([]Row, 0, len(cfg.Loads))
+	for _, load := range cfg.Loads {
+		row := Row{
+			Load:       load,
+			Utility:    make(map[string]float64, len(schemes)),
+			Energy:     make(map[string]float64, len(schemes)),
+			UtilityErr: make(map[string]float64, len(schemes)),
+			EnergyErr:  make(map[string]float64, len(schemes)),
+		}
+		accU := make(map[string]*stats.Welford, len(schemes))
+		accE := make(map[string]*stats.Welford, len(schemes))
+		for _, sc := range schemes {
+			accU[sc.Name] = &stats.Welford{}
+			accE[sc.Name] = &stats.Welford{}
+		}
+		for _, seed := range cfg.Seeds {
+			ts, err := synthesize(cfg, seed, shape, burstOverride)
+			if err != nil {
+				return nil, err
+			}
+			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+			baseRep, err := runOne(cfg, base, ts, seed, runOptions{})
+			if err != nil {
+				return nil, err
+			}
+			for _, sc := range schemes {
+				rep, err := runOne(cfg, sc, ts, seed, runOptions{})
+				if err != nil {
+					return nil, err
+				}
+				n := metrics.Normalize(rep, baseRep)
+				accU[sc.Name].Add(n.Utility)
+				accE[sc.Name].Add(n.Energy)
+			}
+		}
+		for _, sc := range schemes {
+			row.Utility[sc.Name] = accU[sc.Name].Mean()
+			row.Energy[sc.Name] = accE[sc.Name].Mean()
+			if n := accU[sc.Name].N(); n > 1 {
+				row.UtilityErr[sc.Name] = accU[sc.Name].StdDev() / math.Sqrt(float64(n))
+				row.EnergyErr[sc.Name] = accE[sc.Name].StdDev() / math.Sqrt(float64(n))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig3Row is one load point of Figure 3: per UAM burst bound a, EUA*'s
+// energy normalized to EUA* without DVS on the identical workload.
+type Fig3Row struct {
+	Load   float64
+	Energy map[int]float64
+}
+
+// Fig3App is the Figure 3 workload: a small task set (the paper selects
+// "task sets with 1 to 5 tasks"), windows mixing short and long. Small
+// sets matter: with many tasks, bursts multiplex away statistically and
+// the a-dependence of the energy vanishes.
+func Fig3App() workload.App {
+	return workload.App{
+		Name:      "F3",
+		Tasks:     3,
+		A:         1, // overridden per series
+		PRange:    [2]float64{0.020, 0.120},
+		UmaxRange: [2]float64{5, 70},
+	}
+}
+
+// Figure3 regenerates Figure 3: linear TUFs with {ν=0.3, ρ=0.9}, energy
+// setting E1, the UAM bound a swept over Bounds (default 1..3) with
+// random-phase burst arrivals, at equal system load (demands rescale with
+// a). Energy is normalized to EUA* always running at f_m.
+func Figure3(cfg Config, bounds []int) ([]Fig3Row, error) {
+	if len(cfg.Apps) == 0 {
+		cfg.Apps = []workload.App{Fig3App()}
+	}
+	cfg = cfg.withDefaults()
+	if len(bounds) == 0 {
+		bounds = []int{1, 2, 3}
+	}
+	rows := make([]Fig3Row, 0, len(cfg.Loads))
+	noDVS := Scheme{Name: "EUA*-noDVS", New: func() sched.Scheduler { return eua.New(eua.WithoutDVS()) }, Abort: true}
+	dvs := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
+	for _, load := range cfg.Loads {
+		row := Fig3Row{Load: load, Energy: make(map[int]float64, len(bounds))}
+		for _, a := range bounds {
+			for _, seed := range cfg.Seeds {
+				ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
+				if err != nil {
+					return nil, err
+				}
+				ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+				baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals})
+				if err != nil {
+					return nil, err
+				}
+				rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals})
+				if err != nil {
+					return nil, err
+				}
+				row.Energy[a] += metrics.Normalize(rep, baseRep).Energy
+			}
+			row.Energy[a] /= float64(len(cfg.Seeds))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AssuranceRow is one load point of the Section 4 verification: per
+// scheme, the fraction of (seed) runs in which every task met its {ν, ρ}
+// requirement, and the mean utility ratio.
+type AssuranceRow struct {
+	Load         float64
+	Satisfied    map[string]float64
+	UtilityRatio map[string]float64
+}
+
+// Assurance verifies Theorems 2–6 empirically: at each load it runs EUA*
+// and EDF-f_m on step-TUF periodic workloads and reports how often the
+// statistical requirements held.
+func Assurance(cfg Config) ([]AssuranceRow, error) {
+	cfg = cfg.withDefaults()
+	schemes := []Scheme{
+		{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true},
+		BaselineScheme(),
+	}
+	rows := make([]AssuranceRow, 0, len(cfg.Loads))
+	for _, load := range cfg.Loads {
+		row := AssuranceRow{
+			Load:         load,
+			Satisfied:    make(map[string]float64, len(schemes)),
+			UtilityRatio: make(map[string]float64, len(schemes)),
+		}
+		for _, seed := range cfg.Seeds {
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return nil, err
+			}
+			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+			for _, sc := range schemes {
+				rep, err := runOne(cfg, sc, ts, seed, runOptions{})
+				if err != nil {
+					return nil, err
+				}
+				if rep.AssuranceSatisfied() {
+					row.Satisfied[sc.Name]++
+				}
+				row.UtilityRatio[sc.Name] += rep.UtilityRatio()
+			}
+		}
+		for _, sc := range schemes {
+			row.Satisfied[sc.Name] /= float64(len(cfg.Seeds))
+			row.UtilityRatio[sc.Name] /= float64(len(cfg.Seeds))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SchemeNames returns the sorted scheme names present in rows.
+func SchemeNames(rows []Row) []string {
+	set := map[string]bool{}
+	for _, r := range rows {
+		for name := range r.Utility {
+			set[name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fig3Arrivals is the arrival selector of the Figure 3 experiment:
+// random-phase bursts — each window's a instances land together at an
+// unpredictable instant. This "more complicated" arrival pattern is what
+// degrades slack estimation and raises EUA*'s energy consumption as a
+// grows (Section 5.2's observation): the windowed demand bookkeeping
+// C_i^r = c_i^r + (a_i−1)·c_i over-reserves mid-window, and the more so
+// the larger a_i, while for a = 1 the estimate is exact.
+func Fig3Arrivals(t *task.Task) uam.Generator {
+	return uam.RandomBurst{S: t.Arrival}
+}
+
+// Describe summarizes a config for logs.
+func Describe(cfg Config) string {
+	cfg = cfg.withDefaults()
+	return fmt.Sprintf("energy=%s loads=%v seeds=%d horizon=%gs apps=%d",
+		cfg.Energy, cfg.Loads, len(cfg.Seeds), cfg.Horizon, len(cfg.Apps))
+}

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/edf"
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// The extension studies in this file go beyond the paper's evaluation but
+// stay within its problem statement: finite energy budgets (the paper's
+// named future work), DVS switch-latency sensitivity, and the effect of
+// the frequency ladder's granularity.
+
+// BudgetRow is one point of the battery sweep: per scheme, the fraction
+// of the attainable utility accrued before the budget depleted.
+type BudgetRow struct {
+	// BudgetFrac is the energy budget as a fraction of what EDF at f_m
+	// consumes completing the same workload in full.
+	BudgetFrac float64
+	Utility    map[string]float64
+}
+
+// Budget sweeps a finite energy budget at fixed load 0.6 and reports each
+// scheme's utility ratio — how much mission the same battery buys.
+func Budget(cfg Config, fracs []float64) ([]BudgetRow, error) {
+	cfg = cfg.withDefaults()
+	if len(fracs) == 0 {
+		fracs = []float64{0.1, 0.2, 0.4, 0.7, 1.0}
+	}
+	schemes := []Scheme{
+		{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true},
+		{Name: "EUA*-budget", New: func() sched.Scheduler {
+			return eua.New(eua.WithBudgetAwareness(cfg.Horizon))
+		}, Abort: true},
+		{Name: "EDF-fm", New: func() sched.Scheduler { return edf.New(true) }, Abort: true},
+	}
+	rows := make([]BudgetRow, 0, len(fracs))
+	for _, frac := range fracs {
+		row := BudgetRow{BudgetFrac: frac, Utility: map[string]float64{}}
+		for _, seed := range cfg.Seeds {
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return nil, err
+			}
+			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+			// Reference: the full-run energy of the EDF-f_m baseline.
+			ref, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
+			if err != nil {
+				return nil, err
+			}
+			budget := frac * ref.TotalEnergy
+			for _, sc := range schemes {
+				rep, err := runOne(cfg, sc, ts, seed, runOptions{energyBudget: budget})
+				if err != nil {
+					return nil, err
+				}
+				row.Utility[sc.Name] += rep.UtilityRatio()
+			}
+		}
+		for _, sc := range schemes {
+			row.Utility[sc.Name] /= float64(len(cfg.Seeds))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteBudget prints the battery sweep.
+func WriteBudget(w io.Writer, rows []BudgetRow) error {
+	fmt.Fprintln(w, "Energy budget — utility ratio accrued before battery depletion (load 0.6)")
+	names := budgetNames(rows)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "budget")
+	for _, n := range names {
+		fmt.Fprintf(tw, "\t%s", n)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f", r.BudgetFrac)
+		for _, n := range names {
+			fmt.Fprintf(tw, "\t%.3f", r.Utility[n])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+func budgetNames(rows []BudgetRow) []string {
+	set := map[string]bool{}
+	for _, r := range rows {
+		for n := range r.Utility {
+			set[n] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LatencyRow is one point of the switch-latency sweep.
+type LatencyRow struct {
+	Latency float64 // seconds per frequency change
+	Energy  float64 // EUA* energy normalized to EDF-fm (zero-latency)
+	Utility float64 // EUA* utility normalized to EDF-fm (zero-latency)
+}
+
+// SwitchLatency sweeps the cost of a DVS frequency change at fixed load
+// 0.6 and reports how EUA*'s advantage erodes: each switch steals
+// execution time, so utility falls and the effective saving shrinks as
+// latency grows.
+func SwitchLatency(cfg Config, latencies []float64) ([]LatencyRow, error) {
+	cfg = cfg.withDefaults()
+	if len(latencies) == 0 {
+		latencies = []float64{0, 25e-6, 100e-6, 400e-6, 1600e-6}
+	}
+	euaScheme := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
+	rows := make([]LatencyRow, 0, len(latencies))
+	for _, lat := range latencies {
+		var row LatencyRow
+		row.Latency = lat
+		for _, seed := range cfg.Seeds {
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return nil, err
+			}
+			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+			base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{switchLatency: lat})
+			if err != nil {
+				return nil, err
+			}
+			if base.TotalEnergy > 0 {
+				row.Energy += rep.TotalEnergy / base.TotalEnergy
+			}
+			if base.AccruedUtility > 0 {
+				row.Utility += rep.AccruedUtility / base.AccruedUtility
+			}
+		}
+		row.Energy /= float64(len(cfg.Seeds))
+		row.Utility /= float64(len(cfg.Seeds))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteLatency prints the switch-latency sweep.
+func WriteLatency(w io.Writer, rows []LatencyRow) error {
+	fmt.Fprintln(w, "DVS switch latency — EUA* normalized to zero-latency EDF-fm (load 0.6)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "latency(us)\tenergy\tutility")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.3f\t%.3f\n", r.Latency*1e6, r.Energy, r.Utility)
+	}
+	return tw.Flush()
+}
+
+// ContentionRow is one point of the resource-contention sweep.
+type ContentionRow struct {
+	SectionFrac  float64 // fraction of each job's cycles spent holding the shared resource
+	Utility      float64 // EUA* utility ratio
+	Inheritances float64 // mean blocking-resolution dispatches per run
+}
+
+// Contention sweeps the length of a critical section shared by every task
+// (one global resource) at fixed load 0.6, measuring how blocking erodes
+// accrued utility and how often the engine's execution inheritance fires.
+func Contention(cfg Config, fracs []float64) ([]ContentionRow, error) {
+	cfg = cfg.withDefaults()
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.1, 0.25, 0.5, 0.8}
+	}
+	rows := make([]ContentionRow, 0, len(fracs))
+	for _, frac := range fracs {
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("experiment: section fraction %g outside [0, 1)", frac)
+		}
+		var row ContentionRow
+		row.SectionFrac = frac
+		for _, seed := range cfg.Seeds {
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return nil, err
+			}
+			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+			if frac > 0 {
+				for _, t := range ts {
+					t.Sections = []task.Section{{Resource: 1, Start: 0.1, End: 0.1 + frac*0.9}}
+				}
+			}
+			ft := cpu.PowerNowK6()
+			model, err := energy.NewPreset(cfg.Energy, ft.Max())
+			if err != nil {
+				return nil, err
+			}
+			res, err := engine.Run(engine.Config{
+				Tasks: ts, Scheduler: eua.New(), Freqs: ft, Energy: model,
+				Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep := metrics.Analyze(res)
+			row.Utility += rep.UtilityRatio()
+			row.Inheritances += float64(res.Inheritances)
+		}
+		row.Utility /= float64(len(cfg.Seeds))
+		row.Inheritances /= float64(len(cfg.Seeds))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteContention prints the contention sweep.
+func WriteContention(w io.Writer, rows []ContentionRow) error {
+	fmt.Fprintln(w, "Resource contention — EUA* with one shared resource (load 0.6)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "section\tutilityRatio\tinheritances/run")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.1f\n", r.SectionFrac, r.Utility, r.Inheritances)
+	}
+	return tw.Flush()
+}
+
+// LadderRow is one point of the frequency-granularity sweep.
+type LadderRow struct {
+	Steps   int     // number of uniform frequency steps over [360, 1000] MHz
+	Energy  float64 // EUA* energy normalized to EDF at f_m
+	Utility float64
+}
+
+// Ladder sweeps the number of available DVS steps (uniform over the
+// PowerNow! range) at fixed load 0.6: coarser ladders force rounding up to
+// faster-than-needed frequencies, quantifying the value of fine-grained
+// DVS hardware.
+func Ladder(cfg Config, steps []int) ([]LadderRow, error) {
+	cfg = cfg.withDefaults()
+	if len(steps) == 0 {
+		steps = []int{2, 3, 5, 7, 13, 25}
+	}
+	euaScheme := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
+	rows := make([]LadderRow, 0, len(steps))
+	for _, n := range steps {
+		if n < 1 {
+			return nil, fmt.Errorf("experiment: ladder needs >= 1 step, got %d", n)
+		}
+		table := cpu.Uniform(360e6, 1000e6, n)
+		var row LadderRow
+		row.Steps = n
+		for _, seed := range cfg.Seeds {
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return nil, err
+			}
+			ts = ts.ScaleToLoad(0.6, table.Max())
+			base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{freqs: table})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{freqs: table})
+			if err != nil {
+				return nil, err
+			}
+			if base.TotalEnergy > 0 {
+				row.Energy += rep.TotalEnergy / base.TotalEnergy
+			}
+			if base.AccruedUtility > 0 {
+				row.Utility += rep.AccruedUtility / base.AccruedUtility
+			}
+		}
+		row.Energy /= float64(len(cfg.Seeds))
+		row.Utility /= float64(len(cfg.Seeds))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteLadder prints the frequency-granularity sweep.
+func WriteLadder(w io.Writer, rows []LadderRow) error {
+	fmt.Fprintln(w, "Frequency ladder granularity — EUA* normalized to EDF at f_m (load 0.6)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "steps\tenergy\tutility")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", r.Steps, r.Energy, r.Utility)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// WriteTable1 prints the Table 1 task settings.
+func WriteTable1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "App.\ttasks\tUAM <a, P>\tUmax range")
+	for _, app := range workload.Table1() {
+		fmt.Fprintf(tw, "%s\t%d\t<%d, %.0f-%.0f ms>\t[%.0f, %.0f]\n",
+			app.Name, app.Tasks, app.A,
+			app.PRange[0]*1e3, app.PRange[1]*1e3,
+			app.UmaxRange[0], app.UmaxRange[1])
+	}
+	return tw.Flush()
+}
+
+// WriteTable2 prints the Table 2 energy settings, with the per-cycle
+// energy at the frequency extremes to make the shapes tangible.
+func WriteTable2(w io.Writer) error {
+	ft := cpu.PowerNowK6()
+	fm := ft.Max()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Model\tS3\tS2\tS1\tS0\tE(f1)/E(fm)\targmin E(f)")
+	for _, p := range energy.Presets() {
+		m := energy.MustPreset(p, fm)
+		fmt.Fprintf(tw, "%s\t%g\t%g\t%s\t%s\t%.3f\t%.0f MHz\n",
+			m.Name, m.S3, m.S2, relCoeff(m.S1, fm*fm, "f_m^2"), relCoeff(m.S0, fm*fm*fm, "f_m^3"),
+			m.PerCycle(ft.Min())/m.PerCycle(fm),
+			m.MinPerCycleFrequency(ft)/1e6)
+	}
+	return tw.Flush()
+}
+
+func relCoeff(v, unit float64, name string) string {
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.2g·%s", v/unit, name)
+}
+
+// WriteRows prints a normalized utility/energy sweep (Figure 2 or the
+// ablation study) as two aligned tables.
+func WriteRows(w io.Writer, title string, rows []Row) error {
+	names := SchemeNames(rows)
+	if _, err := fmt.Fprintf(w, "%s — normalized utility (baseline EDF-fm)\n", title); err != nil {
+		return err
+	}
+	if err := writeMetric(w, rows, names,
+		func(r Row, n string) (float64, float64) { return r.Utility[n], r.UtilityErr[n] }); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s — normalized energy (baseline EDF-fm)\n", title); err != nil {
+		return err
+	}
+	return writeMetric(w, rows, names,
+		func(r Row, n string) (float64, float64) { return r.Energy[n], r.EnergyErr[n] })
+}
+
+// writeMetric prints one metric table; cells carry a ±stderr suffix when
+// the sweep ran multiple replications and the spread is visible at the
+// printed precision.
+func writeMetric(w io.Writer, rows []Row, names []string, get func(Row, string) (mean, stderr float64)) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "load\t%s\n", strings.Join(names, "\t"))
+	for _, r := range rows {
+		cells := make([]string, len(names))
+		for i, n := range names {
+			mean, stderr := get(r, n)
+			if stderr >= 0.0005 {
+				cells[i] = fmt.Sprintf("%.3f±%.3f", mean, stderr)
+			} else {
+				cells[i] = fmt.Sprintf("%.3f", mean)
+			}
+		}
+		fmt.Fprintf(tw, "%.2f\t%s\n", r.Load, strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+// WriteFig3 prints the Figure 3 series: per UAM bound a, EUA*'s energy
+// normalized to EUA* without DVS.
+func WriteFig3(w io.Writer, rows []Fig3Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	bounds := make([]int, 0, len(rows[0].Energy))
+	for a := range rows[0].Energy {
+		bounds = append(bounds, a)
+	}
+	sort.Ints(bounds)
+	fmt.Fprintln(w, "Figure 3 — EUA* energy normalized to EUA* without DVS")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "load")
+	for _, a := range bounds {
+		fmt.Fprintf(tw, "\tE, <%d,P>", a)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f", r.Load)
+		for _, a := range bounds {
+			fmt.Fprintf(tw, "\t%.3f", r.Energy[a])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteAssurance prints the Section 4 verification sweep.
+func WriteAssurance(w io.Writer, rows []AssuranceRow) error {
+	names := map[string]bool{}
+	for _, r := range rows {
+		for n := range r.Satisfied {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	fmt.Fprintln(w, "Assurance — fraction of runs with all {nu, rho} requirements met / mean utility ratio")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "load")
+	for _, n := range ordered {
+		fmt.Fprintf(tw, "\t%s", n)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f", r.Load)
+		for _, n := range ordered {
+			fmt.Fprintf(tw, "\t%.2f / %.3f", r.Satisfied[n], r.UtilityRatio[n])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

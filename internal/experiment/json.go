@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// JSONDocument is the machine-readable form of an experiment's output,
+// written by euasim -json for downstream plotting.
+type JSONDocument struct {
+	Experiment string         `json:"experiment"`
+	Config     string         `json:"config"`
+	Rows       []Row          `json:"rows,omitempty"`
+	Fig3Rows   []Fig3Row      `json:"fig3_rows,omitempty"`
+	Assurance  []AssuranceRow `json:"assurance_rows,omitempty"`
+}
+
+// WriteJSON encodes a document with stable indentation.
+func WriteJSON(w io.Writer, doc JSONDocument) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// MarshalJSON flattens the Fig3Row map keys to strings (JSON objects
+// require string keys, and Go's encoder would otherwise sort the ints as
+// strings anyway — this keeps the document explicit).
+func (r Fig3Row) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Load   float64            `json:"load"`
+		Energy map[string]float64 `json:"energy_by_bound"`
+	}
+	out := wire{Load: r.Load, Energy: make(map[string]float64, len(r.Energy))}
+	for a, v := range r.Energy {
+		out.Energy[strconv.Itoa(a)] = v
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONFig2(t *testing.T) {
+	doc := JSONDocument{
+		Experiment: "fig2",
+		Config:     "test",
+		Rows: []Row{{
+			Load:    0.5,
+			Utility: map[string]float64{"EUA*": 1},
+			Energy:  map[string]float64{"EUA*": 0.2},
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	var back JSONDocument
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "fig2" || len(back.Rows) != 1 || back.Rows[0].Utility["EUA*"] != 1 {
+		t.Fatalf("roundtrip: %+v", back)
+	}
+}
+
+func TestFig3RowJSONKeys(t *testing.T) {
+	row := Fig3Row{Load: 0.7, Energy: map[int]float64{1: 0.3, 3: 0.4}}
+	raw, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"load":0.7`, `"energy_by_bound"`, `"1":0.3`, `"3":0.4`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("json %s missing %q", s, want)
+		}
+	}
+}
+
+func TestWriteJSONAssurance(t *testing.T) {
+	doc := JSONDocument{
+		Experiment: "assurance",
+		Assurance: []AssuranceRow{{
+			Load:         0.5,
+			Satisfied:    map[string]float64{"EUA*": 1},
+			UtilityRatio: map[string]float64{"EUA*": 0.99},
+		}},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"assurance_rows"`) {
+		t.Fatalf("output: %s", sb.String())
+	}
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func mkTask(id int) *task.Task {
+	return &task.Task{
+		ID: id, Arrival: uam.Spec{A: 1, P: 0.1},
+		TUF:    tuf.NewStep(10, 0.1),
+		Demand: task.Demand{Mean: 1e6, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func completed(tk *task.Task, at, fin, util float64) *task.Job {
+	j := task.NewJob(tk, 0, at, rng.New(1))
+	j.State = task.Completed
+	j.FinishedAt = fin
+	j.Utility = util
+	return j
+}
+
+func aborted(tk *task.Task, at, fin float64) *task.Job {
+	j := task.NewJob(tk, 0, at, rng.New(1))
+	j.State = task.Aborted
+	j.FinishedAt = fin
+	return j
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	a, b := mkTask(1), mkTask(2)
+	res := &engine.Result{
+		SchedulerName: "test",
+		Jobs: []*task.Job{
+			completed(a, 0, 0.05, 10),
+			completed(a, 0.1, 0.15, 10),
+			aborted(a, 0.2, 0.3),
+			completed(b, 0, 0.02, 10),
+		},
+		TotalEnergy: 42,
+		Cycles:      7,
+	}
+	r := Analyze(res)
+	if r.Scheduler != "test" || r.TotalEnergy != 42 || r.Cycles != 7 {
+		t.Fatalf("pass-through fields wrong: %+v", r)
+	}
+	if r.Released != 4 || r.Completed != 3 || r.Aborted != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.AccruedUtility != 30 {
+		t.Fatalf("accrued = %v", r.AccruedUtility)
+	}
+	if r.MaxPossibleUtility != 40 {
+		t.Fatalf("max possible = %v", r.MaxPossibleUtility)
+	}
+	if got := r.UtilityRatio(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if r.CriticalMisses != 1 { // only the aborted one; completions were early
+		t.Fatalf("misses = %d", r.CriticalMisses)
+	}
+	if len(r.PerTask) != 2 || r.PerTask[0].Task.ID != 1 || r.PerTask[1].Task.ID != 2 {
+		t.Fatalf("per-task ordering wrong")
+	}
+}
+
+func TestAnalyzeLateCompletionIsMiss(t *testing.T) {
+	a := mkTask(1)
+	// Completed after D^a (= arrival + 0.1): counts as a critical miss and
+	// as not meeting the requirement (utility 0 for a step past deadline).
+	res := &engine.Result{Jobs: []*task.Job{completed(a, 0, 0.15, 0)}}
+	r := Analyze(res)
+	if r.CriticalMisses != 1 {
+		t.Fatalf("misses = %d", r.CriticalMisses)
+	}
+	if r.PerTask[0].Met != 0 {
+		t.Fatal("late job met requirement")
+	}
+	if math.Abs(r.MaxLateness-0.05) > 1e-9 {
+		t.Fatalf("max lateness = %v", r.MaxLateness)
+	}
+}
+
+func TestAnalyzeEmptyRun(t *testing.T) {
+	r := Analyze(&engine.Result{SchedulerName: "x"})
+	if r.Released != 0 || r.UtilityRatio() != 0 || !r.AssuranceSatisfied() {
+		t.Fatalf("empty run report: %+v", r)
+	}
+	if !math.IsInf(r.MaxLateness, -1) {
+		t.Fatalf("max lateness = %v", r.MaxLateness)
+	}
+}
+
+func TestAnalyzePanicsOnUnresolved(t *testing.T) {
+	a := mkTask(1)
+	j := task.NewJob(a, 0, 0, rng.New(1)) // still pending
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on pending job")
+		}
+	}()
+	Analyze(&engine.Result{Jobs: []*task.Job{j}})
+}
+
+func TestTaskStatsMetRatioAndAssurance(t *testing.T) {
+	a := mkTask(1) // rho = 0.9
+	jobs := make([]*task.Job, 0, 10)
+	for i := 0; i < 9; i++ {
+		jobs = append(jobs, completed(a, float64(i), float64(i)+0.05, 10))
+	}
+	jobs = append(jobs, aborted(a, 9, 9.1))
+	r := Analyze(&engine.Result{Jobs: jobs})
+	ts := r.PerTask[0]
+	if math.Abs(ts.MetRatio()-0.9) > 1e-12 {
+		t.Fatalf("met ratio = %v", ts.MetRatio())
+	}
+	if !ts.AssuranceSatisfied() || !r.AssuranceSatisfied() {
+		t.Fatal("0.9 met ratio should satisfy rho=0.9")
+	}
+	// One more miss tips it under.
+	jobs = append(jobs, aborted(a, 10, 10.1))
+	r2 := Analyze(&engine.Result{Jobs: jobs})
+	if r2.AssuranceSatisfied() {
+		t.Fatal("9/11 should violate rho=0.9")
+	}
+}
+
+func TestMetRatioEmpty(t *testing.T) {
+	ts := &TaskStats{Task: mkTask(1)}
+	if ts.MetRatio() != 0 {
+		t.Fatal("empty met ratio != 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := &Report{Scheduler: "EUA*", AccruedUtility: 80, TotalEnergy: 30}
+	base := &Report{Scheduler: "EDF-fm", AccruedUtility: 100, TotalEnergy: 100}
+	n := Normalize(a, base)
+	if n.Scheme != "EUA*" || n.Baseline != "EDF-fm" {
+		t.Fatalf("labels: %+v", n)
+	}
+	if n.Utility != 0.8 || n.Energy != 0.3 {
+		t.Fatalf("normalized = %+v", n)
+	}
+}
+
+func TestNormalizeZeroBaseline(t *testing.T) {
+	n := Normalize(&Report{AccruedUtility: 5, TotalEnergy: 5}, &Report{})
+	if n.Utility != 0 || n.Energy != 0 {
+		t.Fatalf("zero baseline: %+v", n)
+	}
+}
+
+func TestPartialUtilityMeetsNuBound(t *testing.T) {
+	// Linear TUF with nu = 0.3: a completion accruing 40% of Umax meets
+	// the requirement, 20% does not.
+	tk := &task.Task{
+		ID: 1, Arrival: uam.Spec{A: 1, P: 0.1},
+		TUF:    tuf.NewLinear(100, 0, 0.1),
+		Demand: task.Demand{Mean: 1e6, Variance: 0},
+		Req:    task.Requirement{Nu: 0.3, Rho: 0.9},
+	}
+	good := completed(tk, 0, 0.06, 40)
+	bad := completed(tk, 0.2, 0.29, 20)
+	r := Analyze(&engine.Result{Jobs: []*task.Job{good, bad}})
+	if r.PerTask[0].Met != 1 {
+		t.Fatalf("met = %d, want 1", r.PerTask[0].Met)
+	}
+}

@@ -1,0 +1,108 @@
+// Package profile implements online estimation of task cycle-demand
+// moments. Section 2.3 of the paper assumes each task's E(Y) and Var(Y)
+// are "determined through either online or off-line profiling"; this
+// package is the online half: a Welford estimator that blends a
+// design-time prior with observed per-job cycle consumption, so the
+// Chebyshev allocation c_i tracks the task's real behaviour.
+package profile
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/stats"
+)
+
+// Estimator learns a task's demand moments from completed jobs. Until
+// MinSamples observations arrive it reports the prior; afterwards the
+// empirical moments. It is not safe for concurrent use (the simulator is
+// sequential).
+type Estimator struct {
+	priorMean, priorVar float64
+	minSamples          int
+	w                   stats.Welford
+}
+
+// New returns an estimator with the given design-time prior. minSamples
+// must be >= 1; priors must describe a valid demand (positive mean,
+// non-negative variance).
+func New(priorMean, priorVar float64, minSamples int) (*Estimator, error) {
+	if priorMean <= 0 {
+		return nil, fmt.Errorf("profile: prior mean %g must be positive", priorMean)
+	}
+	if priorVar < 0 {
+		return nil, fmt.Errorf("profile: prior variance %g must be non-negative", priorVar)
+	}
+	if minSamples < 1 {
+		return nil, fmt.Errorf("profile: minSamples %d must be >= 1", minSamples)
+	}
+	return &Estimator{priorMean: priorMean, priorVar: priorVar, minSamples: minSamples}, nil
+}
+
+// MustNew is New panicking on error, for statically valid priors.
+func MustNew(priorMean, priorVar float64, minSamples int) *Estimator {
+	e, err := New(priorMean, priorVar, minSamples)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Observe records one completed job's actual cycle consumption.
+// Non-positive observations are rejected (a job cannot consume no work).
+func (e *Estimator) Observe(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	e.w.Add(cycles)
+}
+
+// ObserveCensored records a censored observation: a job that was aborted
+// after consuming at least cycles (its true demand is unknown but no
+// smaller). It is incorporated only when it exceeds the current mean
+// estimate — smaller censored values carry no usable information — and it
+// is what lets the estimator escape the learning deadlock of a badly low
+// prior, where every job aborts and no completion is ever observed.
+func (e *Estimator) ObserveCensored(cycles float64) {
+	if cycles <= 0 || cycles <= e.Mean() {
+		return
+	}
+	e.w.Add(cycles)
+}
+
+// N returns the number of observations recorded.
+func (e *Estimator) N() int { return e.w.N() }
+
+// Ready reports whether enough observations arrived for the empirical
+// moments to supersede the prior.
+func (e *Estimator) Ready() bool { return e.w.N() >= e.minSamples }
+
+// Mean returns the current demand-mean estimate.
+func (e *Estimator) Mean() float64 {
+	if !e.Ready() {
+		return e.priorMean
+	}
+	return e.w.Mean()
+}
+
+// Variance returns the current demand-variance estimate. A freshly ready
+// estimator with a degenerate sample keeps at least the prior's relative
+// spread scaled to the empirical mean, so the Chebyshev allocation never
+// collapses on a lucky streak of identical demands.
+func (e *Estimator) Variance() float64 {
+	if !e.Ready() {
+		return e.priorVar
+	}
+	v := e.w.Variance()
+	floor := e.priorVar / e.priorMean * e.w.Mean() * 0.01
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// Reset forgets all observations, reverting to the prior.
+func (e *Estimator) Reset() { e.w.Reset() }
+
+func (e *Estimator) String() string {
+	return fmt.Sprintf("profile(n=%d, E=%.3g, Var=%.3g)", e.N(), e.Mean(), e.Variance())
+}

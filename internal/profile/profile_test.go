@@ -1,0 +1,172 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/euastar/euastar/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1e6, 1e6, 10); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		m, v float64
+		n    int
+	}{
+		{0, 1, 1},
+		{-1, 1, 1},
+		{1, -1, 1},
+		{1, 1, 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c.m, c.v, c.n); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNew(0, 0, 0)
+}
+
+func TestPriorUntilWarm(t *testing.T) {
+	e := MustNew(100, 50, 3)
+	if e.Ready() {
+		t.Fatal("fresh estimator ready")
+	}
+	if e.Mean() != 100 || e.Variance() != 50 {
+		t.Fatalf("prior = %v/%v", e.Mean(), e.Variance())
+	}
+	e.Observe(10)
+	e.Observe(10)
+	if e.Ready() || e.Mean() != 100 {
+		t.Fatal("warmed too early")
+	}
+	e.Observe(10)
+	if !e.Ready() {
+		t.Fatal("not ready after minSamples")
+	}
+	if e.Mean() != 10 {
+		t.Fatalf("empirical mean = %v", e.Mean())
+	}
+}
+
+func TestEmpiricalMoments(t *testing.T) {
+	e := MustNew(1, 1, 5)
+	src := rng.New(3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		e.Observe(src.Normal(1000, 30))
+	}
+	if e.N() != n {
+		t.Fatalf("N = %d", e.N())
+	}
+	if math.Abs(e.Mean()-1000) > 1 {
+		t.Fatalf("mean = %v", e.Mean())
+	}
+	if math.Abs(e.Variance()-900) > 50 {
+		t.Fatalf("variance = %v", e.Variance())
+	}
+}
+
+func TestVarianceFloor(t *testing.T) {
+	// Identical observations: variance would be 0, but the floor keeps a
+	// sliver of the prior's relative spread.
+	e := MustNew(100, 100, 3)
+	for i := 0; i < 10; i++ {
+		e.Observe(200)
+	}
+	if v := e.Variance(); v <= 0 {
+		t.Fatalf("variance collapsed to %v", v)
+	}
+}
+
+func TestZeroPriorVarianceAllowed(t *testing.T) {
+	e := MustNew(100, 0, 2)
+	e.Observe(50)
+	e.Observe(50)
+	if v := e.Variance(); v != 0 {
+		t.Fatalf("variance = %v, want 0 (deterministic prior, identical samples)", v)
+	}
+}
+
+func TestObserveRejectsNonPositive(t *testing.T) {
+	e := MustNew(100, 10, 1)
+	e.Observe(0)
+	e.Observe(-5)
+	if e.N() != 0 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestObserveCensoredOnlyRaises(t *testing.T) {
+	e := MustNew(100, 10, 1)
+	e.ObserveCensored(50) // below the mean: no information
+	if e.N() != 0 {
+		t.Fatalf("N = %d after uninformative censored sample", e.N())
+	}
+	e.ObserveCensored(500) // above: incorporated
+	if e.N() != 1 || e.Mean() != 500 {
+		t.Fatalf("censored sample not used: N=%d mean=%v", e.N(), e.Mean())
+	}
+	// Subsequent censored values below the new mean are again ignored.
+	e.ObserveCensored(200)
+	if e.N() != 1 {
+		t.Fatalf("N = %d", e.N())
+	}
+}
+
+func TestCensoredEscapesLowPrior(t *testing.T) {
+	// Starting from a 10× low prior, repeated censored observations of
+	// partially executed work must ratchet the estimate upward.
+	e := MustNew(1e6, 1e6, 5)
+	for i := 0; i < 10; i++ {
+		e.ObserveCensored(7e6)
+	}
+	if !e.Ready() || e.Mean() < 6e6 {
+		t.Fatalf("estimator stuck: %v", e)
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := MustNew(100, 10, 1)
+	e.Observe(5)
+	e.Reset()
+	if e.Ready() || e.Mean() != 100 {
+		t.Fatal("reset did not revert to prior")
+	}
+}
+
+func TestString(t *testing.T) {
+	if MustNew(1, 1, 1).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestQuickMeanBetweenExtremes(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		src := rng.New(seed)
+		e := MustNew(100, 10, 1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := src.Uniform(1, 1000)
+			e.Observe(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		m := e.Mean()
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator and the variate transforms used by the simulator.
+//
+// The simulator must be reproducible across platforms and Go releases, so
+// instead of math/rand (whose stream is only stable per Go version for a
+// given seed) we implement SplitMix64, a well-studied 64-bit generator with
+// a one-word state, and derive all variates from it explicitly.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0; prefer New so that
+// distinct seeds are well mixed.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Two Sources created with the same
+// seed produce identical streams on every platform.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split returns a new Source whose stream is independent (for simulation
+// purposes) of the receiver's. It advances the receiver by one step.
+func (s *Source) Split() *Source {
+	// Mix the next output back through the increment so sibling streams
+	// diverge immediately.
+	return New(s.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		hi, lo := bits.Mul64(s.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Uniform returns a uniform variate in [lo, hi). It panics if hi < lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Uniform called with hi < lo")
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation, generated with the Box–Muller transform. It panics if
+// stddev < 0.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	if stddev < 0 {
+		panic("rng: Normal called with stddev < 0")
+	}
+	// Box–Muller: draw u1 in (0,1] to keep Log finite.
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// TruncNormal returns a normal variate truncated from below at floor by
+// resampling (falling back to floor after a bounded number of attempts, so
+// pathological parameters cannot loop forever).
+func (s *Source) TruncNormal(mean, stddev, floor float64) float64 {
+	for i := 0; i < 64; i++ {
+		if v := s.Normal(mean, stddev); v >= floor {
+			return v
+		}
+	}
+	return floor
+}
+
+// Exponential returns an exponential variate with the given rate (1/mean).
+// It panics if rate <= 0.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential called with rate <= 0")
+	}
+	return -math.Log(1-s.Float64()) / rate
+}
+
+// Poisson returns a Poisson variate with the given mean using Knuth's
+// method for small means and a normal approximation above 64 (adequate for
+// workload synthesis). It panics if mean < 0.
+func (s *Source) Poisson(mean float64) int {
+	if mean < 0 {
+		panic("rng: Poisson called with mean < 0")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher–Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, as in math/rand.Shuffle.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

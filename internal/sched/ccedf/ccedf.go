@@ -1,0 +1,92 @@
+// Package ccedf implements cycle-conserving EDF (Pillai & Shin, SOSP'01,
+// the paper's reference [13]) adapted to the task model of the paper: job
+// deadlines are critical times, and — as Section 5 specifies for the
+// baselines — the per-job cycle budgets are "the cycles allocated by EUA*"
+// (the Chebyshev allocations c_i) rather than worst cases.
+//
+// ccEDF tracks per-task utilization: when a job is released the task
+// contributes its full allocated rate C_i/D_i; when a job completes having
+// used fewer cycles than allocated, the task's contribution shrinks to the
+// actually-used rate until the next release. The frequency is the lowest
+// table entry covering the summed utilization.
+package ccedf
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Scheduler is cycle-conserving EDF with DVS.
+type Scheduler struct {
+	ctx   *sched.Context
+	util  map[int]float64 // task ID → current utilization contribution (cycles/sec)
+	abort bool
+}
+
+// New returns a ccEDF scheduler. abortInfeasible controls whether jobs
+// that cannot meet their termination time at f_m are aborted.
+func New(abortInfeasible bool) *Scheduler {
+	return &Scheduler{abort: abortInfeasible}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.abort {
+		return "ccEDF"
+	}
+	return "ccEDF-NA"
+}
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("ccedf: %w", err)
+	}
+	s.ctx = ctx
+	s.util = make(map[int]float64, len(ctx.Tasks))
+	// Before any release a task contributes its static rate (conservative,
+	// as in the original algorithm's initialization U_i = C_i/T_i).
+	for _, t := range ctx.Tasks {
+		s.util[t.ID] = t.MinFrequency()
+	}
+	return nil
+}
+
+// OnRelease implements engine.EventObserver: restore the full allocated
+// rate at each release.
+func (s *Scheduler) OnRelease(now float64, j *task.Job) {
+	s.util[j.Task.ID] = j.Task.MinFrequency()
+}
+
+// OnComplete implements engine.EventObserver: shrink the task's rate to
+// the cycles actually consumed when no further jobs of the task are
+// pending.
+func (s *Scheduler) OnComplete(now float64, j *task.Job) {
+	s.util[j.Task.ID] = float64(j.Task.Arrival.A) * j.Executed / j.Task.CriticalTime()
+}
+
+// Decide implements sched.Scheduler.
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+	var live []*task.Job
+	var aborts []*task.Job
+	for _, j := range ready {
+		if s.abort && !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	sched.ByCriticalTime(live)
+	total := 0.0
+	for _, u := range s.util {
+		total += u
+	}
+	return sched.Decision{Run: live[0], Freq: s.ctx.Freqs.ClampSelect(total), Abort: aborts}
+}

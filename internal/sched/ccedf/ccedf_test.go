@@ -1,0 +1,149 @@
+package ccedf_test
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/ccedf"
+	"github.com/euastar/euastar/internal/sched/edf"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func stepTask(id int, p, height, mean float64) *task.Task {
+	return &task.Task{
+		ID: id, Arrival: uam.Spec{A: 1, P: p},
+		TUF:    tuf.NewStep(height, p),
+		Demand: task.Demand{Mean: mean, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func ctx(ts task.Set) *sched.Context {
+	ft := cpu.PowerNowK6()
+	return &sched.Context{Tasks: ts, Freqs: ft, Energy: energy.MustPreset(energy.E1, ft.Max())}
+}
+
+func TestNames(t *testing.T) {
+	if ccedf.New(true).Name() != "ccEDF" || ccedf.New(false).Name() != "ccEDF-NA" {
+		t.Fatal("names")
+	}
+}
+
+func TestInitValidates(t *testing.T) {
+	if err := ccedf.New(true).Init(&sched.Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestFrequencyTracksStaticUtilization(t *testing.T) {
+	// Two tasks each at ~27% of f_m: the summed utilization (~5.4e8)
+	// selects 550 MHz while both are fresh.
+	a := stepTask(1, 0.1, 10, 27e6)
+	b := stepTask(2, 0.1, 10, 27e6)
+	s := ccedf.New(true)
+	if err := s.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	ja := task.NewJob(a, 0, 0, rng.New(1))
+	jb := task.NewJob(b, 0, 0, rng.New(2))
+	s.OnRelease(0, ja)
+	s.OnRelease(0, jb)
+	d := s.Decide(0, []*task.Job{ja, jb})
+	if d.Freq != 550e6 {
+		t.Fatalf("freq = %v, want 550 MHz", d.Freq)
+	}
+	if d.Run != ja && d.Run != jb {
+		t.Fatal("no job selected")
+	}
+}
+
+func TestCompletionConservesCycles(t *testing.T) {
+	// After a job completes using fewer cycles than allocated, the task's
+	// utilization contribution shrinks and the frequency drops.
+	a := stepTask(1, 0.1, 10, 40e6)
+	b := stepTask(2, 0.1, 10, 40e6)
+	s := ccedf.New(true)
+	if err := s.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	ja := task.NewJob(a, 0, 0, rng.New(1))
+	jb := task.NewJob(b, 0, 0, rng.New(2))
+	s.OnRelease(0, ja)
+	s.OnRelease(0, jb)
+	before := s.Decide(0, []*task.Job{ja, jb}).Freq
+
+	// ja completes early having used only a quarter of its allocation.
+	ja.Executed = 10e6
+	s.OnComplete(0.02, ja)
+	after := s.Decide(0.02, []*task.Job{jb}).Freq
+	if after >= before {
+		t.Fatalf("frequency did not drop after early completion: %v → %v", before, after)
+	}
+}
+
+func TestOverloadSelectsMax(t *testing.T) {
+	a := stepTask(1, 0.1, 10, 80e6)
+	b := stepTask(2, 0.1, 10, 80e6)
+	s := ccedf.New(true)
+	if err := s.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	ja := task.NewJob(a, 0, 0, rng.New(1))
+	jb := task.NewJob(b, 0, 0, rng.New(2))
+	s.OnRelease(0, ja)
+	s.OnRelease(0, jb)
+	if d := s.Decide(0, []*task.Job{ja, jb}); d.Freq != 1000e6 {
+		t.Fatalf("overload freq = %v", d.Freq)
+	}
+}
+
+func TestEndToEndMeetsDeadlinesAndSavesEnergy(t *testing.T) {
+	src := rng.New(5)
+	ts := make(task.Set, 3)
+	for i := range ts {
+		p := src.Uniform(0.04, 0.15)
+		ts[i] = stepTask(i+1, p, 10, 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	ts = ts.ScaleToLoad(0.5, ft.Max())
+	run := func(s sched.Scheduler) *engine.Result {
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: s, Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 2.0, Seed: 9, AbortAtTermination: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rcc := run(ccedf.New(true))
+	redf := run(edf.New(true))
+	for _, j := range rcc.Jobs {
+		if j.State != task.Completed {
+			t.Fatalf("ccEDF failed job %v", j)
+		}
+	}
+	if rcc.TotalEnergy >= redf.TotalEnergy {
+		t.Fatalf("ccEDF energy %v >= EDF@fm %v", rcc.TotalEnergy, redf.TotalEnergy)
+	}
+}
+
+func TestNAVariantKeepsInfeasible(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 50e6)
+	s := ccedf.New(false)
+	if err := s.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	s.OnRelease(0, j)
+	if d := s.Decide(0.06, []*task.Job{j}); len(d.Abort) != 0 || d.Run != j {
+		t.Fatalf("decision = %+v", d)
+	}
+}

@@ -1,0 +1,85 @@
+// Package dasa implements Locke's Dependent Activity Scheduling Algorithm
+// (best-effort real-time scheduling, the independent-task variant) as an
+// additional utility-accrual baseline without DVS. The paper cites Locke
+// [10] for the domino effect that UA schedulers avoid; DASA is the
+// canonical UA scheduler EUA*'s sequencing descends from, so it isolates
+// what the energy term in the UER adds.
+//
+// DASA orders jobs by potential utility density U/c (utility per cycle,
+// no energy term), greedily inserts them in deadline order keeping the
+// schedule feasible, and always runs at f_m.
+package dasa
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Scheduler is independent-task DASA at fixed f_m.
+type Scheduler struct {
+	ctx *sched.Context
+}
+
+// New returns a DASA scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "DASA" }
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("dasa: %w", err)
+	}
+	s.ctx = ctx
+	return nil
+}
+
+// Decide implements sched.Scheduler.
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+	var live []*task.Job
+	var aborts []*task.Job
+	density := make(map[*task.Job]float64, len(ready))
+	for _, j := range ready {
+		if !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+		c := j.EstimatedRemaining()
+		density[j] = j.UtilityAt(now+c/fm) / c
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	sched.ByCriticalTime(live)
+	// Stable sort by density, non-increasing (insertion sort keeps the
+	// critical-time tie-break).
+	for i := 1; i < len(live); i++ {
+		j := live[i]
+		k := i - 1
+		for k >= 0 && density[live[k]] < density[j] {
+			live[k+1] = live[k]
+			k--
+		}
+		live[k+1] = j
+	}
+	var order []*task.Job
+	for _, j := range live {
+		if density[j] <= 0 {
+			break
+		}
+		tent := sched.InsertByCritical(append([]*task.Job(nil), order...), j)
+		if sched.Feasible(tent, now, fm) {
+			order = tent
+		}
+	}
+	if len(order) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	return sched.Decision{Run: order[0], Freq: fm, Abort: aborts}
+}

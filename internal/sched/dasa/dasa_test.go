@@ -1,0 +1,121 @@
+package dasa_test
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/dasa"
+	"github.com/euastar/euastar/internal/sched/edf"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func stepTask(id int, p, height, mean float64) *task.Task {
+	return &task.Task{
+		ID: id, Arrival: uam.Spec{A: 1, P: p},
+		TUF:    tuf.NewStep(height, p),
+		Demand: task.Demand{Mean: mean, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func ctx(ts task.Set) *sched.Context {
+	ft := cpu.PowerNowK6()
+	return &sched.Context{Tasks: ts, Freqs: ft, Energy: energy.MustPreset(energy.E1, ft.Max())}
+}
+
+func TestName(t *testing.T) {
+	if dasa.New().Name() != "DASA" {
+		t.Fatal("name")
+	}
+}
+
+func TestInitValidates(t *testing.T) {
+	if err := dasa.New().Init(&sched.Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestAlwaysMaxFrequency(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 1e6)
+	s := dasa.New()
+	if err := s.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	if d := s.Decide(0, []*task.Job{j}); d.Freq != 1000e6 {
+		t.Fatalf("freq = %v", d.Freq)
+	}
+}
+
+func TestOverloadShedsLowDensity(t *testing.T) {
+	hi := stepTask(1, 0.1, 100, 60e6)
+	lo := stepTask(2, 0.1, 1, 60e6)
+	s := dasa.New()
+	if err := s.Init(ctx(task.Set{hi, lo})); err != nil {
+		t.Fatal(err)
+	}
+	jHi := task.NewJob(hi, 0, 0, rng.New(1))
+	jLo := task.NewJob(lo, 0, 0, rng.New(2))
+	if d := s.Decide(0, []*task.Job{jLo, jHi}); d.Run != jHi {
+		t.Fatalf("ran %v, want the dense job", d.Run)
+	}
+}
+
+// TestOverloadBeatsEDF: DASA's raison d'être — during overloads it accrues
+// more utility than plain EDF by favouring importance over urgency.
+func TestOverloadBeatsEDF(t *testing.T) {
+	src := rng.New(21)
+	ts := make(task.Set, 5)
+	for i := range ts {
+		p := src.Uniform(0.03, 0.12)
+		ts[i] = stepTask(i+1, p, 1+float64(i*i*25), 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	ts = ts.ScaleToLoad(1.6, ft.Max())
+	run := func(s sched.Scheduler) *metrics.Report {
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: s, Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 2.0, Seed: 6, AbortAtTermination: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Analyze(res)
+	}
+	if du, eu := run(dasa.New()).AccruedUtility, run(edf.New(true)).AccruedUtility; du <= eu {
+		t.Fatalf("DASA %v <= EDF %v during overload", du, eu)
+	}
+}
+
+func TestUnderloadMatchesEDF(t *testing.T) {
+	src := rng.New(23)
+	ts := make(task.Set, 3)
+	for i := range ts {
+		p := src.Uniform(0.04, 0.15)
+		ts[i] = stepTask(i+1, p, src.Uniform(1, 70), 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	ts = ts.ScaleToLoad(0.6, ft.Max())
+	run := func(s sched.Scheduler) float64 {
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: s, Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 1.0, Seed: 2, AbortAtTermination: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Analyze(res).AccruedUtility
+	}
+	if du, eu := run(dasa.New()), run(edf.New(true)); du != eu {
+		t.Fatalf("underload: DASA %v != EDF %v", du, eu)
+	}
+}

@@ -1,0 +1,65 @@
+// Package edf implements Earliest Deadline First (Horn's algorithm) on
+// absolute critical times, always executing at the highest frequency f_m.
+//
+// This is the paper's normalization baseline: "EDF that always uses the
+// highest frequency". With abortion enabled it drops jobs that can no
+// longer meet their termination time even at f_m; without abortion it
+// exhibits the classic domino effect during overloads.
+package edf
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Scheduler is EDF at fixed f_m.
+type Scheduler struct {
+	ctx   *sched.Context
+	abort bool
+}
+
+// New returns an EDF scheduler. abortInfeasible selects whether jobs that
+// cannot finish by their termination time at f_m are aborted (true) or
+// left to run uselessly (false — the no-abort "NA" behaviour).
+func New(abortInfeasible bool) *Scheduler {
+	return &Scheduler{abort: abortInfeasible}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.abort {
+		return "EDF-fm"
+	}
+	return "EDF-fm-NA"
+}
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("edf: %w", err)
+	}
+	s.ctx = ctx
+	return nil
+}
+
+// Decide implements sched.Scheduler.
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+	var live []*task.Job
+	var aborts []*task.Job
+	for _, j := range ready {
+		if s.abort && !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	sched.ByCriticalTime(live)
+	return sched.Decision{Run: live[0], Freq: fm, Abort: aborts}
+}

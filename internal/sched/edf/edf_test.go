@@ -1,0 +1,176 @@
+package edf_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/edf"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func stepTask(id int, p, height, mean float64) *task.Task {
+	return &task.Task{
+		ID: id, Arrival: uam.Spec{A: 1, P: p},
+		TUF:    tuf.NewStep(height, p),
+		Demand: task.Demand{Mean: mean, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func ctx(ts task.Set) *sched.Context {
+	ft := cpu.PowerNowK6()
+	return &sched.Context{Tasks: ts, Freqs: ft, Energy: energy.MustPreset(energy.E1, ft.Max())}
+}
+
+func TestNames(t *testing.T) {
+	if edf.New(true).Name() != "EDF-fm" {
+		t.Fatal("abort name")
+	}
+	if edf.New(false).Name() != "EDF-fm-NA" {
+		t.Fatal("NA name")
+	}
+}
+
+func TestInitValidates(t *testing.T) {
+	if err := edf.New(true).Init(&sched.Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+	if err := edf.New(true).Init(ctx(task.Set{stepTask(1, 0.1, 10, 1e6)})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlwaysHighestFrequency(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 1e6)
+	s := edf.New(true)
+	if err := s.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	d := s.Decide(0, []*task.Job{j})
+	if d.Freq != 1000e6 || d.Run != j {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestEarliestCriticalTimeFirst(t *testing.T) {
+	a, b := stepTask(1, 0.2, 10, 1e6), stepTask(2, 0.05, 10, 1e6)
+	s := edf.New(true)
+	if err := s.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	ja := task.NewJob(a, 0, 0, rng.New(1))
+	jb := task.NewJob(b, 0, 0, rng.New(2))
+	if d := s.Decide(0, []*task.Job{ja, jb}); d.Run != jb {
+		t.Fatalf("ran %v, want earliest-critical-time job", d.Run)
+	}
+}
+
+func TestAbortVariantDropsInfeasible(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 50e6)
+	s := edf.New(true)
+	if err := s.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	d := s.Decide(0.06, []*task.Job{j})
+	if len(d.Abort) != 1 || d.Run != nil {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+func TestNAVariantNeverAborts(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 50e6)
+	s := edf.New(false)
+	if err := s.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	d := s.Decide(0.06, []*task.Job{j})
+	if len(d.Abort) != 0 || d.Run != j {
+		t.Fatalf("decision = %+v", d)
+	}
+}
+
+// TestDominoEffect reproduces Locke's observation the paper cites: during
+// overloads EDF without abortion suffers domino misses and accrues almost
+// no utility, while the abort variant keeps accruing.
+func TestDominoEffect(t *testing.T) {
+	src := rng.New(7)
+	ts := make(task.Set, 4)
+	for i := range ts {
+		p := src.Uniform(0.03, 0.1)
+		ts[i] = stepTask(i+1, p, 10, 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	ts = ts.ScaleToLoad(1.7, ft.Max())
+	run := func(s sched.Scheduler) *metrics.Report {
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: s, Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 2.0, Seed: 3, AbortAtTermination: s.Name() != "EDF-fm-NA",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Analyze(res)
+	}
+	abortRep := run(edf.New(true))
+	naRep := run(edf.New(false))
+	if naRep.UtilityRatio() > 0.5*abortRep.UtilityRatio() {
+		t.Fatalf("no domino effect: NA %v vs abort %v", naRep.UtilityRatio(), abortRep.UtilityRatio())
+	}
+}
+
+// TestEDFOptimalUnderload: with load < 1 and deterministic demands, EDF at
+// f_m completes every job by its critical time (Horn's optimality).
+func TestEDFOptimalUnderload(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		src := rng.New(seed)
+		ts := make(task.Set, 3)
+		for i := range ts {
+			p := src.Uniform(0.02, 0.2)
+			ts[i] = stepTask(i+1, p, src.Uniform(1, 70), 1e6)
+		}
+		ft := cpu.PowerNowK6()
+		ts = ts.ScaleToLoad(0.9, ft.Max())
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: edf.New(true), Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 1.0, Seed: seed, AbortAtTermination: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range res.Jobs {
+			if j.State != task.Completed || j.FinishedAt > j.AbsCritical+1e-9 {
+				t.Fatalf("seed %d: EDF missed %v", seed, j)
+			}
+		}
+	}
+}
+
+func TestEnergyIsMaxFrequencyEnergy(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 5e6)
+	ft := cpu.PowerNowK6()
+	em := energy.MustPreset(energy.E1, ft.Max())
+	res, err := engine.Run(engine.Config{
+		Tasks: task.Set{tk}, Scheduler: edf.New(true), Freqs: ft,
+		Energy: em, Horizon: 1.0, Seed: 1, AbortAtTermination: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Cycles * em.PerCycle(ft.Max())
+	if math.Abs(res.TotalEnergy-want) > 1e-6*want {
+		t.Fatalf("energy = %v, want all cycles at f_m = %v", res.TotalEnergy, want)
+	}
+}

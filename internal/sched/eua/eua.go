@@ -1,0 +1,446 @@
+// Package eua implements EUA*, the paper's contribution: an energy-
+// efficient utility-accrual scheduler for TUF-constrained tasks arriving
+// under the Unimodal Arbitrary Arrival Model (Algorithm 1), with the
+// stochastic DVS technique decideFreq (Algorithm 2).
+//
+// At every scheduling event EUA*:
+//
+//  1. aborts jobs that cannot meet their termination time even at the
+//     highest frequency f_m;
+//  2. computes each remaining job's Utility and Energy Ratio
+//     UER = U(t + c/f_m) / (c · E(f_m)), the utility accrued per unit
+//     energy;
+//  3. greedily inserts jobs in non-increasing UER order into a
+//     critical-time-ordered schedule, keeping it feasible at f_m;
+//  4. executes the head job at the frequency chosen by decideFreq —
+//     the lowest discrete frequency that runs all non-deferrable work
+//     before the earliest critical time — raised, if necessary, to the
+//     task's offline UER-optimal frequency f^o.
+package eua
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Option configures a Scheduler; the zero configuration is the paper's
+// EUA*. Options disable individual mechanisms for the ablation studies
+// called out in DESIGN.md.
+type Option func(*Scheduler)
+
+// WithoutDVS forces execution at f_m, preserving EUA*'s sequencing but
+// disabling frequency scaling. This is the "EUA* without DVS"
+// normalization baseline of Figure 3.
+func WithoutDVS() Option { return func(s *Scheduler) { s.noDVS = true } }
+
+// WithoutUERInsertion replaces the UER-greedy schedule construction with
+// plain critical-time (EDF) ordering, keeping the abort logic and DVS.
+func WithoutUERInsertion() Option { return func(s *Scheduler) { s.noUER = true } }
+
+// WithoutFoClamp disables the final f_exe = max(f_exe, f^o) step, letting
+// decideFreq's choice stand even below the task's UER-optimal frequency.
+func WithoutFoClamp() Option { return func(s *Scheduler) { s.noFoClamp = true } }
+
+// WithoutWindowedDemand makes decideFreq consider only each task's
+// earliest pending job instead of the full windowed demand C_i^r,
+// quantifying the value of the UAM-aware bookkeeping.
+func WithoutWindowedDemand() Option { return func(s *Scheduler) { s.noWindowed = true } }
+
+// WithStrictBreak stops the greedy insertion at the first job whose
+// insertion would make the schedule infeasible (a literal reading of
+// Algorithm 1 line 18) instead of skipping that job and continuing, the
+// DASA-style behaviour this package defaults to.
+func WithStrictBreak() Option { return func(s *Scheduler) { s.strictBreak = true } }
+
+// WithBudgetAwareness makes EUA* ration a finite energy budget (the
+// paper's first named future work, in the spirit of the authors' follow-up
+// EBUA work). lookahead is the remaining mission time, in seconds, the
+// battery should survive; pass 0 to default to a few windows. When the
+// projected lifetime at the full fleet's planned energy rate falls below
+// the lookahead, admission switches to utility-per-energy rationing: a
+// job is scheduled only if its UER is at least the energy-weighted
+// average of the higher-UER work already admitted — under a binding
+// battery, total expected utility budget·(ΣU/ΣE) only grows for such
+// jobs. Rationed jobs stay pending and abort at their termination times.
+func WithBudgetAwareness(lookahead float64) Option {
+	return func(s *Scheduler) {
+		s.budgetAware = true
+		s.budgetLookahead = lookahead
+	}
+}
+
+// WithoutPhantomReservation disables the UAM phantom-arrival reservation
+// in decideFreq (see Scheduler), reverting to the literal Algorithm 2,
+// which reserves only rate capacity for tasks without pending jobs. The
+// literal form is measurably more aggressive: at loads around 0.7–0.8 it
+// occasionally defers so much work that an idle task's next burst causes a
+// transient overload and a critical-time miss — violating the underload
+// assurances of Section 4 that the reservation restores.
+func WithoutPhantomReservation() Option { return func(s *Scheduler) { s.noPhantom = true } }
+
+// Scheduler is the EUA* algorithm. Create it with New and use one instance
+// per simulation run.
+type Scheduler struct {
+	ctx *sched.Context
+	fo  map[int]float64 // task ID → offline UER-optimal frequency f^o
+
+	// arrivals records, per task, the last a_i release times. Under UAM
+	// ⟨a, P⟩ the next release cannot occur before (a-th most recent
+	// release) + P, which bounds when an idle task can next demand work —
+	// the phantom-arrival reservation decideFreq uses to stay safe against
+	// the model's adversary.
+	arrivals map[int][]float64
+
+	noDVS       bool
+	noUER       bool
+	noFoClamp   bool
+	noWindowed  bool
+	noPhantom   bool
+	strictBreak bool
+
+	// Budget state (WithBudgetAwareness), fed by the engine via OnEnergy.
+	budgetAware     bool
+	budgetLookahead float64
+	spentEnergy     float64
+	energyBudget    float64
+	budgetKnown     bool
+	// fleetUER is the fleet's energy-weighted average fresh-job UER, the
+	// admission threshold while the battery binds (computed at Init).
+	fleetUER float64
+}
+
+// New returns an EUA* scheduler with the given options.
+func New(opts ...Option) *Scheduler {
+	s := &Scheduler{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	switch {
+	case s.noDVS:
+		return "EUA*-noDVS"
+	case s.noUER:
+		return "EUA*-noUER"
+	case s.noFoClamp:
+		return "EUA*-noFo"
+	case s.noWindowed:
+		return "EUA*-noWin"
+	case s.budgetAware:
+		return "EUA*-budget"
+	default:
+		return "EUA*"
+	}
+}
+
+// Init implements sched.Scheduler: the paper's offlineComputing(). For
+// every task it computes the UER-optimal frequency
+//
+//	f^o_i = argmax_{f ∈ table} U_i(c_i/f) / (c_i · E(f))
+//
+// — the frequency at which executing one fresh job of T_i accrues the most
+// utility per unit energy. Per-task critical times D_i and allocations c_i
+// are derived on demand from the task model (Section 3.1).
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("eua: %w", err)
+	}
+	s.ctx = ctx
+	s.fo = make(map[int]float64, len(ctx.Tasks))
+	s.arrivals = make(map[int][]float64, len(ctx.Tasks))
+	for _, t := range ctx.Tasks {
+		s.fo[t.ID] = s.optimalFrequency(t)
+	}
+	if s.budgetAware {
+		fm := ctx.Freqs.Max()
+		sumU, sumE := 0.0, 0.0
+		for _, t := range ctx.Tasks {
+			c := t.CycleAllocation()
+			e := float64(t.Arrival.A) * c * ctx.Energy.PerCycle(fm)
+			sumU += float64(t.Arrival.A) * t.TUF.Utility(c/fm)
+			sumE += e
+		}
+		if sumE > 0 {
+			s.fleetUER = sumU / sumE
+		}
+	}
+	return nil
+}
+
+// OnRelease implements engine.EventObserver: record the release so the
+// phantom-arrival reservation knows the earliest legal next release.
+func (s *Scheduler) OnRelease(now float64, j *task.Job) {
+	id := j.Task.ID
+	h := append(s.arrivals[id], now)
+	if max := j.Task.Arrival.A; len(h) > max {
+		h = h[len(h)-max:]
+	}
+	s.arrivals[id] = h
+}
+
+// OnComplete implements engine.EventObserver (no-op; releases are all the
+// history the reservation needs).
+func (s *Scheduler) OnComplete(now float64, j *task.Job) {}
+
+// OnEnergy implements engine.BudgetObserver.
+func (s *Scheduler) OnEnergy(spent, budget float64) {
+	s.spentEnergy, s.energyBudget, s.budgetKnown = spent, budget, true
+}
+
+// plannedCost estimates the energy a job's remaining work will consume at
+// its UER-optimal frequency (the cheapest sensible execution plan).
+func (s *Scheduler) plannedCost(j *task.Job) float64 {
+	f := s.fo[j.Task.ID]
+	return j.EstimatedRemaining() * s.ctx.Energy.PerCycle(f)
+}
+
+// energyConstrainedWindows is the default look-ahead of the budget
+// rationing when the caller gives no mission horizon: rationing engages
+// when the projected battery lifetime at full admission drops below this
+// many of the longest task windows.
+const energyConstrainedWindows = 4
+
+// energyConstrained reports whether the remaining budget is the binding
+// constraint: at the full fleet's planned energy rate, the battery would
+// die within the protected look-ahead.
+func (s *Scheduler) energyConstrained(budgetLeft float64) bool {
+	rate, maxP := 0.0, 0.0
+	for _, t := range s.ctx.Tasks {
+		rate += t.WindowCycles() * s.ctx.Energy.PerCycle(s.fo[t.ID]) / t.Arrival.P
+		if t.Arrival.P > maxP {
+			maxP = t.Arrival.P
+		}
+	}
+	lookahead := s.budgetLookahead
+	if lookahead <= 0 {
+		lookahead = energyConstrainedWindows * maxP
+	}
+	return rate > 0 && budgetLeft/rate < lookahead
+}
+
+// nextPossibleArrival returns the earliest instant a new job of t may
+// legally be released, and how many instances may arrive simultaneously
+// then, given the recorded history and the UAM bound.
+func (s *Scheduler) nextPossibleArrival(now float64, t *task.Task) (at float64, count int) {
+	h := s.arrivals[t.ID]
+	a := t.Arrival.A
+	if len(h) < a {
+		// Fewer than a recorded releases: the window constraint is not yet
+		// binding; a − len(h) instances could arrive right now.
+		return now, a - len(h)
+	}
+	at = h[len(h)-a] + t.Arrival.P
+	if at < now {
+		at = now
+	}
+	// At time `at`, releases within (at − P, at] count against the bound.
+	recent := 0
+	for _, r := range h {
+		if r > at-t.Arrival.P {
+			recent++
+		}
+	}
+	return at, a - recent
+}
+
+func (s *Scheduler) optimalFrequency(t *task.Task) float64 {
+	c := t.CycleAllocation()
+	best, bestUER := s.ctx.Freqs.Max(), math.Inf(-1)
+	// Iterate ascending so that ties resolve to the lowest (cheapest)
+	// frequency.
+	for _, f := range s.ctx.Freqs {
+		u := t.TUF.Utility(c / f)
+		uer := u / (c * s.ctx.Energy.PerCycle(f))
+		if uer > bestUER {
+			best, bestUER = f, uer
+		}
+	}
+	if bestUER <= 0 {
+		// No frequency yields positive utility for a fresh job (the task
+		// is infeasible in isolation); fall back to f_m.
+		return s.ctx.Freqs.Max()
+	}
+	return best
+}
+
+// UER returns job j's Utility and Energy Ratio at time now evaluated at
+// the highest frequency, as in Algorithm 1 line 11:
+// U_J(now + c/f_m) / (E(f_m) · c).
+func (s *Scheduler) UER(now float64, j *task.Job) float64 {
+	c := j.EstimatedRemaining()
+	fm := s.ctx.Freqs.Max()
+	return j.UtilityAt(now+c/fm) / (c * s.ctx.Energy.PerCycle(fm))
+}
+
+// Decide implements sched.Scheduler (Algorithm 1).
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+
+	// Line 9–11: abort infeasible jobs, compute UERs of the rest.
+	var live []*task.Job
+	var aborts []*task.Job
+	uer := make(map[*task.Job]float64, len(ready))
+	for _, j := range ready {
+		if !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+		uer[j] = s.UER(now, j)
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+
+	// Line 12: σ_tmp := sortByUER(J_r), non-increasing, deterministic
+	// tie-break by critical time.
+	sched.ByCriticalTime(live)
+	stableSortByUERDesc(live, uer)
+
+	// Lines 13–18: greedy feasible insertion in critical-time order.
+	var order []*task.Job
+	if s.noUER {
+		// Ablation: plain EDF order over all live jobs.
+		order = append(order, live...)
+		sched.ByCriticalTime(order)
+	} else {
+		committed := 0.0
+		budgetLeft := math.Inf(1)
+		constrained := false
+		if s.budgetAware && s.budgetKnown {
+			budgetLeft = s.energyBudget - s.spentEnergy
+			constrained = s.energyConstrained(budgetLeft)
+		}
+		for _, j := range live {
+			if uer[j] <= 0 {
+				break // sorted: no later job has positive UER
+			}
+			cost := 0.0
+			if s.budgetAware {
+				cost = s.plannedCost(j)
+				if committed+cost > budgetLeft {
+					// The battery cannot pay for this job on top of the
+					// higher-UER work already committed: ration it out
+					// (it stays pending and may abort at its termination).
+					continue
+				}
+				// While the battery binds, expected mission utility is
+				// budget·(ΣU/ΣE): spending on work below the fleet's
+				// energy-weighted average utility-per-energy dilutes it —
+				// those joules are worth more on the better tasks' future
+				// jobs.
+				if constrained && uer[j] < s.fleetUER {
+					continue
+				}
+			}
+			tent := sched.InsertByCritical(append([]*task.Job(nil), order...), j)
+			if sched.Feasible(tent, now, fm) {
+				order = tent
+				committed += cost
+			} else if s.strictBreak {
+				break
+			}
+		}
+	}
+	if len(order) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+
+	// Line 19: the selected job is the head of the feasible schedule.
+	jexe := order[0]
+
+	// Lines 20–21: decide the execution frequency.
+	fexe := fm
+	if !s.noDVS {
+		fexe = s.decideFreq(now, live, jexe)
+	}
+	return sched.Decision{Run: jexe, Freq: fexe, Abort: aborts}
+}
+
+// decideFreq implements Algorithm 2: the stochastic DVS technique.
+func (s *Scheduler) decideFreq(now float64, live []*task.Job, jexe *task.Job) float64 {
+	views := sched.EarliestByTask(live)
+	entries := make([]sched.LookAheadEntry, 0, len(s.ctx.Tasks))
+	for _, t := range s.ctx.Tasks {
+		v, ok := views[t.ID]
+		if !ok {
+			// No pending invocation. The UAM adversary may release the
+			// task's next burst at the earliest instant its history
+			// permits; reserve actual cycles for that phantom arrival (not
+			// just rate capacity) so deferral cannot overcommit the
+			// processor right before the burst lands.
+			entry := sched.LookAheadEntry{
+				AbsCritical: now + t.CriticalTime(),
+				StaticUtil:  t.MinFrequency(),
+			}
+			if !s.noPhantom {
+				at, count := s.nextPossibleArrival(now, t)
+				entry.AbsCritical = at + t.CriticalTime()
+				entry.Remaining = float64(count) * t.CycleAllocation()
+			}
+			entries = append(entries, entry)
+			continue
+		}
+		remaining := sched.WindowRemaining(t, v)
+		if s.noWindowed {
+			remaining = v.Earliest.EstimatedRemaining()
+		}
+		entries = append(entries, sched.LookAheadEntry{
+			AbsCritical: v.Earliest.AbsCritical,
+			Remaining:   remaining,
+			StaticUtil:  t.MinFrequency(),
+		})
+		if !s.noPhantom {
+			// Reserve the next window's burst as well: the static rate
+			// term spreads that demand fluidly, but the adversary delivers
+			// it as a lump whose critical time can precede other tasks'
+			// already-pending work. StaticUtil stays with the entry above
+			// so capacity is not double-counted.
+			if at, count := s.nextPossibleArrival(now, t); count > 0 {
+				entries = append(entries, sched.LookAheadEntry{
+					AbsCritical: at + t.CriticalTime(),
+					Remaining:   float64(count) * t.CycleAllocation(),
+					StaticUtil:  0,
+				})
+			}
+		}
+	}
+	fm := s.ctx.Freqs.Max()
+	req := sched.LookAheadFrequency(now, fm, entries)
+	if req > fm {
+		req = fm // Algorithm 2 line 9: cap at the highest frequency.
+	}
+	fexe := s.ctx.Freqs.ClampSelect(req)
+	if !s.noFoClamp {
+		// Line 11: never run the selected job below its UER-optimal
+		// frequency — "we cannot decrease f_exe, but may increase it to
+		// maximize the system-level energy efficiency".
+		if fo := s.fo[jexe.Task.ID]; fo > fexe {
+			fexe = fo
+		}
+	}
+	return fexe
+}
+
+// stableSortByUERDesc sorts jobs by UER non-increasing, preserving the
+// existing (critical-time) order among equal UERs.
+func stableSortByUERDesc(jobs []*task.Job, uer map[*task.Job]float64) {
+	// Insertion sort keeps stability without allocating; job counts per
+	// event are small (tens).
+	for i := 1; i < len(jobs); i++ {
+		j := jobs[i]
+		k := i - 1
+		for k >= 0 && uer[jobs[k]] < uer[j] {
+			jobs[k+1] = jobs[k]
+			k--
+		}
+		jobs[k+1] = j
+	}
+}

@@ -1,0 +1,120 @@
+// Package gus implements GUS — Generic Utility Scheduling (Li &
+// Ravindran) — the utility-accrual algorithm of the same research line
+// that EUA* descends from, included as an additional UA baseline that is
+// *dependency-aware*: a job's figure of merit is the Potential Utility
+// Density (PUD) of its whole blocking chain, the utility the system gains
+// per cycle by executing everything needed to let the job finish.
+//
+// GUS runs at the highest frequency (no DVS); compared against EUA* it
+// isolates what the energy term and frequency scaling add on top of
+// chain-aware UA sequencing.
+package gus
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Scheduler is dependency-aware GUS at fixed f_m.
+type Scheduler struct {
+	ctx *sched.Context
+}
+
+// New returns a GUS scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string { return "GUS" }
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("gus: %w", err)
+	}
+	s.ctx = ctx
+	return nil
+}
+
+// chain returns the job's blocking chain (the job itself first, then the
+// holders it transitively waits on, using the engine-maintained BlockedBy
+// pointers), stopping on cycles.
+func chain(j *task.Job) []*task.Job {
+	var out []*task.Job
+	seen := map[*task.Job]bool{}
+	for j != nil && !seen[j] {
+		seen[j] = true
+		out = append(out, j)
+		j = j.BlockedBy
+	}
+	return out
+}
+
+// pud returns the chain's potential utility density at time now: the
+// summed utility of every job the chain completes, divided by the cycles
+// that must be executed to get there.
+func (s *Scheduler) pud(now float64, j *task.Job) float64 {
+	fm := s.ctx.Freqs.Max()
+	cycles, utility := 0.0, 0.0
+	// The chain executes holders first; all of it must run before j
+	// finishes. Estimate the completion instant from the aggregate work.
+	for _, link := range chain(j) {
+		cycles += link.EstimatedRemaining()
+	}
+	done := now + cycles/fm
+	for _, link := range chain(j) {
+		utility += link.UtilityAt(done)
+	}
+	if cycles <= 0 {
+		return 0
+	}
+	return utility / cycles
+}
+
+// Decide implements sched.Scheduler: abort infeasible jobs, rank the rest
+// by chain PUD, and greedily build a feasible critical-time-ordered
+// schedule (the GUS construction mirrors DASA's with the chain-aware
+// metric).
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+	var live []*task.Job
+	var aborts []*task.Job
+	density := make(map[*task.Job]float64, len(ready))
+	for _, j := range ready {
+		if !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+		density[j] = s.pud(now, j)
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	sched.ByCriticalTime(live)
+	for i := 1; i < len(live); i++ {
+		j := live[i]
+		k := i - 1
+		for k >= 0 && density[live[k]] < density[j] {
+			live[k+1] = live[k]
+			k--
+		}
+		live[k+1] = j
+	}
+	var order []*task.Job
+	for _, j := range live {
+		if density[j] <= 0 {
+			break
+		}
+		tent := sched.InsertByCritical(append([]*task.Job(nil), order...), j)
+		if sched.Feasible(tent, now, fm) {
+			order = tent
+		}
+	}
+	if len(order) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	return sched.Decision{Run: order[0], Freq: fm, Abort: aborts}
+}

@@ -1,0 +1,101 @@
+// Package laedf implements look-ahead EDF (Pillai & Shin, SOSP'01, the
+// paper's reference [13]) adapted to the task model of the paper: job
+// deadlines are critical times and cycle budgets are the EUA* allocations
+// c_i (Section 5: the baselines take "cycles allocated by EUA*" as their
+// inputs).
+//
+// laEDF defers as much work as possible past the earliest deadline and
+// runs at the lowest frequency that still completes the non-deferrable
+// cycles in time — the same deferral analysis EUA* generalizes in its
+// decideFreq (Algorithm 2), here without the UAM windowed-demand
+// bookkeeping and without EUA*'s UER mechanisms.
+//
+// The NA (no-abort) variant never drops jobs; the paper uses it to expose
+// the domino effect during overloads.
+package laedf
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Scheduler is look-ahead EDF with DVS.
+type Scheduler struct {
+	ctx   *sched.Context
+	abort bool
+}
+
+// New returns a laEDF scheduler. abortInfeasible controls whether jobs
+// that cannot meet their termination time at f_m are aborted (false gives
+// the paper's "-NA" variant).
+func New(abortInfeasible bool) *Scheduler {
+	return &Scheduler{abort: abortInfeasible}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.abort {
+		return "laEDF"
+	}
+	return "laEDF-NA"
+}
+
+// Init implements sched.Scheduler.
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("laedf: %w", err)
+	}
+	s.ctx = ctx
+	return nil
+}
+
+// Decide implements sched.Scheduler.
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+	var live []*task.Job
+	var aborts []*task.Job
+	for _, j := range ready {
+		if s.abort && !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	sched.ByCriticalTime(live)
+
+	views := sched.EarliestByTask(live)
+	entries := make([]sched.LookAheadEntry, 0, len(s.ctx.Tasks))
+	for _, t := range s.ctx.Tasks {
+		v, ok := views[t.ID]
+		if !ok {
+			// Idle task: keep its static rate reserved against the
+			// earliest critical time a new arrival could impose.
+			entries = append(entries, sched.LookAheadEntry{
+				AbsCritical: now + t.CriticalTime(),
+				Remaining:   0,
+				StaticUtil:  t.MinFrequency(),
+			})
+			continue
+		}
+		// Classic laEDF considers the outstanding job's remaining budget;
+		// with several pending instances their budgets accumulate.
+		remaining := v.Earliest.EstimatedRemaining() +
+			float64(v.Pending-1)*t.CycleAllocation()
+		entries = append(entries, sched.LookAheadEntry{
+			AbsCritical: v.Earliest.AbsCritical,
+			Remaining:   remaining,
+			StaticUtil:  t.MinFrequency(),
+		})
+	}
+	req := sched.LookAheadFrequency(now, fm, entries)
+	if req > fm {
+		req = fm
+	}
+	return sched.Decision{Run: live[0], Freq: s.ctx.Freqs.ClampSelect(req), Abort: aborts}
+}

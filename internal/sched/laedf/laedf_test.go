@@ -1,0 +1,162 @@
+package laedf_test
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/ccedf"
+	"github.com/euastar/euastar/internal/sched/laedf"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func stepTask(id int, p, height, mean float64) *task.Task {
+	return &task.Task{
+		ID: id, Arrival: uam.Spec{A: 1, P: p},
+		TUF:    tuf.NewStep(height, p),
+		Demand: task.Demand{Mean: mean, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func ctx(ts task.Set) *sched.Context {
+	ft := cpu.PowerNowK6()
+	return &sched.Context{Tasks: ts, Freqs: ft, Energy: energy.MustPreset(energy.E1, ft.Max())}
+}
+
+func TestNames(t *testing.T) {
+	if laedf.New(true).Name() != "laEDF" || laedf.New(false).Name() != "laEDF-NA" {
+		t.Fatal("names")
+	}
+}
+
+func TestInitValidates(t *testing.T) {
+	if err := laedf.New(true).Init(&sched.Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestDefersBelowStaticUtilization(t *testing.T) {
+	// Look-ahead EDF can pick a frequency below the static utilization by
+	// deferring work past the earliest deadline — the defining difference
+	// from ccEDF.
+	a := stepTask(1, 0.02, 10, 4e6)  // tight: 20% util, early deadline
+	b := stepTask(2, 0.30, 10, 90e6) // heavy but far away: 30% util
+	s := laedf.New(true)
+	if err := s.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	cc := ccedf.New(true)
+	if err := cc.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	ja := task.NewJob(a, 0, 0, rng.New(1))
+	jb := task.NewJob(b, 0, 0, rng.New(2))
+	cc.OnRelease(0, ja)
+	cc.OnRelease(0, jb)
+	fLA := s.Decide(0, []*task.Job{ja, jb}).Freq
+	fCC := cc.Decide(0, []*task.Job{ja, jb}).Freq
+	if fLA > fCC {
+		t.Fatalf("laEDF %v > ccEDF %v: deferral ineffective", fLA, fCC)
+	}
+}
+
+func TestRunsEDFOrder(t *testing.T) {
+	a, b := stepTask(1, 0.2, 10, 1e6), stepTask(2, 0.05, 10, 1e6)
+	s := laedf.New(true)
+	if err := s.Init(ctx(task.Set{a, b})); err != nil {
+		t.Fatal(err)
+	}
+	ja := task.NewJob(a, 0, 0, rng.New(1))
+	jb := task.NewJob(b, 0, 0, rng.New(2))
+	if d := s.Decide(0, []*task.Job{ja, jb}); d.Run != jb {
+		t.Fatalf("ran %v", d.Run)
+	}
+}
+
+func TestAbortBehaviour(t *testing.T) {
+	tk := stepTask(1, 0.1, 10, 50e6)
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	withAbort := laedf.New(true)
+	if err := withAbort.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	if d := withAbort.Decide(0.06, []*task.Job{j}); len(d.Abort) != 1 {
+		t.Fatalf("abort variant kept infeasible job: %+v", d)
+	}
+	na := laedf.New(false)
+	if err := na.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j2 := task.NewJob(tk, 0, 0, rng.New(1))
+	if d := na.Decide(0.06, []*task.Job{j2}); len(d.Abort) != 0 || d.Run != j2 {
+		t.Fatalf("NA variant decision: %+v", d)
+	}
+}
+
+func TestEndToEndUnderload(t *testing.T) {
+	src := rng.New(11)
+	ts := make(task.Set, 3)
+	for i := range ts {
+		p := src.Uniform(0.04, 0.15)
+		ts[i] = stepTask(i+1, p, 10, 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	ts = ts.ScaleToLoad(0.5, ft.Max())
+	run := func(s sched.Scheduler, abort bool) *metrics.Report {
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: s, Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 2.0, Seed: 4, AbortAtTermination: abort,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return metrics.Analyze(res)
+	}
+	rla := run(laedf.New(true), true)
+	rcc := run(ccedf.New(true), true)
+	if !rla.AssuranceSatisfied() {
+		t.Fatal("laEDF violated assurance at load 0.5")
+	}
+	// The look-ahead should be at least as energy-efficient as cycle
+	// conservation on this light, deferral-friendly load.
+	if rla.TotalEnergy > rcc.TotalEnergy*1.05 {
+		t.Fatalf("laEDF energy %v ≫ ccEDF %v", rla.TotalEnergy, rcc.TotalEnergy)
+	}
+}
+
+// TestNADominoEnergy: the no-abort variant executes every released cycle,
+// so its energy grows with load even deep into overload — the behaviour
+// behind Figure 2(b)/(d)'s diverging -NA curve.
+func TestNADominoEnergy(t *testing.T) {
+	src := rng.New(13)
+	base := make(task.Set, 3)
+	for i := range base {
+		p := src.Uniform(0.04, 0.15)
+		base[i] = stepTask(i+1, p, 10, 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	var prev float64
+	for _, load := range []float64{1.2, 1.5, 1.8} {
+		ts := base.ScaleToLoad(load, ft.Max())
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: laedf.New(false), Freqs: ft,
+			Energy:  energy.MustPreset(energy.E1, ft.Max()),
+			Horizon: 1.0, Seed: 8, AbortAtTermination: false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalEnergy <= prev {
+			t.Fatalf("NA energy not increasing with load: %v after %v", res.TotalEnergy, prev)
+		}
+		prev = res.TotalEnergy
+	}
+}

@@ -1,0 +1,161 @@
+// Package sched defines the scheduler abstraction shared by EUA* and all
+// baselines, together with the schedule-construction helpers the paper's
+// Algorithm 1 builds on: EDF (critical-time) ordering, the feasibility
+// predicate at the maximum frequency, and ordered insertion.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Context carries the platform and application parameters a scheduler may
+// inspect. It is fixed for the lifetime of a simulation run.
+type Context struct {
+	Tasks  task.Set
+	Freqs  cpu.FrequencyTable
+	Energy energy.Model
+}
+
+// Validate checks the context.
+func (c *Context) Validate() error {
+	if c == nil {
+		return fmt.Errorf("sched: nil context")
+	}
+	if err := c.Tasks.Validate(); err != nil {
+		return err
+	}
+	if err := c.Freqs.Validate(); err != nil {
+		return err
+	}
+	return c.Energy.Validate()
+}
+
+// Decision is a scheduler's answer at a scheduling event: which job to
+// execute (nil to idle), at which frequency, and which jobs to abort
+// because they can no longer contribute utility.
+type Decision struct {
+	Run   *task.Job
+	Freq  float64
+	Abort []*task.Job
+}
+
+// Scheduler is a sequencing algorithm invoked at every scheduling event
+// (job arrival, job completion, termination-time expiry).
+//
+// Implementations see only the scheduler-visible job state — allocations
+// and executed cycles — never the realized demand.
+type Scheduler interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Init performs offline computation (the paper's offlineComputing())
+	// before the simulation starts.
+	Init(ctx *Context) error
+	// Decide selects the job and frequency at time now. ready holds all
+	// released, unfinished, unaborted jobs; it may be reordered in place
+	// but not mutated otherwise.
+	Decide(now float64, ready []*task.Job) Decision
+}
+
+// ByCriticalTime sorts jobs by absolute critical time (EDF order on
+// critical times), breaking ties by arrival then task ID then index so
+// that the order is total and deterministic.
+func ByCriticalTime(jobs []*task.Job) {
+	sort.SliceStable(jobs, func(i, j int) bool { return jobLess(jobs[i], jobs[j]) })
+}
+
+func jobLess(a, b *task.Job) bool {
+	if a.AbsCritical != b.AbsCritical {
+		return a.AbsCritical < b.AbsCritical
+	}
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	if a.Task.ID != b.Task.ID {
+		return a.Task.ID < b.Task.ID
+	}
+	return a.Index < b.Index
+}
+
+// Feasible implements the paper's feasible(σ) predicate: with the jobs
+// executed in the given order starting at time now, each job's predicted
+// completion time at the highest frequency fmax must not exceed its
+// termination time.
+func Feasible(order []*task.Job, now, fmax float64) bool {
+	t := now
+	for _, j := range order {
+		t += j.EstimatedRemaining() / fmax
+		if t > j.Termination+1e-12*j.Termination {
+			return false
+		}
+	}
+	return true
+}
+
+// JobFeasible reports whether a single job could still finish by its
+// termination time if executed immediately and alone at fmax — the
+// per-job test of Algorithm 1 line 10.
+func JobFeasible(j *task.Job, now, fmax float64) bool {
+	return now+j.EstimatedRemaining()/fmax <= j.Termination+1e-12*j.Termination
+}
+
+// InsertByCritical inserts j into the critical-time-ordered schedule order
+// "at the position indicated by" its critical time, after any entries with
+// the same key (Algorithm 1's insert(T, σ, I)), returning the extended
+// slice. order must already be critical-time ordered.
+func InsertByCritical(order []*task.Job, j *task.Job) []*task.Job {
+	i := sort.Search(len(order), func(i int) bool { return jobLess(j, order[i]) })
+	order = append(order, nil)
+	copy(order[i+1:], order[i:])
+	order[i] = j
+	return order
+}
+
+// EarliestByTask groups ready jobs by task and returns, per task ID, the
+// pending job with the earliest absolute critical time together with the
+// number of pending jobs of that task. Both EUA*'s decideFreq and the
+// DVS baselines consume this per-task view.
+func EarliestByTask(ready []*task.Job) map[int]TaskView {
+	m := make(map[int]TaskView)
+	for _, j := range ready {
+		v, ok := m[j.Task.ID]
+		if !ok {
+			m[j.Task.ID] = TaskView{Earliest: j, Pending: 1}
+			continue
+		}
+		v.Pending++
+		if jobLess(j, v.Earliest) {
+			v.Earliest = j
+		}
+		m[j.Task.ID] = v
+	}
+	return m
+}
+
+// TaskView is the per-task aggregate used by DVS analyses.
+type TaskView struct {
+	Earliest *task.Job // pending job with the earliest absolute critical time
+	Pending  int       // number of pending jobs of the task
+}
+
+// WindowRemaining returns C_i^r, the remaining allocated cycles of task t
+// in the current time window (Section 3.3):
+//
+//	C_i^r = c_i^r + (a_i − 1)·c_i
+//
+// the earliest pending job's remaining allocation plus a full allocation
+// c_i for each further instance the window may carry — whether it has
+// already arrived or not (the UAM adversary may still release it), and
+// capped at a_i instances in total even when unfinished jobs from the
+// previous window push the actual pending count a'_i above a_i ("we only
+// need to consider at most a_i instances").
+func WindowRemaining(t *task.Task, v TaskView) float64 {
+	if v.Pending == 0 || v.Earliest == nil {
+		return 0
+	}
+	return v.Earliest.EstimatedRemaining() + float64(t.Arrival.A-1)*t.CycleAllocation()
+}

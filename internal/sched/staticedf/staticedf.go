@@ -1,0 +1,77 @@
+// Package staticedf implements statically-scaled EDF, the first of the
+// three Pillai–Shin RT-DVS algorithms (SOSP'01, the paper's reference
+// [13]): pick, once and offline, the lowest frequency whose capacity
+// covers the task set's worst-case (here: allocated) utilization, and run
+// plain EDF at that frequency forever.
+//
+// It brackets the dynamic schemes: no runtime adaptation, but also none of
+// their estimation error — the textbook "statically optimal" DVS under the
+// utilization argument of Theorem 1.
+package staticedf
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Scheduler is EDF at one statically chosen frequency.
+type Scheduler struct {
+	ctx   *sched.Context
+	freq  float64
+	abort bool
+}
+
+// New returns a statically scaled EDF scheduler. abortInfeasible controls
+// whether jobs that cannot meet their termination time (at the static
+// frequency's capacity, checked against f_m) are aborted.
+func New(abortInfeasible bool) *Scheduler {
+	return &Scheduler{abort: abortInfeasible}
+}
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.abort {
+		return "staticEDF"
+	}
+	return "staticEDF-NA"
+}
+
+// Init implements sched.Scheduler: selects the lowest table frequency
+// covering the summed static utilization Σ C_i/D_i (Theorem 1's bound).
+func (s *Scheduler) Init(ctx *sched.Context) error {
+	if err := ctx.Validate(); err != nil {
+		return fmt.Errorf("staticedf: %w", err)
+	}
+	s.ctx = ctx
+	util := 0.0
+	for _, t := range ctx.Tasks {
+		util += t.MinFrequency()
+	}
+	s.freq = ctx.Freqs.ClampSelect(util)
+	return nil
+}
+
+// Frequency returns the statically selected frequency (after Init).
+func (s *Scheduler) Frequency() float64 { return s.freq }
+
+// Decide implements sched.Scheduler.
+func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	fm := s.ctx.Freqs.Max()
+	var live []*task.Job
+	var aborts []*task.Job
+	for _, j := range ready {
+		if s.abort && !sched.JobFeasible(j, now, fm) {
+			j.AbortReason = "infeasible at f_m"
+			aborts = append(aborts, j)
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return sched.Decision{Abort: aborts}
+	}
+	sched.ByCriticalTime(live)
+	return sched.Decision{Run: live[0], Freq: s.freq, Abort: aborts}
+}

@@ -1,0 +1,108 @@
+package staticedf_test
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
+	"github.com/euastar/euastar/internal/sched/staticedf"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func stepTask(id int, p, mean float64) *task.Task {
+	return &task.Task{
+		ID: id, Arrival: uam.Spec{A: 1, P: p},
+		TUF:    tuf.NewStep(10, p),
+		Demand: task.Demand{Mean: mean, Variance: 0},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}
+}
+
+func ctx(ts task.Set) *sched.Context {
+	ft := cpu.PowerNowK6()
+	return &sched.Context{Tasks: ts, Freqs: ft, Energy: energy.MustPreset(energy.E1, ft.Max())}
+}
+
+func TestNames(t *testing.T) {
+	if staticedf.New(true).Name() != "staticEDF" || staticedf.New(false).Name() != "staticEDF-NA" {
+		t.Fatal("names")
+	}
+}
+
+func TestInitValidates(t *testing.T) {
+	if err := staticedf.New(true).Init(&sched.Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestStaticFrequencySelection(t *testing.T) {
+	// Σ C/D = 40e6/0.1 + 20e6/0.1 = 6e8 → 640 MHz.
+	ts := task.Set{stepTask(1, 0.1, 40e6), stepTask(2, 0.1, 20e6)}
+	s := staticedf.New(true)
+	if err := s.Init(ctx(ts)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Frequency() != 640e6 {
+		t.Fatalf("static frequency = %v", s.Frequency())
+	}
+	j := task.NewJob(ts[0], 0, 0, rng.New(1))
+	if d := s.Decide(0, []*task.Job{j}); d.Freq != 640e6 {
+		t.Fatalf("decide frequency = %v", d.Freq)
+	}
+}
+
+func TestOverloadClampsToFm(t *testing.T) {
+	ts := task.Set{stepTask(1, 0.1, 150e6)}
+	s := staticedf.New(true)
+	if err := s.Init(ctx(ts)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Frequency() != 1000e6 {
+		t.Fatalf("overload static frequency = %v", s.Frequency())
+	}
+}
+
+func TestEndToEndMeetsDeadlines(t *testing.T) {
+	src := rng.New(3)
+	ts := make(task.Set, 3)
+	for i := range ts {
+		ts[i] = stepTask(i+1, src.Uniform(0.04, 0.15), 1e6)
+	}
+	ft := cpu.PowerNowK6()
+	ts = ts.ScaleToLoad(0.6, ft.Max())
+	res, err := engine.Run(engine.Config{
+		Tasks: ts, Scheduler: staticedf.New(true), Freqs: ft,
+		Energy:  energy.MustPreset(energy.E1, ft.Max()),
+		Horizon: 2.0, Seed: 2, AbortAtTermination: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := metrics.Analyze(res)
+	if rep.Aborted != 0 || !rep.AssuranceSatisfied() {
+		t.Fatalf("staticEDF failed at load 0.6: %+v", rep)
+	}
+	// It must also save energy vs f_m: 0.6 load → 640 MHz → (0.64)².
+	full := res.Cycles * energy.MustPreset(energy.E1, ft.Max()).PerCycle(ft.Max())
+	if res.TotalEnergy >= full {
+		t.Fatal("no static energy saving")
+	}
+}
+
+func TestNAVariantNeverAborts(t *testing.T) {
+	tk := stepTask(1, 0.1, 150e6)
+	s := staticedf.New(false)
+	if err := s.Init(ctx(task.Set{tk})); err != nil {
+		t.Fatal(err)
+	}
+	j := task.NewJob(tk, 0, 0, rng.New(1))
+	if d := s.Decide(0.09, []*task.Job{j}); len(d.Abort) != 0 || d.Run != j {
+		t.Fatalf("decision = %+v", d)
+	}
+}

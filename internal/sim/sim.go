@@ -1,0 +1,164 @@
+// Package sim provides the discrete-event simulation core: a time-ordered
+// event queue with deterministic tie-breaking and O(log n) cancellation,
+// on which the uniprocessor engine is built.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kind classifies scheduling events. The paper's scheduling events are
+// "the arrival and completion of a job, and the expiration of a time
+// constraint such as the arrival of a TUF's termination time"
+// (Section 3.2).
+type Kind int
+
+// Event kinds in deterministic processing order for equal timestamps:
+// completions first (a job finishing exactly at a boundary still
+// completes), then terminations (expired work leaves before new work is
+// admitted), then arrivals.
+const (
+	Completion Kind = iota
+	Termination
+	Arrival
+	Custom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Completion:
+		return "completion"
+	case Termination:
+		return "termination"
+	case Arrival:
+		return "arrival"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is a queued simulation event. Events are created by Queue.Push and
+// may be cancelled (lazily removed) while queued.
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Payload any
+
+	seq       uint64 // insertion order, final tie-break
+	index     int    // heap index, -1 once popped
+	cancelled bool
+}
+
+// Cancelled reports whether the event was cancelled before being popped.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Queue is a priority queue of events ordered by (Time, Kind, insertion
+// order). The zero value is ready to use.
+type Queue struct {
+	h      eventHeap
+	seq    uint64
+	active int
+}
+
+// Push enqueues an event and returns it (so the caller can cancel it
+// later). Times must be finite; pushing an event in the past relative to
+// already-popped events is the caller's responsibility to avoid.
+func (q *Queue) Push(t float64, kind Kind, payload any) *Event {
+	if t != t { // NaN
+		panic("sim: event time is NaN")
+	}
+	e := &Event{Time: t, Kind: kind, Payload: payload, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	q.active++
+	return e
+}
+
+// Cancel marks e as cancelled; it will be skipped by Pop/Peek. Cancelling
+// an already-popped or already-cancelled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		return
+	}
+	e.cancelled = true
+	q.active--
+	// Lazily removed on pop; fix the heap eagerly only when cheap (root).
+	if e.index == 0 {
+		q.drop()
+	}
+}
+
+// Pop removes and returns the earliest non-cancelled event.
+func (q *Queue) Pop() (*Event, bool) {
+	q.skipCancelled()
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	q.active--
+	return e, true
+}
+
+// Peek returns the earliest non-cancelled event without removing it.
+func (q *Queue) Peek() (*Event, bool) {
+	q.skipCancelled()
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	return q.h[0], true
+}
+
+// Len returns the number of live (non-cancelled) events.
+func (q *Queue) Len() int { return q.active }
+
+func (q *Queue) skipCancelled() {
+	for len(q.h) > 0 && q.h[0].cancelled {
+		q.drop()
+	}
+}
+
+func (q *Queue) drop() {
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+}
+
+// eventHeap implements heap.Interface ordered by (Time, Kind, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.seq < b.seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

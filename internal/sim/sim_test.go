@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/euastar/euastar/internal/rng"
+)
+
+func TestPopOrderByTime(t *testing.T) {
+	var q Queue
+	q.Push(3, Arrival, "c")
+	q.Push(1, Arrival, "a")
+	q.Push(2, Arrival, "b")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.Payload.(string) != w {
+			t.Fatalf("got %v, want %q", e, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestEqualTimeKindOrder(t *testing.T) {
+	var q Queue
+	q.Push(5, Arrival, "arrival")
+	q.Push(5, Termination, "termination")
+	q.Push(5, Completion, "completion")
+	want := []string{"completion", "termination", "arrival"}
+	for _, w := range want {
+		e, _ := q.Pop()
+		if e.Payload.(string) != w {
+			t.Fatalf("got %q, want %q", e.Payload, w)
+		}
+	}
+}
+
+func TestEqualTimeKindFIFO(t *testing.T) {
+	var q Queue
+	for i := 0; i < 10; i++ {
+		q.Push(1, Arrival, i)
+	}
+	for i := 0; i < 10; i++ {
+		e, _ := q.Pop()
+		if e.Payload.(int) != i {
+			t.Fatalf("insertion order broken: got %v at %d", e.Payload, i)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Push(1, Completion, "a")
+	b := q.Push(2, Completion, "b")
+	q.Cancel(a)
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	e, ok := q.Pop()
+	if !ok || e != b {
+		t.Fatalf("got %v", e)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestCancelRoot(t *testing.T) {
+	var q Queue
+	a := q.Push(1, Completion, "a")
+	q.Push(2, Completion, "b")
+	q.Cancel(a)
+	e, ok := q.Peek()
+	if !ok || e.Payload.(string) != "b" {
+		t.Fatal("cancelled root still visible")
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	var q Queue
+	a := q.Push(1, Completion, nil)
+	q.Cancel(a)
+	q.Cancel(a)
+	q.Cancel(nil)
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if !a.Cancelled() {
+		t.Fatal("not marked cancelled")
+	}
+}
+
+func TestCancelPopped(t *testing.T) {
+	var q Queue
+	a := q.Push(1, Completion, nil)
+	q.Pop()
+	q.Cancel(a) // no-op, must not corrupt
+	if q.Len() != 0 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	var q Queue
+	q.Push(1, Arrival, "x")
+	e1, _ := q.Peek()
+	e2, _ := q.Peek()
+	if e1 != e2 || q.Len() != 1 {
+		t.Fatal("peek mutated queue")
+	}
+}
+
+func TestPeekEmpty(t *testing.T) {
+	var q Queue
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	q.Push(math.NaN(), Arrival, nil)
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Completion, Termination, Arrival, Custom, Kind(99)} {
+		if k.String() == "" {
+			t.Fatalf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestQuickHeapOrdering(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		src := rng.New(seed)
+		var q Queue
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = src.Uniform(0, 100)
+			q.Push(times[i], Arrival, nil)
+		}
+		sort.Float64s(times)
+		for _, want := range times {
+			e, ok := q.Pop()
+			if !ok || e.Time != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCancelConsistency(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		src := rng.New(seed)
+		var q Queue
+		events := make([]*Event, n)
+		for i := range events {
+			events[i] = q.Push(src.Uniform(0, 10), Completion, i)
+		}
+		// Cancel a random subset.
+		kept := map[int]bool{}
+		for i, e := range events {
+			if src.Float64() < 0.5 {
+				q.Cancel(e)
+			} else {
+				kept[i] = true
+			}
+		}
+		if q.Len() != len(kept) {
+			return false
+		}
+		prev := math.Inf(-1)
+		for range kept {
+			e, ok := q.Pop()
+			if !ok || e.Cancelled() || e.Time < prev || !kept[e.Payload.(int)] {
+				return false
+			}
+			prev = e.Time
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	src := rng.New(1)
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(src.Float64(), Arrival, nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

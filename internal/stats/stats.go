@@ -1,0 +1,232 @@
+// Package stats provides the statistical machinery the EUA* scheduler and
+// its evaluation harness rely on: streaming mean/variance estimation
+// (Welford), the one-sided Chebyshev (Cantelli) cycle allocation from
+// Section 3.1 of the paper, and small descriptive-statistics helpers used
+// by the experiment harness.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a stream of observations and reports their mean and
+// (unbiased sample) variance in O(1) memory. The zero value is ready to use.
+//
+// The paper assumes E(Y_i) and Var(Y_i) of each task's cycle demand are
+// "determined through either online or off-line profiling"; Welford is the
+// online profiler.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// AddAll incorporates each observation in xs.
+func (w *Welford) AddAll(xs ...float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
+// N returns the number of observations seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// PopVariance returns the population variance (0 before any observation).
+func (w *Welford) PopVariance() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Reset discards all accumulated state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge combines another accumulator into w (parallel Welford merge), so
+// per-shard profiles can be aggregated.
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// ErrBadProbability reports a probability outside [0, 1).
+var ErrBadProbability = errors.New("stats: probability must be in [0, 1)")
+
+// CantelliAllocation returns the minimal cycle allocation c such that
+// Pr[Y < c] >= rho for any demand distribution with the given mean and
+// variance, per the one-sided Chebyshev inequality used in Section 3.1:
+//
+//	c = E(Y) + sqrt(rho * Var(Y) / (1 - rho))
+//
+// It returns an error when rho is outside [0, 1) (rho = 1 requires an
+// unbounded allocation) or the variance is negative.
+func CantelliAllocation(mean, variance, rho float64) (float64, error) {
+	if rho < 0 || rho >= 1 {
+		return 0, fmt.Errorf("%w: rho=%v", ErrBadProbability, rho)
+	}
+	if variance < 0 {
+		return 0, fmt.Errorf("stats: negative variance %v", variance)
+	}
+	return mean + math.Sqrt(rho*variance/(1-rho)), nil
+}
+
+// MustCantelliAllocation is CantelliAllocation for statically valid
+// parameters; it panics on error.
+func MustCantelliAllocation(mean, variance, rho float64) float64 {
+	c, err := CantelliAllocation(mean, variance, rho)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Summary holds descriptive statistics of a finite sample.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Max, Median float64
+	P05, P95         float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var w Welford
+	w.AddAll(xs...)
+	return Summary{
+		N:      len(xs),
+		Mean:   w.Mean(),
+		StdDev: w.StdDev(),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: Quantile(sorted, 0.5),
+		P05:    Quantile(sorted, 0.05),
+		P95:    Quantile(sorted, 0.95),
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sorted sample using
+// linear interpolation between order statistics. It panics if the sample is
+// empty or q is outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Observations
+// outside the range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi      float64
+	Bins        []int
+	Under, Over int
+	total       int
+}
+
+// NewHistogram returns a histogram with n bins over [lo, hi). It panics if
+// n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Bins) { // guard against rounding at the upper edge
+			i--
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of all observations that fell into bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Bins[i]) / float64(h.total)
+}

@@ -1,0 +1,306 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/euastar/euastar/internal/rng"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("zero-value Welford not zeroed")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(5)
+	if w.Mean() != 5 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	if w.Variance() != 0 {
+		t.Fatalf("variance of single sample = %v", w.Variance())
+	}
+}
+
+func TestWelfordKnown(t *testing.T) {
+	var w Welford
+	w.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.PopVariance(), 4, 1e-12) {
+		t.Fatalf("population variance = %v, want 4", w.PopVariance())
+	}
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("sample variance = %v, want 32/7", w.Variance())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.AddAll(1, 2, 3)
+	w.Reset()
+	if w.N() != 0 || w.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 100, -3}
+	var whole, a, b Welford
+	whole.AddAll(xs...)
+	a.AddAll(xs[:5]...)
+	b.AddAll(xs[5:]...)
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almostEqual(a.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.AddAll(1, 2, 3)
+	mean := a.Mean()
+	a.Merge(&b) // no-op
+	if a.Mean() != mean || a.N() != 3 {
+		t.Fatal("merging empty changed state")
+	}
+	b.Merge(&a) // adopt
+	if b.N() != 3 || b.Mean() != mean {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestQuickWelfordMatchesDirect(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var w Welford
+		w.AddAll(xs...)
+		mean := Mean(xs)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		direct := ss / float64(len(xs)-1)
+		return almostEqual(w.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almostEqual(w.Variance(), direct, 1e-6*(1+direct))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCantelliAllocationFormula(t *testing.T) {
+	c, err := CantelliAllocation(100, 100, 0.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + math.Sqrt(0.96*100/0.04)
+	if !almostEqual(c, want, 1e-9) {
+		t.Fatalf("c = %v, want %v", c, want)
+	}
+}
+
+func TestCantelliAllocationZeroRho(t *testing.T) {
+	c, err := CantelliAllocation(50, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 50 {
+		t.Fatalf("rho=0 allocation = %v, want the mean", c)
+	}
+}
+
+func TestCantelliAllocationErrors(t *testing.T) {
+	if _, err := CantelliAllocation(1, 1, 1); err == nil {
+		t.Fatal("rho=1 accepted")
+	}
+	if _, err := CantelliAllocation(1, 1, -0.1); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if _, err := CantelliAllocation(1, -1, 0.5); err == nil {
+		t.Fatal("negative variance accepted")
+	}
+}
+
+func TestMustCantelliAllocationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustCantelliAllocation(1, 1, 2)
+}
+
+// TestCantelliGuarantee checks the paper's claim empirically: drawing
+// normal demands with Var = E, the fraction of draws below the allocation
+// must be at least rho (Cantelli is conservative for the normal, so this
+// holds with margin).
+func TestCantelliGuarantee(t *testing.T) {
+	src := rng.New(2024)
+	for _, rho := range []float64{0.5, 0.9, 0.96} {
+		mean, variance := 1000.0, 1000.0
+		c := MustCantelliAllocation(mean, variance, rho)
+		const n = 100000
+		below := 0
+		for i := 0; i < n; i++ {
+			if src.Normal(mean, math.Sqrt(variance)) < c {
+				below++
+			}
+		}
+		if frac := float64(below) / n; frac < rho {
+			t.Fatalf("rho=%v: Pr[Y<c] = %v < rho", rho, frac)
+		}
+	}
+}
+
+func TestQuickCantelliMonotoneInRho(t *testing.T) {
+	f := func(m, v uint16, r1, r2 uint8) bool {
+		mean := float64(m)
+		variance := float64(v)
+		rhoA := float64(r1%100) / 100
+		rhoB := float64(r2%100) / 100
+		if rhoA > rhoB {
+			rhoA, rhoB = rhoB, rhoA
+		}
+		ca := MustCantelliAllocation(mean, variance, rhoA)
+		cb := MustCantelliAllocation(mean, variance, rhoB)
+		return ca <= cb+1e-12 && ca >= mean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("summary of empty = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty != 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d", h.Bins[0])
+	}
+	if h.Bins[1] != 1 { // 2
+		t.Fatalf("bin1 = %d", h.Bins[1])
+	}
+	if h.Bins[4] != 1 { // 9.999
+		t.Fatalf("bin4 = %d", h.Bins[4])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if !almostEqual(h.Fraction(0), 2.0/7.0, 1e-12) {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i))
+	}
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// WriteGantt renders an ASCII Gantt chart of a recorded run: one row per
+// task, one column per time bucket. Each busy cell shows the DVS step the
+// task ran at during that bucket (1 = lowest frequency … 7 = f_m on the
+// PowerNow! ladder); '.' is idle. A legend with the frequency ladder and
+// the time axis follows the chart.
+//
+// width is the number of columns (default 100 when <= 0).
+func WriteGantt(w io.Writer, res *engine.Result, table cpu.FrequencyTable, width int) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	if width <= 0 {
+		width = 100
+	}
+	if len(res.Trace) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	start := res.Trace[0].Start
+	end := res.Trace[len(res.Trace)-1].End
+	if end <= start {
+		return fmt.Errorf("trace: degenerate time range [%g, %g]", start, end)
+	}
+	bucket := (end - start) / float64(width)
+
+	// Collect tasks in ID order.
+	taskRows := map[*task.Task][]byte{}
+	var tasks []*task.Task
+	for _, sp := range res.Trace {
+		if _, ok := taskRows[sp.Job.Task]; !ok {
+			row := make([]byte, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			taskRows[sp.Job.Task] = row
+			tasks = append(tasks, sp.Job.Task)
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
+
+	// Paint each span; the last span to touch a bucket wins, which is fine
+	// at display resolution.
+	for _, sp := range res.Trace {
+		row := taskRows[sp.Job.Task]
+		lo := int((sp.Start - start) / bucket)
+		hi := int((sp.End - start) / bucket)
+		if hi >= width {
+			hi = width - 1
+		}
+		idx := table.Index(sp.Frequency)
+		glyph := byte('?')
+		if idx >= 0 && idx < 9 {
+			glyph = byte('1' + idx)
+		}
+		for i := lo; i <= hi; i++ {
+			row[i] = glyph
+		}
+	}
+
+	nameWidth := 0
+	for _, t := range tasks {
+		if n := len(t.String()); n > nameWidth {
+			nameWidth = n
+		}
+	}
+	for _, t := range tasks {
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, t, taskRows[t]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %-8.4g%*s%8.4g s\n", nameWidth, "", start, width-8, "", end); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "legend: %s, '.' idle\n", ladderLegend(table))
+	return err
+}
+
+func ladderLegend(table cpu.FrequencyTable) string {
+	s := ""
+	for i, f := range table {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d=%.0fMHz", i+1, f/1e6)
+	}
+	return s
+}

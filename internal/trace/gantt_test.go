@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/engine"
+)
+
+func TestWriteGantt(t *testing.T) {
+	res := runRecorded(t, false)
+	var sb strings.Builder
+	if err := WriteGantt(&sb, res, cpu.PowerNowK6(), 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 3 task rows + axis + legend.
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "legend:") || !strings.Contains(out, "360MHz") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Every task row must contain at least one busy glyph.
+	for _, l := range lines[:3] {
+		if !strings.ContainsAny(l, "1234567") {
+			t.Fatalf("row with no execution: %q", l)
+		}
+	}
+}
+
+func TestWriteGanttWidths(t *testing.T) {
+	res := runRecorded(t, false)
+	for _, w := range []int{1, 10, 200, 0, -5} {
+		var sb strings.Builder
+		if err := WriteGantt(&sb, res, cpu.PowerNowK6(), w); err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestWriteGanttEmptyTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteGantt(&sb, &engine.Result{}, cpu.PowerNowK6(), 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty trace") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestWriteGanttNil(t *testing.T) {
+	if err := WriteGantt(&strings.Builder{}, nil, cpu.PowerNowK6(), 50); err == nil {
+		t.Fatal("nil result accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace validates and exports execution traces produced by the
+// engine. The validator checks the physical invariants any uniprocessor
+// schedule must satisfy — no overlapping execution, no execution before
+// arrival or after resolution, table frequencies only, cycle conservation
+// — and the model invariants of the paper (aborted jobs never finish after
+// their termination time; completed jobs executed exactly their demand).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// tol is the relative numerical tolerance for cycle and time comparisons.
+const tol = 1e-6
+
+// Validate checks the invariants of a recorded run. The result must have
+// been produced with Config.RecordTrace set; an empty trace with executed
+// cycles is itself an error.
+func Validate(res *engine.Result, table cpu.FrequencyTable) error {
+	if res == nil {
+		return fmt.Errorf("trace: nil result")
+	}
+	spans := res.Trace
+	var total float64
+	perJob := make(map[*task.Job]float64)
+	for i, sp := range spans {
+		if sp.Job == nil {
+			return fmt.Errorf("trace: span %d has no job", i)
+		}
+		if sp.End <= sp.Start {
+			return fmt.Errorf("trace: span %d is empty or reversed [%g, %g]", i, sp.Start, sp.End)
+		}
+		if i > 0 && sp.Start < spans[i-1].End-tol {
+			return fmt.Errorf("trace: span %d overlaps previous (%g < %g)", i, sp.Start, spans[i-1].End)
+		}
+		if !table.Contains(sp.Frequency) {
+			return fmt.Errorf("trace: span %d at non-table frequency %g", i, sp.Frequency)
+		}
+		if want := (sp.End - sp.Start) * sp.Frequency; absDiff(sp.Cycles, want) > tol*want+1 {
+			return fmt.Errorf("trace: span %d cycles %g != dt·f %g", i, sp.Cycles, want)
+		}
+		if sp.Start < sp.Job.Arrival-tol {
+			return fmt.Errorf("trace: span %d runs %v before its arrival", i, sp.Job)
+		}
+		if sp.Job.State != task.Pending && sp.End > sp.Job.FinishedAt+tol {
+			return fmt.Errorf("trace: span %d runs %v after its resolution at %g", i, sp.Job, sp.Job.FinishedAt)
+		}
+		total += sp.Cycles
+		perJob[sp.Job] += sp.Cycles
+	}
+	if absDiff(total, res.Cycles) > tol*res.Cycles+1 {
+		return fmt.Errorf("trace: spans sum to %g cycles, meter says %g", total, res.Cycles)
+	}
+	for _, j := range res.Jobs {
+		got := perJob[j]
+		if absDiff(got, j.Executed) > tol*j.Executed+1 {
+			return fmt.Errorf("trace: job %v executed %g per trace, %g per job", j, got, j.Executed)
+		}
+		switch j.State {
+		case task.Completed:
+			if absDiff(j.Executed, j.ActualCycles) > tol*j.ActualCycles+1 {
+				return fmt.Errorf("trace: completed job %v executed %g of %g cycles", j, j.Executed, j.ActualCycles)
+			}
+		case task.Aborted:
+			if j.FinishedAt > j.Termination+tol {
+				return fmt.Errorf("trace: job %v aborted after its termination time", j)
+			}
+		default:
+			return fmt.Errorf("trace: job %v unresolved", j)
+		}
+	}
+	return nil
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// WriteCSV exports spans as CSV with the header
+// task,job,start,end,frequency_hz,cycles.
+func WriteCSV(w io.Writer, spans []engine.Span) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "job", "start", "end", "frequency_hz", "cycles"}); err != nil {
+		return err
+	}
+	for _, sp := range spans {
+		rec := []string{
+			sp.Job.Task.String(),
+			strconv.Itoa(sp.Job.Index),
+			formatFloat(sp.Start),
+			formatFloat(sp.End),
+			formatFloat(sp.Frequency),
+			formatFloat(sp.Cycles),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// FrequencyResidency returns, per frequency, the total busy time spent at
+// it — the DVS behaviour summary printed by euatrace.
+func FrequencyResidency(spans []engine.Span) map[float64]float64 {
+	m := make(map[float64]float64)
+	for _, sp := range spans {
+		m[sp.Frequency] += sp.End - sp.Start
+	}
+	return m
+}
+
+// Frequencies returns the residency keys in ascending order.
+func Frequencies(residency map[float64]float64) []float64 {
+	fs := make([]float64, 0, len(residency))
+	for f := range residency {
+		fs = append(fs, f)
+	}
+	sort.Float64s(fs)
+	return fs
+}

@@ -1,0 +1,378 @@
+// Package tuf implements Jensen time/utility functions (TUFs), the
+// timeliness model of the paper (Section 2.2, Figure 1).
+//
+// A TUF maps a job's completion time, measured relative to its arrival
+// (initial time), to the utility the system accrues. The paper restricts
+// attention to non-increasing unimodal TUFs: utility never increases as
+// time advances. Every TUF here is defined on [0, Termination()]; by
+// convention Utility returns 0 beyond the termination time (a job that
+// completes after its termination time — possible only under no-abort
+// policies — accrues nothing).
+package tuf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TUF is a non-increasing, unimodal time/utility function.
+type TUF interface {
+	// Utility returns the utility accrued by completing at relative time
+	// t >= 0. Implementations return 0 for t > Termination().
+	Utility(t float64) float64
+	// MaxUtility returns the maximum attainable utility, U(0).
+	MaxUtility() float64
+	// Termination returns the relative termination time X − I: the latest
+	// time for which the TUF is defined.
+	Termination() float64
+	// CriticalTime returns the latest relative time D such that
+	// Utility(D) >= nu · MaxUtility(), i.e. the sojourn-time bound that
+	// guarantees the ν fraction of Section 3.1. nu must lie in (0, 1].
+	CriticalTime(nu float64) float64
+	// String describes the TUF for traces and experiment logs.
+	String() string
+}
+
+// checkNu panics on a ν outside (0, 1]; callers are expected to validate
+// requirement parameters at construction time, so this is a programmer
+// error.
+func checkNu(nu float64) {
+	if nu <= 0 || nu > 1 {
+		panic(fmt.Sprintf("tuf: nu %v outside (0,1]", nu))
+	}
+}
+
+// Step is the classical hard-deadline constraint expressed as a TUF
+// (Figure 1(d)): full utility up to and including the deadline, zero after.
+// Its termination time equals the deadline.
+type Step struct {
+	Height   float64 // utility on [0, Deadline]
+	Deadline float64 // relative deadline = termination time
+}
+
+// NewStep returns a downward-step TUF. It panics if height <= 0 or
+// deadline <= 0.
+func NewStep(height, deadline float64) Step {
+	if height <= 0 {
+		panic("tuf: step height must be positive")
+	}
+	if deadline <= 0 {
+		panic("tuf: step deadline must be positive")
+	}
+	return Step{Height: height, Deadline: deadline}
+}
+
+// Utility implements TUF.
+func (s Step) Utility(t float64) float64 {
+	if t < 0 || t > s.Deadline {
+		return 0
+	}
+	return s.Height
+}
+
+// MaxUtility implements TUF.
+func (s Step) MaxUtility() float64 { return s.Height }
+
+// Termination implements TUF.
+func (s Step) Termination() float64 { return s.Deadline }
+
+// CriticalTime implements TUF. For a step TUF any ν in (0, 1] yields the
+// deadline itself (the paper notes ν can only take the values 0 or 1 for
+// step TUFs; both map here to the deadline for ν=1).
+func (s Step) CriticalTime(nu float64) float64 {
+	checkNu(nu)
+	return s.Deadline
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("step(U=%g, D=%g)", s.Height, s.Deadline)
+}
+
+// Linear decays linearly from U0 at t=0 to UEnd at the horizon; it is the
+// TUF the paper assigns in Section 5.2 with slope U_max/P (UEnd = 0).
+type Linear struct {
+	U0, UEnd float64
+	Horizon  float64
+}
+
+// NewLinear returns a linear TUF from u0 down to uEnd over [0, horizon].
+// It panics unless u0 > 0, 0 <= uEnd <= u0 and horizon > 0.
+func NewLinear(u0, uEnd, horizon float64) Linear {
+	if u0 <= 0 {
+		panic("tuf: linear U0 must be positive")
+	}
+	if uEnd < 0 || uEnd > u0 {
+		panic("tuf: linear UEnd must be in [0, U0]")
+	}
+	if horizon <= 0 {
+		panic("tuf: linear horizon must be positive")
+	}
+	return Linear{U0: u0, UEnd: uEnd, Horizon: horizon}
+}
+
+// Utility implements TUF.
+func (l Linear) Utility(t float64) float64 {
+	if t < 0 || t > l.Horizon {
+		return 0
+	}
+	return l.U0 + (l.UEnd-l.U0)*t/l.Horizon
+}
+
+// MaxUtility implements TUF.
+func (l Linear) MaxUtility() float64 { return l.U0 }
+
+// Termination implements TUF.
+func (l Linear) Termination() float64 { return l.Horizon }
+
+// CriticalTime implements TUF: the latest t with U(t) >= ν·U0.
+func (l Linear) CriticalTime(nu float64) float64 {
+	checkNu(nu)
+	target := nu * l.U0
+	if target <= l.UEnd {
+		return l.Horizon
+	}
+	// Solve U0 + (UEnd-U0) t/H = target.
+	return l.Horizon * (l.U0 - target) / (l.U0 - l.UEnd)
+}
+
+func (l Linear) String() string {
+	return fmt.Sprintf("linear(U0=%g, Uend=%g, X=%g)", l.U0, l.UEnd, l.Horizon)
+}
+
+// Quadratic decays as U0·(1 − (t/H)²): flat near the optimal completion
+// time and steep near the termination time, a common soft-deadline shape
+// (cf. the plot-correlation TUF of Figure 1(b)).
+type Quadratic struct {
+	U0      float64
+	Horizon float64
+}
+
+// NewQuadratic returns a quadratic-decay TUF. It panics unless u0 > 0 and
+// horizon > 0.
+func NewQuadratic(u0, horizon float64) Quadratic {
+	if u0 <= 0 {
+		panic("tuf: quadratic U0 must be positive")
+	}
+	if horizon <= 0 {
+		panic("tuf: quadratic horizon must be positive")
+	}
+	return Quadratic{U0: u0, Horizon: horizon}
+}
+
+// Utility implements TUF.
+func (q Quadratic) Utility(t float64) float64 {
+	if t < 0 || t > q.Horizon {
+		return 0
+	}
+	x := t / q.Horizon
+	return q.U0 * (1 - x*x)
+}
+
+// MaxUtility implements TUF.
+func (q Quadratic) MaxUtility() float64 { return q.U0 }
+
+// Termination implements TUF.
+func (q Quadratic) Termination() float64 { return q.Horizon }
+
+// CriticalTime implements TUF.
+func (q Quadratic) CriticalTime(nu float64) float64 {
+	checkNu(nu)
+	return q.Horizon * math.Sqrt(1-nu)
+}
+
+func (q Quadratic) String() string {
+	return fmt.Sprintf("quadratic(U0=%g, X=%g)", q.U0, q.Horizon)
+}
+
+// Exponential decays as U0·exp(−t/tau) on [0, Horizon], then drops to 0.
+// It models track-association-style constraints (Figure 1(a)) whose value
+// erodes smoothly with staleness.
+type Exponential struct {
+	U0      float64
+	Tau     float64 // decay constant, > 0
+	Horizon float64
+}
+
+// NewExponential returns an exponential-decay TUF. It panics unless
+// u0 > 0, tau > 0 and horizon > 0.
+func NewExponential(u0, tau, horizon float64) Exponential {
+	if u0 <= 0 {
+		panic("tuf: exponential U0 must be positive")
+	}
+	if tau <= 0 {
+		panic("tuf: exponential tau must be positive")
+	}
+	if horizon <= 0 {
+		panic("tuf: exponential horizon must be positive")
+	}
+	return Exponential{U0: u0, Tau: tau, Horizon: horizon}
+}
+
+// Utility implements TUF.
+func (e Exponential) Utility(t float64) float64 {
+	if t < 0 || t > e.Horizon {
+		return 0
+	}
+	return e.U0 * math.Exp(-t/e.Tau)
+}
+
+// MaxUtility implements TUF.
+func (e Exponential) MaxUtility() float64 { return e.U0 }
+
+// Termination implements TUF.
+func (e Exponential) Termination() float64 { return e.Horizon }
+
+// CriticalTime implements TUF.
+func (e Exponential) CriticalTime(nu float64) float64 {
+	checkNu(nu)
+	d := -e.Tau * math.Log(nu)
+	return math.Min(d, e.Horizon)
+}
+
+func (e Exponential) String() string {
+	return fmt.Sprintf("exp(U0=%g, tau=%g, X=%g)", e.U0, e.Tau, e.Horizon)
+}
+
+// Point is a knot of a piecewise-linear TUF.
+type Point struct {
+	T, U float64
+}
+
+// PiecewiseLinear interpolates linearly between knots; it expresses
+// arbitrary non-increasing shapes such as the plateaued TUFs of
+// Figure 1(b)–(c).
+type PiecewiseLinear struct {
+	pts []Point
+}
+
+// NewPiecewiseLinear builds a piecewise-linear TUF from knots. The knots
+// must start at T=0 with positive utility, have strictly increasing times,
+// and non-increasing non-negative utilities. The last knot's time is the
+// termination time.
+func NewPiecewiseLinear(pts []Point) (PiecewiseLinear, error) {
+	if len(pts) < 2 {
+		return PiecewiseLinear{}, fmt.Errorf("tuf: need at least 2 knots, got %d", len(pts))
+	}
+	if pts[0].T != 0 {
+		return PiecewiseLinear{}, fmt.Errorf("tuf: first knot must be at T=0, got %g", pts[0].T)
+	}
+	if pts[0].U <= 0 {
+		return PiecewiseLinear{}, fmt.Errorf("tuf: U(0) must be positive, got %g", pts[0].U)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			return PiecewiseLinear{}, fmt.Errorf("tuf: knot times must increase (knot %d)", i)
+		}
+		if pts[i].U > pts[i-1].U {
+			return PiecewiseLinear{}, fmt.Errorf("tuf: utilities must be non-increasing (knot %d)", i)
+		}
+		if pts[i].U < 0 {
+			return PiecewiseLinear{}, fmt.Errorf("tuf: negative utility at knot %d", i)
+		}
+	}
+	return PiecewiseLinear{pts: append([]Point(nil), pts...)}, nil
+}
+
+// MustPiecewiseLinear is NewPiecewiseLinear for statically valid knots; it
+// panics on error.
+func MustPiecewiseLinear(pts []Point) PiecewiseLinear {
+	p, err := NewPiecewiseLinear(pts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Utility implements TUF.
+func (p PiecewiseLinear) Utility(t float64) float64 {
+	if t < 0 || t > p.Termination() {
+		return 0
+	}
+	// Find the first knot at or after t.
+	i := sort.Search(len(p.pts), func(i int) bool { return p.pts[i].T >= t })
+	if i < len(p.pts) && p.pts[i].T == t {
+		return p.pts[i].U
+	}
+	lo, hi := p.pts[i-1], p.pts[i]
+	frac := (t - lo.T) / (hi.T - lo.T)
+	return lo.U + (hi.U-lo.U)*frac
+}
+
+// Points returns a copy of the TUF's knots.
+func (p PiecewiseLinear) Points() []Point {
+	return append([]Point(nil), p.pts...)
+}
+
+// MaxUtility implements TUF.
+func (p PiecewiseLinear) MaxUtility() float64 { return p.pts[0].U }
+
+// Termination implements TUF.
+func (p PiecewiseLinear) Termination() float64 { return p.pts[len(p.pts)-1].T }
+
+// CriticalTime implements TUF using bisection over the non-increasing
+// shape.
+func (p PiecewiseLinear) CriticalTime(nu float64) float64 {
+	checkNu(nu)
+	return criticalTimeBisect(p, nu)
+}
+
+func (p PiecewiseLinear) String() string {
+	return fmt.Sprintf("piecewise(%d knots, U0=%g, X=%g)", len(p.pts), p.MaxUtility(), p.Termination())
+}
+
+// criticalTimeBisect returns the latest t in [0, X] with
+// U(t) >= nu·Umax for any non-increasing TUF, by bisection.
+func criticalTimeBisect(f TUF, nu float64) float64 {
+	target := nu * f.MaxUtility()
+	lo, hi := 0.0, f.Termination()
+	if f.Utility(hi) >= target {
+		return hi
+	}
+	// Invariant: U(lo) >= target > U(hi).
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if f.Utility(mid) >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Validate checks that f behaves like a non-increasing unimodal TUF on a
+// sample grid: U(0) = MaxUtility, U never increases, U is non-negative,
+// and U beyond the termination time is 0. samples must be >= 2.
+func Validate(f TUF, samples int) error {
+	if samples < 2 {
+		return fmt.Errorf("tuf: need >= 2 validation samples")
+	}
+	x := f.Termination()
+	if x <= 0 {
+		return fmt.Errorf("tuf: non-positive termination time %g", x)
+	}
+	umax := f.MaxUtility()
+	if umax <= 0 {
+		return fmt.Errorf("tuf: non-positive max utility %g", umax)
+	}
+	if u0 := f.Utility(0); math.Abs(u0-umax) > 1e-9*umax {
+		return fmt.Errorf("tuf: U(0)=%g differs from MaxUtility=%g", u0, umax)
+	}
+	prev := math.Inf(1)
+	for i := 0; i < samples; i++ {
+		t := x * float64(i) / float64(samples-1)
+		u := f.Utility(t)
+		if u < 0 {
+			return fmt.Errorf("tuf: negative utility %g at t=%g", u, t)
+		}
+		if u > prev+1e-9*umax {
+			return fmt.Errorf("tuf: utility increases at t=%g (%g > %g)", t, u, prev)
+		}
+		prev = u
+	}
+	if u := f.Utility(x * 1.001); u != 0 {
+		return fmt.Errorf("tuf: utility %g beyond termination time", u)
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package tuf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func allTUFs() []TUF {
+	return []TUF{
+		NewStep(10, 50),
+		NewLinear(70, 0, 40),
+		NewLinear(70, 20, 40),
+		NewQuadratic(30, 25),
+		NewExponential(100, 10, 60),
+		MustPiecewiseLinear([]Point{{0, 40}, {10, 40}, {20, 15}, {30, 0}}),
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	for _, f := range allTUFs() {
+		if err := Validate(f, 500); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestStepUtility(t *testing.T) {
+	s := NewStep(10, 50)
+	cases := []struct{ t, want float64 }{
+		{0, 10}, {25, 10}, {50, 10}, {50.001, 0}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := s.Utility(c.t); got != c.want {
+			t.Errorf("U(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStepCriticalTime(t *testing.T) {
+	s := NewStep(10, 50)
+	if d := s.CriticalTime(1); d != 50 {
+		t.Fatalf("D = %v, want 50", d)
+	}
+}
+
+func TestStepConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewStep(0, 1) },
+		func() { NewStep(1, 0) },
+		func() { NewStep(-2, 5) },
+	} {
+		assertPanics(t, f)
+	}
+}
+
+func TestLinearUtility(t *testing.T) {
+	l := NewLinear(70, 0, 40)
+	cases := []struct{ t, want float64 }{
+		{0, 70}, {20, 35}, {40, 0}, {41, 0},
+	}
+	for _, c := range cases {
+		if got := l.Utility(c.t); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("U(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestLinearCriticalTime(t *testing.T) {
+	l := NewLinear(70, 0, 40)
+	// U(D) = 0.3*70 = 21 → D = 40*(70-21)/70 = 28.
+	if d := l.CriticalTime(0.3); !almostEqual(d, 28, 1e-9) {
+		t.Fatalf("D = %v, want 28", d)
+	}
+	if d := l.CriticalTime(1); !almostEqual(d, 0, 1e-9) {
+		t.Fatalf("D(nu=1) = %v, want 0", d)
+	}
+}
+
+func TestLinearWithFloorCriticalTime(t *testing.T) {
+	l := NewLinear(100, 50, 40)
+	// nu = 0.4 → target 40 <= UEnd → whole horizon qualifies.
+	if d := l.CriticalTime(0.4); d != 40 {
+		t.Fatalf("D = %v, want 40", d)
+	}
+	// nu = 0.75 → target 75 → t = 40*(100-75)/50 = 20.
+	if d := l.CriticalTime(0.75); !almostEqual(d, 20, 1e-9) {
+		t.Fatalf("D = %v, want 20", d)
+	}
+}
+
+func TestLinearConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLinear(0, 0, 1) },
+		func() { NewLinear(1, -1, 1) },
+		func() { NewLinear(1, 2, 1) },
+		func() { NewLinear(1, 0, 0) },
+	} {
+		assertPanics(t, f)
+	}
+}
+
+func TestQuadratic(t *testing.T) {
+	q := NewQuadratic(30, 25)
+	if got := q.Utility(0); got != 30 {
+		t.Fatalf("U(0) = %v", got)
+	}
+	if got := q.Utility(25); !almostEqual(got, 0, 1e-9) {
+		t.Fatalf("U(X) = %v", got)
+	}
+	// U(D) = nu*30 with nu=0.75 → (t/25)² = 0.25 → t = 12.5.
+	if d := q.CriticalTime(0.75); !almostEqual(d, 12.5, 1e-9) {
+		t.Fatalf("D = %v, want 12.5", d)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := NewExponential(100, 10, 60)
+	if got := e.Utility(0); got != 100 {
+		t.Fatalf("U(0) = %v", got)
+	}
+	if got := e.Utility(10); !almostEqual(got, 100/math.E, 1e-9) {
+		t.Fatalf("U(tau) = %v", got)
+	}
+	// D(nu) = -tau ln(nu), capped at horizon.
+	if d := e.CriticalTime(0.5); !almostEqual(d, 10*math.Ln2, 1e-9) {
+		t.Fatalf("D = %v", d)
+	}
+	if d := e.CriticalTime(0.001); d != 60 {
+		t.Fatalf("capped D = %v, want 60", d)
+	}
+}
+
+func TestPiecewiseLinearUtility(t *testing.T) {
+	p := MustPiecewiseLinear([]Point{{0, 40}, {10, 40}, {20, 15}, {30, 0}})
+	cases := []struct{ t, want float64 }{
+		{0, 40}, {5, 40}, {10, 40}, {15, 27.5}, {20, 15}, {25, 7.5}, {30, 0}, {31, 0},
+	}
+	for _, c := range cases {
+		if got := p.Utility(c.t); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("U(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseLinearCriticalTime(t *testing.T) {
+	p := MustPiecewiseLinear([]Point{{0, 40}, {10, 40}, {20, 15}, {30, 0}})
+	// nu=1 → latest t with U=40 is t=10 (the plateau edge).
+	if d := p.CriticalTime(1); !almostEqual(d, 10, 1e-6) {
+		t.Fatalf("D(1) = %v, want 10", d)
+	}
+	// nu=0.5 → target 20 → on segment 10..20: 40-2.5(t-10)=20 → t=18.
+	if d := p.CriticalTime(0.5); !almostEqual(d, 18, 1e-6) {
+		t.Fatalf("D(0.5) = %v, want 18", d)
+	}
+}
+
+func TestPiecewiseLinearErrors(t *testing.T) {
+	cases := [][]Point{
+		{{0, 1}},                   // too few
+		{{1, 5}, {2, 3}},           // doesn't start at 0
+		{{0, 0}, {1, 0}},           // zero max utility
+		{{0, 5}, {0, 3}},           // non-increasing time
+		{{0, 5}, {1, 6}},           // increasing utility
+		{{0, 5}, {1, -1}},          // negative utility
+		{{0, 5}, {2, 5}, {1, 4}},   // out-of-order knots
+		{{0, 5}, {1, 4}, {2, 4.5}}, // bump
+	}
+	for i, pts := range cases {
+		if _, err := NewPiecewiseLinear(pts); err == nil {
+			t.Errorf("case %d: invalid knots accepted", i)
+		}
+	}
+}
+
+func TestMustPiecewiseLinearPanics(t *testing.T) {
+	assertPanics(t, func() { MustPiecewiseLinear([]Point{{0, 1}}) })
+}
+
+func TestCriticalTimeDefinitionHolds(t *testing.T) {
+	// For every TUF and a grid of nu values: U(D) >= nu*Umax, and for a
+	// slightly later time the bound fails unless D is the termination time.
+	for _, f := range allTUFs() {
+		for _, nu := range []float64{0.1, 0.3, 0.5, 0.75, 0.96, 1} {
+			d := f.CriticalTime(nu)
+			if d < 0 || d > f.Termination() {
+				t.Fatalf("%v: D(%v) = %v outside [0, X]", f, nu, d)
+			}
+			target := nu * f.MaxUtility()
+			if u := f.Utility(d); u < target-1e-6*f.MaxUtility() {
+				t.Errorf("%v: U(D=%v) = %v < %v", f, d, u, target)
+			}
+			if d < f.Termination()-1e-9 {
+				later := d + 1e-6*f.Termination()
+				if u := f.Utility(later); u > target+1e-6*f.MaxUtility() {
+					t.Errorf("%v: D(%v)=%v not maximal (U(%v)=%v)", f, nu, d, later, u)
+				}
+			}
+		}
+	}
+}
+
+func TestCriticalTimePanicsOnBadNu(t *testing.T) {
+	for _, f := range allTUFs() {
+		assertPanics(t, func() { f.CriticalTime(0) })
+		assertPanics(t, func() { f.CriticalTime(1.5) })
+		assertPanics(t, func() { f.CriticalTime(-0.2) })
+	}
+}
+
+func TestQuickLinearNonIncreasing(t *testing.T) {
+	f := func(u0raw, t1raw, t2raw uint16) bool {
+		u0 := float64(u0raw%1000) + 1
+		h := 100.0
+		l := NewLinear(u0, 0, h)
+		t1 := float64(t1raw) / 65535 * h
+		t2 := float64(t2raw) / 65535 * h
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return l.Utility(t1) >= l.Utility(t2)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCriticalTimeMonotoneInNu(t *testing.T) {
+	// Higher nu demands more utility, so the critical time can only shrink.
+	f := func(n1, n2 uint8) bool {
+		nuA := (float64(n1%100) + 1) / 100
+		nuB := (float64(n2%100) + 1) / 100
+		if nuA > nuB {
+			nuA, nuB = nuB, nuA
+		}
+		for _, g := range allTUFs() {
+			if g.CriticalTime(nuA) < g.CriticalTime(nuB)-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadSampleCount(t *testing.T) {
+	if err := Validate(NewStep(1, 1), 1); err == nil {
+		t.Fatal("accepted samples=1")
+	}
+}
+
+func TestValidateCatchesIncreasingTUF(t *testing.T) {
+	if err := Validate(increasing{}, 100); err == nil {
+		t.Fatal("increasing TUF validated")
+	}
+}
+
+// increasing is a deliberately malformed TUF used to exercise Validate.
+type increasing struct{}
+
+func (increasing) Utility(t float64) float64 {
+	if t < 0 || t > 10 {
+		return 0
+	}
+	return 1 + t
+}
+func (increasing) MaxUtility() float64             { return 1 }
+func (increasing) Termination() float64            { return 10 }
+func (increasing) CriticalTime(nu float64) float64 { return 10 }
+func (increasing) String() string                  { return "increasing" }
+
+func TestStrings(t *testing.T) {
+	for _, f := range allTUFs() {
+		if f.String() == "" {
+			t.Errorf("%T has empty String()", f)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func BenchmarkPiecewiseUtility(b *testing.B) {
+	p := MustPiecewiseLinear([]Point{{0, 40}, {10, 40}, {20, 15}, {30, 0}})
+	for i := 0; i < b.N; i++ {
+		_ = p.Utility(float64(i%30) + 0.5)
+	}
+}
+
+func BenchmarkCriticalTimeBisect(b *testing.B) {
+	p := MustPiecewiseLinear([]Point{{0, 40}, {10, 40}, {20, 15}, {30, 0}})
+	for i := 0; i < b.N; i++ {
+		_ = p.CriticalTime(0.5)
+	}
+}

@@ -1,0 +1,112 @@
+// Package viz renders experiment series as ASCII line charts, so the
+// euasim harness can show the *shape* of every reproduced figure directly
+// in a terminal — the level at which this reproduction is meant to match
+// the paper.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve; X and Y must have equal length.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers assigns one glyph per series, cycling if there are many.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series into an ASCII grid of the given size (sensible
+// minimums are enforced). Points are plotted with per-series markers;
+// coinciding points show the later series' marker. Axis ranges cover all
+// series with a small margin.
+func Plot(w io.Writer, title string, series []Series, width, height int) error {
+	if len(series) == 0 {
+		return fmt.Errorf("viz: no series")
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("viz: series %q has %d x but %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("viz: series %q is empty", s.Name)
+		}
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A touch of headroom so extreme points don't sit on the frame.
+	ypad := 0.05 * (ymax - ymin)
+	ymin -= ypad
+	ymax += ypad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := int(float64(height-1) * (ymax - s.Y[i]) / (ymax - ymin))
+			grid[row][col] = m
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	labelW := 9
+	for r, rowBytes := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(ymax)
+		case height - 1:
+			label = trimNum(ymin)
+		case (height - 1) / 2:
+			label = trimNum((ymin + ymax) / 2)
+		}
+		if _, err := fmt.Fprintf(w, "%*s |%s|\n", labelW, label, rowBytes); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%*s  %-*s%s\n", labelW, "", width-len(trimNum(xmax)), trimNum(xmin), trimNum(xmax)); err != nil {
+		return err
+	}
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c %s", markers[i%len(markers)], s.Name)
+	}
+	_, err := fmt.Fprintf(w, "%*s  %s\n", labelW, "", strings.Join(legend, "   "))
+	return err
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.3g", v)
+	return s
+}

@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Plot(&sb, "demo", []Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.ContainsRune(out, '*') || !strings.ContainsRune(out, 'o') {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+10+2 { // title + grid + axis + legend
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotMarkerPositions(t *testing.T) {
+	// A rising line: the first grid row (max y) must contain the marker in
+	// the rightmost column region, the last row in the leftmost.
+	var sb strings.Builder
+	if err := Plot(&sb, "t", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	// Find the first (highest-y) and last grid rows containing a marker;
+	// for a rising line the high row's marker must sit to the right.
+	first, last := -1, -1
+	for i, l := range lines[1:7] {
+		if strings.Contains(l, "*") {
+			if first == -1 {
+				first = i + 1
+			}
+			last = i + 1
+		}
+	}
+	if first == -1 || first == last {
+		t.Fatalf("endpoints not plotted:\n%s", sb.String())
+	}
+	if strings.Index(lines[first], "*") < strings.Index(lines[last], "*") {
+		t.Fatalf("rising line plotted falling:\n%s", sb.String())
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	var sb strings.Builder
+	// Constant series (zero y-range) and single point (zero x-range).
+	if err := Plot(&sb, "flat", []Series{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := Plot(&sb, "dot", []Series{{Name: "p", X: []float64{1}, Y: []float64{1}}}, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "t", nil, 10, 5); err == nil {
+		t.Fatal("empty series list accepted")
+	}
+	if err := Plot(&sb, "t", []Series{{Name: "bad", X: []float64{1}, Y: nil}}, 10, 5); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := Plot(&sb, "t", []Series{{Name: "empty"}}, 10, 5); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestPlotTinyDimensionsClamped(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, "t", []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestManySeriesCycleMarkers(t *testing.T) {
+	series := make([]Series, 10)
+	for i := range series {
+		series[i] = Series{Name: string(rune('a' + i)), X: []float64{float64(i)}, Y: []float64{float64(i)}}
+	}
+	var sb strings.Builder
+	if err := Plot(&sb, "many", series, 40, 12); err != nil {
+		t.Fatal(err)
+	}
+}

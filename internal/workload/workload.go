@@ -1,0 +1,177 @@
+// Package workload synthesizes the paper's evaluation task sets
+// (Section 5, Table 1): three applications whose tasks draw time windows
+// and maximum utilities uniformly from per-application ranges, with
+// normally-distributed cycle demands keeping Var(Y) = E(Y), scaled by the
+// constant k (E by k, Var by k²) to hit a target system load.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+// Shape selects the TUF family assigned to synthesized tasks.
+type Shape int
+
+// TUF families used in the evaluation: Section 5.1 uses step TUFs with
+// {ν=1, ρ=0.96}; Section 5.2 uses linear TUFs with slope U_max/P and
+// {ν=0.3, ρ=0.9}.
+const (
+	Step Shape = iota
+	LinearDecay
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Step:
+		return "step"
+	case LinearDecay:
+		return "linear"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// App describes one of Table 1's applications.
+type App struct {
+	Name  string
+	Tasks int
+	// A is the UAM burst bound ⟨a, P⟩ shared by the app's tasks.
+	A int
+	// PRange is the uniform range of the sliding window P in seconds.
+	PRange [2]float64
+	// UmaxRange is the uniform range of each task's maximum utility.
+	UmaxRange [2]float64
+}
+
+// The three applications of Table 1. The scan of the paper garbles several
+// numerals; task counts and burst bounds follow the legible structure
+// (A1: 4 tasks ⟨5,P⟩; A2: 6 tasks ⟨2,P⟩; A3: 8 tasks ⟨3,P⟩), the U_max
+// ranges follow Section 5.1 ([5,70], [30,40], [1,10]), and the window
+// ranges reproduce the stated "varied mix of short and long time windows".
+func A1() App {
+	return App{Name: "A1", Tasks: 4, A: 5, PRange: [2]float64{0.040, 0.080}, UmaxRange: [2]float64{5, 70}}
+}
+
+// A2 is the second Table 1 application.
+func A2() App {
+	return App{Name: "A2", Tasks: 6, A: 2, PRange: [2]float64{0.015, 0.050}, UmaxRange: [2]float64{30, 40}}
+}
+
+// A3 is the third Table 1 application.
+func A3() App {
+	return App{Name: "A3", Tasks: 8, A: 3, PRange: [2]float64{0.024, 0.060}, UmaxRange: [2]float64{1, 10}}
+}
+
+// Table1 lists the applications in paper order.
+func Table1() []App { return []App{A1(), A2(), A3()} }
+
+// Validate checks the application description.
+func (a App) Validate() error {
+	if a.Tasks < 1 {
+		return fmt.Errorf("workload: %s has %d tasks", a.Name, a.Tasks)
+	}
+	if a.A < 1 {
+		return fmt.Errorf("workload: %s has burst bound %d", a.Name, a.A)
+	}
+	if a.PRange[0] <= 0 || a.PRange[1] < a.PRange[0] {
+		return fmt.Errorf("workload: %s has invalid P range %v", a.Name, a.PRange)
+	}
+	if a.UmaxRange[0] <= 0 || a.UmaxRange[1] < a.UmaxRange[0] {
+		return fmt.Errorf("workload: %s has invalid Umax range %v", a.Name, a.UmaxRange)
+	}
+	return nil
+}
+
+// Options configures task synthesis.
+type Options struct {
+	// Shape selects the TUF family (default Step).
+	Shape Shape
+	// Req is the per-task statistical requirement. The zero value selects
+	// the paper's defaults for the shape: {1, 0.96} for Step, {0.3, 0.9}
+	// for LinearDecay.
+	Req task.Requirement
+	// BaseMeanCycles is the unscaled demand mean (default 1e6); the
+	// variance always equals the mean before load scaling, as Section 5
+	// specifies. Load scaling via task.Set.ScaleToLoad adjusts both.
+	BaseMeanCycles float64
+	// FirstID numbers the synthesized tasks starting here (default 1).
+	FirstID int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Req == (task.Requirement{}) {
+		switch o.Shape {
+		case LinearDecay:
+			o.Req = task.Requirement{Nu: 0.3, Rho: 0.9}
+		default:
+			o.Req = task.Requirement{Nu: 1, Rho: 0.96}
+		}
+	}
+	if o.BaseMeanCycles == 0 {
+		o.BaseMeanCycles = 1e6
+	}
+	if o.FirstID == 0 {
+		o.FirstID = 1
+	}
+	return o
+}
+
+// Synthesize draws one concrete task set for the application. The result
+// is unscaled; chain with task.Set.ScaleToLoad to hit a target load.
+func (a App) Synthesize(src *rng.Source, opts Options) (task.Set, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	ts := make(task.Set, a.Tasks)
+	for i := range ts {
+		p := src.Uniform(a.PRange[0], a.PRange[1])
+		umax := src.Uniform(a.UmaxRange[0], a.UmaxRange[1])
+		var f tuf.TUF
+		switch o.Shape {
+		case Step:
+			f = tuf.NewStep(umax, p)
+		case LinearDecay:
+			// Slope U_max/P: utility decays linearly to zero at the
+			// window's end (Section 5.2).
+			f = tuf.NewLinear(umax, 0, p)
+		default:
+			return nil, fmt.Errorf("workload: unknown TUF shape %v", o.Shape)
+		}
+		ts[i] = &task.Task{
+			ID:      o.FirstID + i,
+			Name:    fmt.Sprintf("%s-T%d", a.Name, i+1),
+			Arrival: uam.Spec{A: a.A, P: p},
+			TUF:     f,
+			Demand:  task.Demand{Mean: o.BaseMeanCycles, Variance: o.BaseMeanCycles},
+			Req:     o.Req,
+		}
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// MustSynthesize is Synthesize panicking on error, for statically valid
+// inputs.
+func (a App) MustSynthesize(src *rng.Source, opts Options) task.Set {
+	ts, err := a.Synthesize(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// WithBurstBound returns a copy of the application with the UAM bound a
+// replaced — used by Figure 3's ⟨1,P⟩/⟨2,P⟩/⟨3,P⟩ sweep.
+func (a App) WithBurstBound(bound int) App {
+	a.A = bound
+	a.Name = fmt.Sprintf("%s<a=%d>", a.Name, bound)
+	return a
+}

@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+)
+
+func TestTable1Shape(t *testing.T) {
+	apps := Table1()
+	if len(apps) != 3 {
+		t.Fatalf("%d applications", len(apps))
+	}
+	wantTasks := []int{4, 6, 8}
+	wantA := []int{5, 2, 3}
+	for i, a := range apps {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if a.Tasks != wantTasks[i] || a.A != wantA[i] {
+			t.Fatalf("%s: tasks=%d a=%d", a.Name, a.Tasks, a.A)
+		}
+	}
+}
+
+func TestSynthesizeRespectsRanges(t *testing.T) {
+	src := rng.New(1)
+	for _, app := range Table1() {
+		for rep := 0; rep < 20; rep++ {
+			ts := app.MustSynthesize(src, Options{})
+			if len(ts) != app.Tasks {
+				t.Fatalf("%s: %d tasks", app.Name, len(ts))
+			}
+			for _, tk := range ts {
+				if tk.Arrival.P < app.PRange[0] || tk.Arrival.P >= app.PRange[1] {
+					t.Fatalf("%s: P=%v outside %v", app.Name, tk.Arrival.P, app.PRange)
+				}
+				u := tk.TUF.MaxUtility()
+				if u < app.UmaxRange[0] || u >= app.UmaxRange[1] {
+					t.Fatalf("%s: Umax=%v outside %v", app.Name, u, app.UmaxRange)
+				}
+				if tk.Arrival.A != app.A {
+					t.Fatalf("%s: a=%d", app.Name, tk.Arrival.A)
+				}
+				if tk.Demand.Variance != tk.Demand.Mean {
+					t.Fatalf("Var != E before scaling")
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeStepDefaults(t *testing.T) {
+	src := rng.New(2)
+	ts := A1().MustSynthesize(src, Options{Shape: Step})
+	for _, tk := range ts {
+		if _, ok := tk.TUF.(tuf.Step); !ok {
+			t.Fatalf("TUF %T", tk.TUF)
+		}
+		if tk.Req != (task.Requirement{Nu: 1, Rho: 0.96}) {
+			t.Fatalf("req = %+v", tk.Req)
+		}
+	}
+}
+
+func TestSynthesizeLinearDefaults(t *testing.T) {
+	src := rng.New(3)
+	ts := A2().MustSynthesize(src, Options{Shape: LinearDecay})
+	for _, tk := range ts {
+		lin, ok := tk.TUF.(tuf.Linear)
+		if !ok {
+			t.Fatalf("TUF %T", tk.TUF)
+		}
+		if lin.UEnd != 0 || lin.Horizon != tk.Arrival.P {
+			t.Fatalf("linear TUF %+v", lin)
+		}
+		if tk.Req != (task.Requirement{Nu: 0.3, Rho: 0.9}) {
+			t.Fatalf("req = %+v", tk.Req)
+		}
+	}
+}
+
+func TestSynthesizeCustomOptions(t *testing.T) {
+	src := rng.New(4)
+	ts := A3().MustSynthesize(src, Options{
+		Shape:          LinearDecay,
+		Req:            task.Requirement{Nu: 0.5, Rho: 0.8},
+		BaseMeanCycles: 2e6,
+		FirstID:        100,
+	})
+	if ts[0].ID != 100 || ts[7].ID != 107 {
+		t.Fatalf("IDs = %d..%d", ts[0].ID, ts[7].ID)
+	}
+	if ts[0].Demand.Mean != 2e6 {
+		t.Fatalf("mean = %v", ts[0].Demand.Mean)
+	}
+	if ts[0].Req.Nu != 0.5 {
+		t.Fatalf("req = %+v", ts[0].Req)
+	}
+}
+
+func TestSynthesizeScalesToLoad(t *testing.T) {
+	src := rng.New(5)
+	fmax := cpu.PowerNowK6().Max()
+	for _, load := range []float64{0.2, 1.0, 1.8} {
+		ts := A1().MustSynthesize(src, Options{}).ScaleToLoad(load, fmax)
+		if got := ts.Load(fmax); math.Abs(got-load) > 1e-9 {
+			t.Fatalf("load = %v, want %v", got, load)
+		}
+	}
+}
+
+func TestWithBurstBound(t *testing.T) {
+	a := A1().WithBurstBound(1)
+	if a.A != 1 {
+		t.Fatalf("a = %d", a.A)
+	}
+	src := rng.New(6)
+	ts := a.MustSynthesize(src, Options{})
+	for _, tk := range ts {
+		if tk.Arrival.A != 1 {
+			t.Fatal("burst bound not applied")
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []App{
+		{Name: "x", Tasks: 0, A: 1, PRange: [2]float64{1, 2}, UmaxRange: [2]float64{1, 2}},
+		{Name: "x", Tasks: 1, A: 0, PRange: [2]float64{1, 2}, UmaxRange: [2]float64{1, 2}},
+		{Name: "x", Tasks: 1, A: 1, PRange: [2]float64{0, 2}, UmaxRange: [2]float64{1, 2}},
+		{Name: "x", Tasks: 1, A: 1, PRange: [2]float64{2, 1}, UmaxRange: [2]float64{1, 2}},
+		{Name: "x", Tasks: 1, A: 1, PRange: [2]float64{1, 2}, UmaxRange: [2]float64{0, 2}},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+		if _, err := a.Synthesize(rng.New(1), Options{}); err == nil {
+			t.Errorf("case %d synthesized", i)
+		}
+	}
+}
+
+func TestSynthesizeUnknownShape(t *testing.T) {
+	if _, err := A1().Synthesize(rng.New(1), Options{Shape: Shape(9), Req: task.Requirement{Nu: 1, Rho: 0.9}}); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Step.String() != "step" || LinearDecay.String() != "linear" || Shape(7).String() == "" {
+		t.Fatal("shape strings")
+	}
+}
+
+func TestQuickSynthesizedSetsValid(t *testing.T) {
+	f := func(seed uint64, which uint8) bool {
+		app := Table1()[int(which)%3]
+		src := rng.New(seed)
+		ts, err := app.Synthesize(src, Options{})
+		if err != nil {
+			return false
+		}
+		return ts.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
