@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench fuzz experiments examples clean
+.PHONY: all build test test-race vet bench fuzz fuzz-smoke check experiments examples clean
 
 all: build vet test
 
@@ -13,12 +13,26 @@ vet:
 test:
 	$(GO) test ./...
 
+# test-race exercises the parallel experiment runner (and everything else)
+# under the race detector; the determinism tests run sweeps at several
+# worker counts, so data races in the fan-out surface here.
+test-race:
+	$(GO) test -race ./...
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 fuzz:
 	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/
 	$(GO) test -fuzz=FuzzGenerators -fuzztime=30s ./internal/uam/
+	$(GO) test -fuzz=FuzzConfig -fuzztime=30s ./internal/config/
+
+# fuzz-smoke is the short CI-friendly fuzz pass wired into check.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzConfig -fuzztime=5s -run='^$$' ./internal/config/
+
+# check is the full local gate: build, vet, tests, race tests, fuzz smoke.
+check: build vet test test-race fuzz-smoke
 
 experiments:
 	$(GO) run ./cmd/euasim -exp all -seeds 3 -horizon 1

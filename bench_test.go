@@ -8,9 +8,11 @@
 package euastar_test
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	euastar "github.com/euastar/euastar"
 	"github.com/euastar/euastar/internal/energy"
@@ -286,6 +288,39 @@ func BenchmarkAblationAbortPolicy(b *testing.B) {
 	b.ReportMetric(over.Utility["laEDF"], "abort-utility@1.8")
 	b.ReportMetric(over.Utility["laEDF-NA"], "na-utility@1.8")
 	timeOneRun(b, func() euastar.Scheduler { return euastar.NewLAEDF(false) }, 1.8)
+}
+
+// BenchmarkParallelSweepSpeedup measures the parallel experiment runner:
+// each iteration runs the same Figure-2 sweep with Workers=1 and
+// Workers=GOMAXPROCS and reports the wall-clock ratio as "speedup-x".
+// The sweep is embarrassingly parallel (loads × seeds × schemes), so on
+// an N-core machine the ratio should approach min(N, jobs); on a
+// single-core container it sits near 1. Determinism across worker counts
+// is asserted by TestSweepDeterministicAcrossWorkers, not here.
+func BenchmarkParallelSweepSpeedup(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	sweep := func(w int) {
+		cfg := benchCfg(energy.E1)
+		cfg.Workers = w
+		if _, err := experiment.Figure2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var seq, par time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		sweep(1)
+		seq += time.Since(start)
+		start = time.Now()
+		sweep(workers)
+		par += time.Since(start)
+	}
+	b.StopTimer()
+	if par > 0 {
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup-x")
+	}
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkEUADecision micro-benchmarks one full simulation dominated by

@@ -9,29 +9,44 @@
 //	euasim -exp all
 //	euasim -exp fig2 -energy E3 -seeds 5 -horizon 2
 //	euasim -exp fig3 -loads 0.2,0.5,0.9,1.4
+//	euasim -exp fig2 -workers 8
+//
+// Simulations fan out across -workers goroutines (default: all cores).
+// Stdout is bit-identical for every worker count; wall-clock and progress
+// reporting go to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/experiment"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Exit codes: 0 on success (including -h/-help), 1 on any error.
+	// Progress/timing goes to stderr so stdout stays a clean, seed- and
+	// worker-count-deterministic artifact suitable for diffing.
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "euasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, diag io.Writer) error {
 	fs := flag.NewFlagSet("euasim", flag.ContinueOnError)
+	fs.SetOutput(diag)
 	var (
 		exp      = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|all")
 		chart    = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
@@ -39,15 +54,23 @@ func run(args []string, out io.Writer) error {
 		loads    = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
 		seeds    = fs.Int("seeds", 3, "number of replications (seeds 1..n)")
 		horizon  = fs.Float64("horizon", 1.0, "arrival horizon per run in seconds")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "simulations run concurrently (results are identical for any value; counts above the number of jobs are clamped)")
 		jsonPath = fs.String("json", "", "additionally write results as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers <= 0 {
+		return fmt.Errorf("-workers must be >= 1, got %d", *workers)
+	}
+	if *seeds <= 0 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
 
 	cfg := experiment.Config{
 		Energy:  energy.Preset(*preset),
 		Horizon: *horizon,
+		Workers: *workers,
 	}
 	if *loads != "" {
 		parsed, err := parseLoads(*loads)
@@ -65,7 +88,9 @@ func run(args []string, out io.Writer) error {
 	if *exp == "all" {
 		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention"}
 	}
+	total := time.Now()
 	for _, e := range todo {
+		start := time.Now()
 		fmt.Fprintf(out, "== %s (%s) ==\n", e, experiment.Describe(cfg))
 		switch e {
 		case "table1":
@@ -166,7 +191,10 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown experiment %q", e)
 		}
 		fmt.Fprintln(out)
+		fmt.Fprintf(diag, "euasim: %s done in %v (%d workers)\n",
+			e, time.Since(start).Round(time.Millisecond), *workers)
 	}
+	fmt.Fprintf(diag, "euasim: all experiments done in %v\n", time.Since(total).Round(time.Millisecond))
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {

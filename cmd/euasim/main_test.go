@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
@@ -24,7 +27,7 @@ func TestParseLoads(t *testing.T) {
 }
 
 func TestRunTables(t *testing.T) {
-	if err := run([]string{"-exp", "table1,table2"}, io.Discard); err != nil {
+	if err := run([]string{"-exp", "table1,table2"}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,7 +35,7 @@ func TestRunTables(t *testing.T) {
 func TestRunSmallSweeps(t *testing.T) {
 	args := []string{"-seeds", "1", "-horizon", "0.3", "-loads", "0.5,1.5"}
 	for _, exp := range []string{"fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention"} {
-		if err := run(append([]string{"-exp", exp}, args...), io.Discard); err != nil {
+		if err := run(append([]string{"-exp", exp}, args...), io.Discard, io.Discard); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -41,7 +44,7 @@ func TestRunSmallSweeps(t *testing.T) {
 func TestRunChartAndJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	err := run([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "0.3",
-		"-loads", "0.5", "-chart", "-json", path}, io.Discard)
+		"-loads", "0.5", "-chart", "-json", path}, io.Discard, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,16 +58,89 @@ func TestRunChartAndJSON(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-exp", "nonsense"}, io.Discard); err == nil {
+	if err := run([]string{"-exp", "nonsense"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
+// TestWorkersFlag pins the -workers contract: invalid counts are rejected
+// before any simulation runs, counts above the number of jobs are clamped
+// and still work, and a valid run accepts any positive count.
+func TestWorkersFlag(t *testing.T) {
+	small := []string{"-exp", "fig2", "-seeds", "1", "-horizon", "0.3", "-loads", "0.5"}
+	cases := []struct {
+		name    string
+		workers string
+		wantErr bool
+	}{
+		{name: "negative", workers: "-3", wantErr: true},
+		{name: "zero", workers: "0", wantErr: true},
+		{name: "one", workers: "1", wantErr: false},
+		{name: "several", workers: "7", wantErr: false},
+		{name: "more-than-jobs", workers: "500", wantErr: false},
+		{name: "not-a-number", workers: "many", wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			args := append([]string{"-workers", c.workers}, small...)
+			err := run(args, io.Discard, io.Discard)
+			if c.wantErr && err == nil {
+				t.Fatalf("-workers %s accepted", c.workers)
+			}
+			if !c.wantErr && err != nil {
+				t.Fatalf("-workers %s: %v", c.workers, err)
+			}
+		})
+	}
+}
+
+// TestWorkersOutputIdentical is the CLI-level determinism check: stdout
+// must be byte-identical for every worker count (timing goes to the diag
+// writer, which is allowed to differ).
+func TestWorkersOutputIdentical(t *testing.T) {
+	capture := func(workers string) string {
+		var out bytes.Buffer
+		err := run([]string{"-exp", "fig2,assurance", "-seeds", "2", "-horizon", "0.3",
+			"-loads", "0.5,1.5", "-workers", workers}, &out, io.Discard)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		return out.String()
+	}
+	seq := capture("1")
+	if par := capture("8"); par != seq {
+		t.Fatalf("stdout differs between -workers 1 and -workers 8:\n--- 1 ---\n%s--- 8 ---\n%s", seq, par)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-loads", "abc"}, io.Discard); err == nil {
+	if err := run([]string{"-loads", "abc"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad loads accepted")
 	}
-	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard, io.Discard); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-seeds", "0"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("zero seeds accepted")
+	}
+	// -h must surface flag.ErrHelp (main maps it to exit code 0).
+	if err := run([]string{"-h"}, io.Discard, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestDiagReporting checks that progress/timing lands on the diag writer,
+// not on stdout.
+func TestDiagReporting(t *testing.T) {
+	var out, diag bytes.Buffer
+	err := run([]string{"-exp", "table1", "-workers", "2"}, &out, &diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "table1 done in") {
+		t.Fatalf("diag output missing timing: %q", diag.String())
+	}
+	if strings.Contains(out.String(), "done in") {
+		t.Fatal("timing leaked into stdout")
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"path/filepath"
@@ -84,5 +85,55 @@ func TestShippedWorkloadFileLoads(t *testing.T) {
 	if err := run([]string{"-tasks", "../../examples/quickstart/workload.json",
 		"-load", "0.4", "-horizon", "0.2"}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// goldenArgs is the fixed invocation whose output is pinned by
+// testdata/golden_output.txt. Keep in sync with the regeneration command
+// in the golden file's sibling JSON comment.
+var goldenArgs = []string{
+	"-tasks", "testdata/golden_tasks.json",
+	"-sched", "eua", "-seed", "7",
+	"-load", "0.8", "-horizon", "0.4",
+	"-gantt", "-width", "72",
+}
+
+// TestGoldenTrace is the scheduler-behaviour regression gate: a fixed
+// workload, seed and horizon must reproduce the committed euatrace output
+// byte for byte. Any refactor that silently changes a scheduling
+// decision, a frequency choice, or the RNG stream shows up here as a
+// diff. The -tasks path is echoed into the output, so regenerate from
+// this directory (the test's working directory) to keep it stable:
+//
+//	cd cmd/euatrace && go run . -tasks testdata/golden_tasks.json \
+//	    -sched eua -seed 7 -load 0.8 -horizon 0.4 -gantt -width 72 \
+//	    > testdata/golden_output.txt
+func TestGoldenTrace(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_output.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(goldenArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("euatrace output drifted from golden file (scheduler decisions changed?)\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestGoldenTraceStable runs the golden scenario twice in one process:
+// equal outputs prove the trace depends only on its inputs, not on
+// leftover state from a previous run.
+func TestGoldenTraceStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(goldenArgs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(goldenArgs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two identical euatrace runs produced different output")
 	}
 }

@@ -1,0 +1,51 @@
+package config
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzConfig feeds arbitrary bytes to the workload-file loader. The
+// contract under fuzzing: malformed input must surface as an error —
+// never as a panic — and accepted input must round-trip through Save into
+// a document Load accepts again.
+func FuzzConfig(f *testing.F) {
+	// Valid documents, one per TUF family plus sections.
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"step","umax":10},"mean_cycles":1e6,"variance_cycles":1e10,"nu":1,"rho":0.9}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":2,"window_ms":50,"tuf":{"shape":"linear","umax":10,"uend":0},"mean_cycles":1e6,"variance_cycles":0,"nu":0.3,"rho":0.9}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":80,"tuf":{"shape":"quadratic","umax":7},"mean_cycles":1e5,"variance_cycles":0,"nu":0.5,"rho":0.5}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":80,"tuf":{"shape":"exponential","umax":7,"tau_ms":20},"mean_cycles":1e5,"variance_cycles":0,"nu":0.5,"rho":0.5}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":60,"tuf":{"shape":"piecewise","points":[[0,5],[30,5],[60,0]]},"mean_cycles":1e5,"variance_cycles":0,"nu":0.4,"rho":0.8}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"step","umax":10},"mean_cycles":1e6,"variance_cycles":0,"nu":1,"rho":0.9,"sections":[{"resource":1,"start":0.1,"end":0.5}]}]}`))
+	// Malformed shapes the loader must reject gracefully.
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"tasks":[]}`))
+	f.Add([]byte(`{"tasks":[{}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":-3,"window_ms":-1}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"cubic"},"mean_cycles":1,"nu":1,"rho":0.9}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":1e308,"tuf":{"shape":"step","umax":1e308},"mean_cycles":1e308,"variance_cycles":1e308,"nu":1,"rho":0.999999}]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"piecewise","points":[[60,0],[0,5]]},"mean_cycles":1,"nu":1,"rho":0}]}`))
+	f.Add([]byte(`{"unknown_field":1,"tasks":[{"id":1,"a":1,"window_ms":100,"tuf":{"shape":"step","umax":1},"mean_cycles":1,"nu":1,"rho":0}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly — the only acceptable failure mode
+		}
+		// Accepted input must be a fully valid task set...
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("Load accepted an invalid task set: %v\ninput: %s", err, data)
+		}
+		// ...and survive a Save/Load round trip (piecewise knots and other
+		// TUF parameters must reproduce a loadable document).
+		var buf bytes.Buffer
+		if err := Save(&buf, ts, "fuzz round-trip"); err != nil {
+			return // e.g. a TUF family Save does not serialize
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round trip failed: %v\nsaved: %s\ninput: %s", err, buf.Bytes(), data)
+		}
+	})
+}

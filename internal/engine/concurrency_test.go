@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// fingerprint reduces a Result to a string that pins every observable
+// outcome of a run: per-job resolution, timings, utilities, and the
+// aggregate meters. Two runs with equal fingerprints made identical
+// decisions.
+func fingerprint(res *Result) string {
+	s := fmt.Sprintf("sched=%s energy=%.17g cycles=%.17g busy=%.17g end=%.17g switches=%d decisions=%d\n",
+		res.SchedulerName, res.TotalEnergy, res.Cycles, res.BusyTime, res.EndTime, res.Switches, res.Decisions)
+	for _, j := range res.Jobs {
+		s += fmt.Sprintf("T%d#%d arr=%.17g state=%v fin=%.17g util=%.17g exec=%.17g\n",
+			j.Task.ID, j.Index, j.Arrival, j.State, j.FinishedAt, j.Utility, j.Executed)
+	}
+	for _, sp := range res.Trace {
+		s += fmt.Sprintf("span %.17g-%.17g f=%g cyc=%.17g\n", sp.Start, sp.End, sp.Frequency, sp.Cycles)
+	}
+	return s
+}
+
+// TestRunConcurrentDeterministic is the engine half of the parallel-runner
+// proof: many goroutines simulate the same randomized configurations
+// concurrently (fresh scheduler and task set each, as the documented
+// contract requires) and every run must reproduce the sequential
+// reference bit for bit. Run under -race this also certifies that Run
+// keeps no hidden shared state.
+func TestRunConcurrentDeterministic(t *testing.T) {
+	seeds := []uint64{3, 17, 42}
+	want := make([]string, len(seeds))
+	for i, seed := range seeds {
+		res, err := Run(randomConfig(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want[i] = fingerprint(res)
+	}
+
+	const replicas = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas*len(seeds))
+	for r := 0; r < replicas; r++ {
+		for i, seed := range seeds {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := Run(randomConfig(seed))
+				if err != nil {
+					errs <- fmt.Errorf("seed %d: %w", seed, err)
+					return
+				}
+				if got := fingerprint(res); got != want[i] {
+					errs <- fmt.Errorf("seed %d: concurrent run diverged from sequential reference", seed)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRunSharedTaskSetConcurrent exercises the documented shared-input
+// case: concurrent runs over one task.Set (profilers nil) with distinct
+// scheduler instances. The engine must treat the shared tasks as
+// read-only — -race verifies it — and produce identical results.
+func TestRunSharedTaskSetConcurrent(t *testing.T) {
+	ts := task.Set{
+		stepTask(1, 0.05, 10, 2e6),
+		stepTask(2, 0.08, 25, 5e6),
+		stepTask(3, 0.12, 40, 9e6),
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() Config {
+		cfg := baseConfig(ts, eua.New(), 0.5)
+		cfg.RecordTrace = true
+		return cfg
+	}
+	ref, err := Run(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+
+	const replicas = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas)
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Run(mk())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if fingerprint(res) != want {
+				errs <- fmt.Errorf("shared-task-set run diverged from reference")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

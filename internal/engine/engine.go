@@ -196,6 +196,18 @@ type state struct {
 }
 
 // Run executes one simulation and returns its result.
+//
+// Run is safe for concurrent use: all simulation state is local to the
+// call and every stochastic input is derived deterministically from
+// cfg.Seed, so concurrent runs with equal configs produce identical
+// results. Two caveats, both enforced by the experiment runner:
+//
+//   - Each call needs its own Scheduler instance (schedulers carry
+//     per-run state).
+//   - Concurrent runs may share a task.Set only if no task has a non-nil
+//     Profiler: the engine feeds completed jobs' cycles back into the
+//     profiler, which mutates the shared Task. Everything else on Task
+//     is treated as read-only.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err

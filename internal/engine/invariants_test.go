@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -99,7 +100,10 @@ func TestQuickEngineInvariants(t *testing.T) {
 		}
 		// Every job resolved; resolution times ordered sanely; utilities
 		// within [0, Umax]; energy non-negative; executed <= actual.
+		var sumUtility, sumMaxUtility float64
 		for _, j := range res.Jobs {
+			sumUtility += j.Utility
+			sumMaxUtility += j.Task.TUF.MaxUtility()
 			switch j.State {
 			case task.Completed:
 				if j.Executed < j.ActualCycles*(1-1e-6) {
@@ -129,10 +133,20 @@ func TestQuickEngineInvariants(t *testing.T) {
 		if res.TotalEnergy < 0 || res.Cycles < 0 {
 			return false
 		}
+		// Accrued utility is bounded by the sum of the released jobs'
+		// maximum utilities — no scheduler can mint value.
+		if sumUtility > sumMaxUtility*(1+1e-9) {
+			t.Logf("seed %d: accrued %v exceeds attainable %v", seed, sumUtility, sumMaxUtility)
+			return false
+		}
 		// Trace invariants: no overlap, cycle conservation, legal
 		// frequencies (these call the same checks trace.Validate performs,
-		// inlined to avoid the import cycle).
+		// inlined to avoid the import cycle), no execution past a job's
+		// termination time X = arrival + P under the abortion policy, and
+		// monotonically non-decreasing cumulative energy when the metered
+		// total is replayed span by span.
 		var sum float64
+		var cumEnergy float64
 		for i, sp := range res.Trace {
 			if sp.End <= sp.Start || !cfg.Freqs.Contains(sp.Frequency) {
 				return false
@@ -140,7 +154,32 @@ func TestQuickEngineInvariants(t *testing.T) {
 			if i > 0 && sp.Start < res.Trace[i-1].End-1e-9 {
 				return false
 			}
+			if cfg.AbortAtTermination && sp.End > sp.Job.Termination+1e-9 {
+				t.Logf("seed %d: %v executed until %v past termination %v", seed, sp.Job, sp.End, sp.Job.Termination)
+				return false
+			}
+			if sp.Start < sp.Job.Arrival-1e-9 {
+				t.Logf("seed %d: %v executed before arrival", seed, sp.Job)
+				return false
+			}
+			spanEnergy := cfg.Energy.Energy(sp.Cycles, sp.Frequency)
+			if spanEnergy < 0 {
+				t.Logf("seed %d: span energy %v negative", seed, spanEnergy)
+				return false
+			}
+			next := cumEnergy + spanEnergy
+			if next < cumEnergy {
+				t.Logf("seed %d: cumulative energy decreased %v -> %v", seed, cumEnergy, next)
+				return false
+			}
+			cumEnergy = next
 			sum += sp.Cycles
+		}
+		// The replayed trace energy must reproduce the meter's total
+		// (randomConfig charges no idle power, so busy energy is all of it).
+		if diff := cumEnergy - res.TotalEnergy; diff > 1e-6*res.TotalEnergy+1e-9 || diff < -1e-6*res.TotalEnergy-1e-9 {
+			t.Logf("seed %d: trace energy %v vs metered %v", seed, cumEnergy, res.TotalEnergy)
+			return false
 		}
 		if diff := sum - res.Cycles; diff > 1e-3*res.Cycles+1 || diff < -1e-3*res.Cycles-1 {
 			t.Logf("seed %d: trace cycles %v vs metered %v", seed, sum, res.Cycles)
@@ -149,6 +188,42 @@ func TestQuickEngineInvariants(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickArrivalTracesRespectUAM checks, at the engine boundary, that
+// the realized arrival stream of every task in a random run never exceeds
+// its UAM bound: no sliding window of length P contains more than a
+// arrivals (the generator-level property is tested in internal/uam; this
+// covers the engine's wiring of generators to tasks).
+func TestQuickArrivalTracesRespectUAM(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := randomConfig(seed)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		arrivals := map[int][]float64{}
+		for _, j := range res.Jobs {
+			arrivals[j.Task.ID] = append(arrivals[j.Task.ID], j.Arrival)
+		}
+		for _, tk := range cfg.Tasks {
+			tr := arrivals[tk.ID]
+			sort.Float64s(tr)
+			if err := uam.Compliant(tr, tk.Arrival); err != nil {
+				t.Logf("seed %d: task %d: %v", seed, tk.ID, err)
+				return false
+			}
+			if d := uam.Density(tr, tk.Arrival.P); d > tk.Arrival.A {
+				t.Logf("seed %d: task %d: %d arrivals in one window (bound %d)", seed, tk.ID, d, tk.Arrival.A)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -86,6 +86,14 @@ type Config struct {
 	Horizon float64 // seconds of arrivals per run
 	// Apps defaults to the three Table 1 applications combined.
 	Apps []workload.App
+
+	// Workers bounds how many simulations run concurrently. Zero (the
+	// default) selects runtime.GOMAXPROCS(0); 1 recovers the strictly
+	// sequential runner. Every sweep is bit-identical for every worker
+	// count: each simulation unit derives all randomness from its own
+	// (seed, load, scheme) coordinates and results are merged back in the
+	// sequential iteration order.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -192,10 +200,60 @@ func Ablation(cfg Config) ([]Row, error) {
 	return sweep(cfg, AblationSchemes(), workload.Step, 0)
 }
 
+// sweepUnit is the result of one (load, seed) simulation cell: every
+// scheme's utility and energy normalized to the baseline on the identical
+// realized workload.
+type sweepUnit struct {
+	utility map[string]float64
+	energy  map[string]float64
+}
+
 func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int) ([]Row, error) {
 	base := BaselineScheme()
+	// Fan the (load, seed) cells out across the worker pool. Each cell is
+	// self-contained: the workload is synthesized from the seed alone and
+	// engine.Run derives every stochastic input from the seed, so cells
+	// share no mutable state and their results do not depend on execution
+	// order.
+	g := grid(len(cfg.Loads), len(cfg.Seeds))
+	units := make([]sweepUnit, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
+		ts, err := synthesize(cfg, seed, shape, burstOverride)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+		baseRep, err := runOne(cfg, base, ts, seed, runOptions{})
+		if err != nil {
+			return err
+		}
+		u := sweepUnit{
+			utility: make(map[string]float64, len(schemes)),
+			energy:  make(map[string]float64, len(schemes)),
+		}
+		for _, sc := range schemes {
+			rep, err := runOne(cfg, sc, ts, seed, runOptions{})
+			if err != nil {
+				return err
+			}
+			n := metrics.Normalize(rep, baseRep)
+			u.utility[sc.Name] = n.Utility
+			u.energy[sc.Name] = n.Energy
+		}
+		units[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Ordered merge: feed the per-cell results into the Welford
+	// accumulators in exactly the order the sequential loop would have,
+	// so means and error bars are bit-identical regardless of which
+	// worker finished first.
 	rows := make([]Row, 0, len(cfg.Loads))
-	for _, load := range cfg.Loads {
+	for li, load := range cfg.Loads {
 		row := Row{
 			Load:       load,
 			Utility:    make(map[string]float64, len(schemes)),
@@ -209,24 +267,11 @@ func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int
 			accU[sc.Name] = &stats.Welford{}
 			accE[sc.Name] = &stats.Welford{}
 		}
-		for _, seed := range cfg.Seeds {
-			ts, err := synthesize(cfg, seed, shape, burstOverride)
-			if err != nil {
-				return nil, err
-			}
-			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-			baseRep, err := runOne(cfg, base, ts, seed, runOptions{})
-			if err != nil {
-				return nil, err
-			}
+		for si := range cfg.Seeds {
+			u := units[li*len(cfg.Seeds)+si]
 			for _, sc := range schemes {
-				rep, err := runOne(cfg, sc, ts, seed, runOptions{})
-				if err != nil {
-					return nil, err
-				}
-				n := metrics.Normalize(rep, baseRep)
-				accU[sc.Name].Add(n.Utility)
-				accE[sc.Name].Add(n.Energy)
+				accU[sc.Name].Add(u.utility[sc.Name])
+				accE[sc.Name].Add(u.energy[sc.Name])
 			}
 		}
 		for _, sc := range schemes {
@@ -275,27 +320,39 @@ func Figure3(cfg Config, bounds []int) ([]Fig3Row, error) {
 	if len(bounds) == 0 {
 		bounds = []int{1, 2, 3}
 	}
-	rows := make([]Fig3Row, 0, len(cfg.Loads))
 	noDVS := Scheme{Name: "EUA*-noDVS", New: func() sched.Scheduler { return eua.New(eua.WithoutDVS()) }, Abort: true}
 	dvs := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
-	for _, load := range cfg.Loads {
+	// Fan out the (load, bound, seed) cells; merge in sequential order.
+	g := grid(len(cfg.Loads), len(bounds), len(cfg.Seeds))
+	units := make([]float64, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		load, a, seed := cfg.Loads[c[0]], bounds[c[1]], cfg.Seeds[c[2]]
+		ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+		baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals})
+		if err != nil {
+			return err
+		}
+		rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals})
+		if err != nil {
+			return err
+		}
+		units[i] = metrics.Normalize(rep, baseRep).Energy
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3Row, 0, len(cfg.Loads))
+	for li, load := range cfg.Loads {
 		row := Fig3Row{Load: load, Energy: make(map[int]float64, len(bounds))}
-		for _, a := range bounds {
-			for _, seed := range cfg.Seeds {
-				ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
-				if err != nil {
-					return nil, err
-				}
-				ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-				baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals})
-				if err != nil {
-					return nil, err
-				}
-				rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals})
-				if err != nil {
-					return nil, err
-				}
-				row.Energy[a] += metrics.Normalize(rep, baseRep).Energy
+		for bi, a := range bounds {
+			for si := range cfg.Seeds {
+				row.Energy[a] += units[(li*len(bounds)+bi)*len(cfg.Seeds)+si]
 			}
 			row.Energy[a] /= float64(len(cfg.Seeds))
 		}
@@ -322,28 +379,53 @@ func Assurance(cfg Config) ([]AssuranceRow, error) {
 		{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true},
 		BaselineScheme(),
 	}
+	// Fan out the (load, seed) cells; merge in sequential order.
+	type assuranceUnit struct {
+		satisfied map[string]bool
+		ratio     map[string]float64
+	}
+	g := grid(len(cfg.Loads), len(cfg.Seeds))
+	units := make([]assuranceUnit, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
+		ts, err := synthesize(cfg, seed, workload.Step, 1)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+		u := assuranceUnit{
+			satisfied: make(map[string]bool, len(schemes)),
+			ratio:     make(map[string]float64, len(schemes)),
+		}
+		for _, sc := range schemes {
+			rep, err := runOne(cfg, sc, ts, seed, runOptions{})
+			if err != nil {
+				return err
+			}
+			u.satisfied[sc.Name] = rep.AssuranceSatisfied()
+			u.ratio[sc.Name] = rep.UtilityRatio()
+		}
+		units[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]AssuranceRow, 0, len(cfg.Loads))
-	for _, load := range cfg.Loads {
+	for li, load := range cfg.Loads {
 		row := AssuranceRow{
 			Load:         load,
 			Satisfied:    make(map[string]float64, len(schemes)),
 			UtilityRatio: make(map[string]float64, len(schemes)),
 		}
-		for _, seed := range cfg.Seeds {
-			ts, err := synthesize(cfg, seed, workload.Step, 1)
-			if err != nil {
-				return nil, err
-			}
-			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+		for si := range cfg.Seeds {
+			u := units[li*len(cfg.Seeds)+si]
 			for _, sc := range schemes {
-				rep, err := runOne(cfg, sc, ts, seed, runOptions{})
-				if err != nil {
-					return nil, err
-				}
-				if rep.AssuranceSatisfied() {
+				if u.satisfied[sc.Name] {
 					row.Satisfied[sc.Name]++
 				}
-				row.UtilityRatio[sc.Name] += rep.UtilityRatio()
+				row.UtilityRatio[sc.Name] += u.ratio[sc.Name]
 			}
 		}
 		for _, sc := range schemes {

@@ -45,27 +45,43 @@ func Budget(cfg Config, fracs []float64) ([]BudgetRow, error) {
 		}, Abort: true},
 		{Name: "EDF-fm", New: func() sched.Scheduler { return edf.New(true) }, Abort: true},
 	}
+	// Fan out the (budget fraction, seed) cells; merge in sequential order.
+	g := grid(len(fracs), len(cfg.Seeds))
+	units := make([]map[string]float64, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		frac, seed := fracs[c[0]], cfg.Seeds[c[1]]
+		ts, err := synthesize(cfg, seed, workload.Step, 1)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+		// Reference: the full-run energy of the EDF-f_m baseline.
+		ref, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
+		if err != nil {
+			return err
+		}
+		budget := frac * ref.TotalEnergy
+		u := make(map[string]float64, len(schemes))
+		for _, sc := range schemes {
+			rep, err := runOne(cfg, sc, ts, seed, runOptions{energyBudget: budget})
+			if err != nil {
+				return err
+			}
+			u[sc.Name] = rep.UtilityRatio()
+		}
+		units[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]BudgetRow, 0, len(fracs))
-	for _, frac := range fracs {
+	for fi, frac := range fracs {
 		row := BudgetRow{BudgetFrac: frac, Utility: map[string]float64{}}
-		for _, seed := range cfg.Seeds {
-			ts, err := synthesize(cfg, seed, workload.Step, 1)
-			if err != nil {
-				return nil, err
-			}
-			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
-			// Reference: the full-run energy of the EDF-f_m baseline.
-			ref, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
-			if err != nil {
-				return nil, err
-			}
-			budget := frac * ref.TotalEnergy
+		for si := range cfg.Seeds {
 			for _, sc := range schemes {
-				rep, err := runOne(cfg, sc, ts, seed, runOptions{energyBudget: budget})
-				if err != nil {
-					return nil, err
-				}
-				row.Utility[sc.Name] += rep.UtilityRatio()
+				row.Utility[sc.Name] += units[fi*len(cfg.Seeds)+si][sc.Name]
 			}
 		}
 		for _, sc := range schemes {
@@ -128,30 +144,47 @@ func SwitchLatency(cfg Config, latencies []float64) ([]LatencyRow, error) {
 		latencies = []float64{0, 25e-6, 100e-6, 400e-6, 1600e-6}
 	}
 	euaScheme := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
+	// Fan out the (latency, seed) cells; merge in sequential order.
+	type latUnit struct{ energy, utility float64 }
+	g := grid(len(latencies), len(cfg.Seeds))
+	units := make([]latUnit, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		lat, seed := latencies[c[0]], cfg.Seeds[c[1]]
+		ts, err := synthesize(cfg, seed, workload.Step, 1)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+		base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
+		if err != nil {
+			return err
+		}
+		rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{switchLatency: lat})
+		if err != nil {
+			return err
+		}
+		var u latUnit
+		if base.TotalEnergy > 0 {
+			u.energy = rep.TotalEnergy / base.TotalEnergy
+		}
+		if base.AccruedUtility > 0 {
+			u.utility = rep.AccruedUtility / base.AccruedUtility
+		}
+		units[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]LatencyRow, 0, len(latencies))
-	for _, lat := range latencies {
+	for li, lat := range latencies {
 		var row LatencyRow
 		row.Latency = lat
-		for _, seed := range cfg.Seeds {
-			ts, err := synthesize(cfg, seed, workload.Step, 1)
-			if err != nil {
-				return nil, err
-			}
-			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
-			base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
-			if err != nil {
-				return nil, err
-			}
-			rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{switchLatency: lat})
-			if err != nil {
-				return nil, err
-			}
-			if base.TotalEnergy > 0 {
-				row.Energy += rep.TotalEnergy / base.TotalEnergy
-			}
-			if base.AccruedUtility > 0 {
-				row.Utility += rep.AccruedUtility / base.AccruedUtility
-			}
+		for si := range cfg.Seeds {
+			u := units[li*len(cfg.Seeds)+si]
+			row.Energy += u.energy
+			row.Utility += u.utility
 		}
 		row.Energy /= float64(len(cfg.Seeds))
 		row.Utility /= float64(len(cfg.Seeds))
@@ -186,39 +219,57 @@ func Contention(cfg Config, fracs []float64) ([]ContentionRow, error) {
 	if len(fracs) == 0 {
 		fracs = []float64{0, 0.1, 0.25, 0.5, 0.8}
 	}
-	rows := make([]ContentionRow, 0, len(fracs))
 	for _, frac := range fracs {
 		if frac < 0 || frac >= 1 {
 			return nil, fmt.Errorf("experiment: section fraction %g outside [0, 1)", frac)
 		}
+	}
+	// Fan out the (section fraction, seed) cells; merge in sequential
+	// order. Each cell synthesizes its own task set, so mutating Sections
+	// here never races with another cell.
+	type contUnit struct{ utility, inheritances float64 }
+	g := grid(len(fracs), len(cfg.Seeds))
+	units := make([]contUnit, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		frac, seed := fracs[c[0]], cfg.Seeds[c[1]]
+		ts, err := synthesize(cfg, seed, workload.Step, 1)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+		if frac > 0 {
+			for _, t := range ts {
+				t.Sections = []task.Section{{Resource: 1, Start: 0.1, End: 0.1 + frac*0.9}}
+			}
+		}
+		ft := cpu.PowerNowK6()
+		model, err := energy.NewPreset(cfg.Energy, ft.Max())
+		if err != nil {
+			return err
+		}
+		res, err := engine.Run(engine.Config{
+			Tasks: ts, Scheduler: eua.New(), Freqs: ft, Energy: model,
+			Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
+		})
+		if err != nil {
+			return err
+		}
+		rep := metrics.Analyze(res)
+		units[i] = contUnit{utility: rep.UtilityRatio(), inheritances: float64(res.Inheritances)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ContentionRow, 0, len(fracs))
+	for fi, frac := range fracs {
 		var row ContentionRow
 		row.SectionFrac = frac
-		for _, seed := range cfg.Seeds {
-			ts, err := synthesize(cfg, seed, workload.Step, 1)
-			if err != nil {
-				return nil, err
-			}
-			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
-			if frac > 0 {
-				for _, t := range ts {
-					t.Sections = []task.Section{{Resource: 1, Start: 0.1, End: 0.1 + frac*0.9}}
-				}
-			}
-			ft := cpu.PowerNowK6()
-			model, err := energy.NewPreset(cfg.Energy, ft.Max())
-			if err != nil {
-				return nil, err
-			}
-			res, err := engine.Run(engine.Config{
-				Tasks: ts, Scheduler: eua.New(), Freqs: ft, Energy: model,
-				Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rep := metrics.Analyze(res)
-			row.Utility += rep.UtilityRatio()
-			row.Inheritances += float64(res.Inheritances)
+		for si := range cfg.Seeds {
+			u := units[fi*len(cfg.Seeds)+si]
+			row.Utility += u.utility
+			row.Inheritances += u.inheritances
 		}
 		row.Utility /= float64(len(cfg.Seeds))
 		row.Inheritances /= float64(len(cfg.Seeds))
@@ -255,34 +306,53 @@ func Ladder(cfg Config, steps []int) ([]LadderRow, error) {
 		steps = []int{2, 3, 5, 7, 13, 25}
 	}
 	euaScheme := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
-	rows := make([]LadderRow, 0, len(steps))
 	for _, n := range steps {
 		if n < 1 {
 			return nil, fmt.Errorf("experiment: ladder needs >= 1 step, got %d", n)
 		}
+	}
+	// Fan out the (ladder, seed) cells; merge in sequential order.
+	type ladderUnit struct{ energy, utility float64 }
+	g := grid(len(steps), len(cfg.Seeds))
+	units := make([]ladderUnit, g.size())
+	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+		c := g.coords(i)
+		n, seed := steps[c[0]], cfg.Seeds[c[1]]
 		table := cpu.Uniform(360e6, 1000e6, n)
+		ts, err := synthesize(cfg, seed, workload.Step, 1)
+		if err != nil {
+			return err
+		}
+		ts = ts.ScaleToLoad(0.6, table.Max())
+		base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{freqs: table})
+		if err != nil {
+			return err
+		}
+		rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{freqs: table})
+		if err != nil {
+			return err
+		}
+		var u ladderUnit
+		if base.TotalEnergy > 0 {
+			u.energy = rep.TotalEnergy / base.TotalEnergy
+		}
+		if base.AccruedUtility > 0 {
+			u.utility = rep.AccruedUtility / base.AccruedUtility
+		}
+		units[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]LadderRow, 0, len(steps))
+	for ni, n := range steps {
 		var row LadderRow
 		row.Steps = n
-		for _, seed := range cfg.Seeds {
-			ts, err := synthesize(cfg, seed, workload.Step, 1)
-			if err != nil {
-				return nil, err
-			}
-			ts = ts.ScaleToLoad(0.6, table.Max())
-			base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{freqs: table})
-			if err != nil {
-				return nil, err
-			}
-			rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{freqs: table})
-			if err != nil {
-				return nil, err
-			}
-			if base.TotalEnergy > 0 {
-				row.Energy += rep.TotalEnergy / base.TotalEnergy
-			}
-			if base.AccruedUtility > 0 {
-				row.Utility += rep.AccruedUtility / base.AccruedUtility
-			}
+		for si := range cfg.Seeds {
+			u := units[ni*len(cfg.Seeds)+si]
+			row.Energy += u.energy
+			row.Utility += u.utility
 		}
 		row.Energy /= float64(len(cfg.Seeds))
 		row.Utility /= float64(len(cfg.Seeds))

@@ -1,0 +1,111 @@
+package uam
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/euastar/euastar/internal/rng"
+)
+
+// countWindow returns the number of arrivals in the half-open window
+// [start, start+p) by brute force — an oracle independent of Density's
+// two-pointer implementation.
+func countWindow(arrivals []float64, start, p float64) int {
+	n := 0
+	for _, at := range arrivals {
+		if at >= start && at < start+p {
+			n++
+		}
+	}
+	return n
+}
+
+// maxWindowCount slides a window of length p over every arrival (a window
+// that maximizes the count can always be anchored at an arrival) and
+// returns the largest brute-force count.
+func maxWindowCount(arrivals []float64, p float64) int {
+	best := 0
+	tol := relTol * p
+	for _, at := range arrivals {
+		// Anchor just after the boundary tolerance so an arrival exactly
+		// one window away does not count twice.
+		if n := countWindow(arrivals, at+tol, p+tol); n > best {
+			best = n
+		}
+		if n := countWindow(arrivals, at, p-tol); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// TestQuickWindowPropertyAllGenerators is the UAM satellite property: for
+// randomized specs, horizons, offsets and seeds, no generator ever places
+// more than a arrivals in any sliding window of length P. The window
+// count uses a brute-force oracle, so a bug in Density cannot mask a bug
+// in a generator (and vice versa: the oracle cross-checks Density too).
+func TestQuickWindowPropertyAllGenerators(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Derive(seed, 0x714d0a)
+		spec := Spec{A: 1 + src.Intn(5), P: src.Uniform(0.01, 0.6)}
+		horizon := src.Uniform(spec.P/2, 25*spec.P)
+		step := spec.P / float64(spec.A)
+		gens := []Generator{
+			Burst{S: spec, Offset: src.Uniform(0, spec.P)},
+			Even{S: spec, Offset: src.Uniform(0, step)},
+			RandomBurst{S: spec},
+			Jittered{S: spec, JitterFrac: src.Float64()},
+			Poisson{S: spec, Rate: spec.MaxRate() * src.Uniform(0.1, 3)},
+		}
+		for _, g := range gens {
+			tr := g.Generate(horizon, src)
+			if err := Compliant(tr, spec); err != nil {
+				t.Logf("seed %d: %s: %v", seed, g.Name(), err)
+				return false
+			}
+			got := maxWindowCount(tr, spec.P)
+			if got > spec.A {
+				t.Logf("seed %d: %s: %d arrivals in a window of %g (bound %d)",
+					seed, g.Name(), got, spec.P, spec.A)
+				return false
+			}
+			// Cross-check the production Density diagnostic against the
+			// brute-force oracle.
+			if d := Density(tr, spec.P); d > spec.A || d < got {
+				t.Logf("seed %d: %s: Density %d vs oracle %d (bound %d)",
+					seed, g.Name(), d, got, spec.A)
+				return false
+			}
+			// Sorted, non-negative, inside the horizon.
+			for i, at := range tr {
+				if at < 0 || at >= horizon || (i > 0 && at < tr[i-1]) {
+					t.Logf("seed %d: %s: malformed trace at %d", seed, g.Name(), i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowPropertyAtSaturation pins the boundary case: generators
+// driven at exactly the model's maximum density fill windows to the bound
+// a but never past it.
+func TestWindowPropertyAtSaturation(t *testing.T) {
+	spec := Spec{A: 3, P: 0.3}
+	src := rng.Derive(99, 0x5a7)
+	for _, g := range []Generator{
+		Burst{S: spec},
+		Even{S: spec},
+		Poisson{S: spec, Rate: spec.MaxRate() * 100}, // clamps to saturation
+	} {
+		tr := g.Generate(30*spec.P, src)
+		got := maxWindowCount(tr, spec.P)
+		if got != spec.A {
+			t.Errorf("%s: max window count %d, want exactly %d at saturation", g.Name(), got, spec.A)
+		}
+	}
+}
