@@ -26,10 +26,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/
 	$(GO) test -fuzz=FuzzGenerators -fuzztime=30s ./internal/uam/
 	$(GO) test -fuzz=FuzzConfig -fuzztime=30s ./internal/config/
+	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/experiment/
 
 # fuzz-smoke is the short CI-friendly fuzz pass wired into check.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzConfig -fuzztime=5s -run='^$$' ./internal/config/
+	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=5s -run='^$$' ./internal/experiment/
 
 # check is the full local gate: build, vet, tests, race tests, fuzz smoke.
 check: build vet test test-race fuzz-smoke

@@ -14,6 +14,13 @@
 // Simulations fan out across -workers goroutines (default: all cores).
 // Stdout is bit-identical for every worker count; wall-clock and progress
 // reporting go to stderr.
+//
+// Robustness: -timeout bounds each sweep cell, -retries re-runs failing
+// cells, -checkpoint/-resume persist completed cells across kills, and
+// -faults injects a deterministic fault plan. A failing cell is reported
+// with its (load, seed, scheme) coordinates; the remaining cells still
+// run, partial results are flushed, and only then does euasim exit
+// non-zero. SIGINT/SIGTERM stop the sweep cooperatively the same way.
 package main
 
 import (
@@ -22,20 +29,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/experiment"
+	"github.com/euastar/euastar/internal/faults"
 )
 
 func main() {
 	// Exit codes: 0 on success (including -h/-help), 1 on any error.
 	// Progress/timing goes to stderr so stdout stays a clean, seed- and
 	// worker-count-deterministic artifact suitable for diffing.
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	if err := runWithSignals(os.Args[1:], os.Stdout, os.Stderr, sigc); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return
 		}
@@ -44,18 +57,31 @@ func main() {
 	}
 }
 
+// run executes euasim without OS signal wiring (the test entry point).
 func run(args []string, out, diag io.Writer) error {
+	return runWithSignals(args, out, diag, nil)
+}
+
+// runWithSignals executes euasim; a value on sigs stops the sweep
+// cooperatively: completed cells are kept (and checkpointed), partial
+// results are flushed, and a non-nil error is returned.
+func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) error {
 	fs := flag.NewFlagSet("euasim", flag.ContinueOnError)
 	fs.SetOutput(diag)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|all")
-		chart    = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
-		preset   = fs.String("energy", "E1", "energy setting for fig2/ablation: E1|E2|E3")
-		loads    = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
-		seeds    = fs.Int("seeds", 3, "number of replications (seeds 1..n)")
-		horizon  = fs.Float64("horizon", 1.0, "arrival horizon per run in seconds")
-		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "simulations run concurrently (results are identical for any value; counts above the number of jobs are clamped)")
-		jsonPath = fs.String("json", "", "additionally write results as JSON to this file")
+		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|all")
+		chart      = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
+		preset     = fs.String("energy", "E1", "energy setting for fig2/ablation: E1|E2|E3")
+		loads      = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
+		seeds      = fs.Int("seeds", 3, "number of replications (seeds 1..n)")
+		horizon    = fs.Float64("horizon", 1.0, "arrival horizon per run in seconds")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "simulations run concurrently (results are identical for any value; counts above the number of jobs are clamped)")
+		jsonPath   = fs.String("json", "", "additionally write results as JSON to this file")
+		timeout    = fs.Duration("timeout", 0, "wall-clock limit per sweep cell (0 = none); a timed-out cell is reported and the sweep continues")
+		retries    = fs.Int("retries", 0, "extra attempts for a failing sweep cell")
+		checkpoint = fs.String("checkpoint", "", "persist completed sweep cells to this JSON file (atomic writes)")
+		resume     = fs.Bool("resume", false, "reuse completed cells from the -checkpoint file instead of recomputing")
+		faultSpec  = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,11 +92,22 @@ func run(args []string, out, diag io.Writer) error {
 	if *seeds <= 0 {
 		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", *timeout)
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
 
 	cfg := experiment.Config{
 		Energy:  energy.Preset(*preset),
 		Horizon: *horizon,
 		Workers: *workers,
+		Timeout: *timeout,
+		Retries: *retries,
 	}
 	if *loads != "" {
 		parsed, err := parseLoads(*loads)
@@ -82,16 +119,74 @@ func run(args []string, out, diag io.Writer) error {
 	for i := 1; i <= *seeds; i++ {
 		cfg.Seeds = append(cfg.Seeds, uint64(i))
 	}
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+	}
+	if *checkpoint != "" {
+		store, err := experiment.OpenCheckpoint(*checkpoint, *resume)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+	}
+
+	// Signal handling: the first SIGINT/SIGTERM closes the interrupt
+	// channel every sweep cell observes; cells stop at their next engine
+	// event, completed work is flushed, and euasim exits non-zero.
+	if sigs != nil {
+		intr := make(chan struct{})
+		noteSignal := func(s os.Signal) {
+			fmt.Fprintf(diag, "euasim: received %v, stopping and flushing partial results\n", s)
+			close(intr)
+		}
+		// A signal already pending at startup takes effect before any cell
+		// runs; only later arrivals need the watcher goroutine.
+		select {
+		case s := <-sigs:
+			noteSignal(s)
+		default:
+			stopWatch := make(chan struct{})
+			defer close(stopWatch)
+			go func() {
+				select {
+				case s := <-sigs:
+					noteSignal(s)
+				case <-stopWatch:
+				}
+			}()
+		}
+		cfg.Interrupt = intr
+	}
 
 	var docs []experiment.JSONDocument
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
-		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention"}
+		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults"}
+	}
+	// A sweep with failed cells returns its completed rows alongside a
+	// *experiment.SweepError. Those partial results are still written (and
+	// included in -json) before the failure is reported, so a single
+	// poisoned cell never discards its siblings' work. sweepFailures
+	// accumulates across experiments; euasim exits non-zero at the end.
+	var sweepFailures []error
+	sweepDone := func(e string, err error) (stop bool) {
+		if err == nil {
+			return false
+		}
+		fmt.Fprintf(diag, "euasim: %s: %v\n", e, err)
+		sweepFailures = append(sweepFailures, fmt.Errorf("%s: %w", e, err))
+		var se *experiment.SweepError
+		return errors.As(err, &se) && se.Interrupted
 	}
 	total := time.Now()
 	for _, e := range todo {
 		start := time.Now()
 		fmt.Fprintf(out, "== %s (%s) ==\n", e, experiment.Describe(cfg))
+		var sweepErr error
 		switch e {
 		case "table1":
 			if err := experiment.WriteTable1(out); err != nil {
@@ -103,89 +198,97 @@ func run(args []string, out, diag io.Writer) error {
 			}
 		case "fig2":
 			rows, err := experiment.Figure2(cfg)
-			if err != nil {
-				return err
-			}
-			if err := experiment.WriteRows(out, fmt.Sprintf("Figure 2 (%s)", cfg.Energy), rows); err != nil {
-				return err
-			}
-			if *chart {
-				if err := experiment.WriteRowsChart(out, fmt.Sprintf("Figure 2 (%s)", cfg.Energy), rows); err != nil {
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteRows(out, fmt.Sprintf("Figure 2 (%s)", cfg.Energy), rows); err != nil {
 					return err
 				}
+				if *chart {
+					if err := experiment.WriteRowsChart(out, fmt.Sprintf("Figure 2 (%s)", cfg.Energy), rows); err != nil {
+						return err
+					}
+				}
+				docs = append(docs, experiment.JSONDocument{
+					Experiment: "fig2", Config: experiment.Describe(cfg), Rows: rows,
+				})
 			}
-			docs = append(docs, experiment.JSONDocument{
-				Experiment: "fig2", Config: experiment.Describe(cfg), Rows: rows,
-			})
 		case "fig3":
 			rows, err := experiment.Figure3(cfg, nil)
-			if err != nil {
-				return err
-			}
-			if err := experiment.WriteFig3(out, rows); err != nil {
-				return err
-			}
-			if *chart {
-				if err := experiment.WriteFig3Chart(out, rows); err != nil {
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteFig3(out, rows); err != nil {
 					return err
 				}
+				if *chart {
+					if err := experiment.WriteFig3Chart(out, rows); err != nil {
+						return err
+					}
+				}
+				docs = append(docs, experiment.JSONDocument{
+					Experiment: "fig3", Config: experiment.Describe(cfg), Fig3Rows: rows,
+				})
 			}
-			docs = append(docs, experiment.JSONDocument{
-				Experiment: "fig3", Config: experiment.Describe(cfg), Fig3Rows: rows,
-			})
 		case "assurance":
 			rows, err := experiment.Assurance(cfg)
-			if err != nil {
-				return err
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteAssurance(out, rows); err != nil {
+					return err
+				}
+				docs = append(docs, experiment.JSONDocument{
+					Experiment: "assurance", Config: experiment.Describe(cfg), Assurance: rows,
+				})
 			}
-			if err := experiment.WriteAssurance(out, rows); err != nil {
-				return err
-			}
-			docs = append(docs, experiment.JSONDocument{
-				Experiment: "assurance", Config: experiment.Describe(cfg), Assurance: rows,
-			})
 		case "ablation":
 			rows, err := experiment.Ablation(cfg)
-			if err != nil {
-				return err
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteRows(out, "Ablation", rows); err != nil {
+					return err
+				}
+				docs = append(docs, experiment.JSONDocument{
+					Experiment: "ablation", Config: experiment.Describe(cfg), Rows: rows,
+				})
 			}
-			if err := experiment.WriteRows(out, "Ablation", rows); err != nil {
-				return err
-			}
-			docs = append(docs, experiment.JSONDocument{
-				Experiment: "ablation", Config: experiment.Describe(cfg), Rows: rows,
-			})
 		case "budget":
 			rows, err := experiment.Budget(cfg, nil)
-			if err != nil {
-				return err
-			}
-			if err := experiment.WriteBudget(out, rows); err != nil {
-				return err
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteBudget(out, rows); err != nil {
+					return err
+				}
 			}
 		case "latency":
 			rows, err := experiment.SwitchLatency(cfg, nil)
-			if err != nil {
-				return err
-			}
-			if err := experiment.WriteLatency(out, rows); err != nil {
-				return err
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteLatency(out, rows); err != nil {
+					return err
+				}
 			}
 		case "ladder":
 			rows, err := experiment.Ladder(cfg, nil)
-			if err != nil {
-				return err
-			}
-			if err := experiment.WriteLadder(out, rows); err != nil {
-				return err
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteLadder(out, rows); err != nil {
+					return err
+				}
 			}
 		case "contention":
 			rows, err := experiment.Contention(cfg, nil)
-			if err != nil {
-				return err
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteContention(out, rows); err != nil {
+					return err
+				}
 			}
-			if err := experiment.WriteContention(out, rows); err != nil {
-				return err
+		case "faults":
+			rows, err := experiment.FaultSweep(cfg, nil)
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteFaults(out, rows); err != nil {
+					return err
+				}
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", e)
@@ -193,6 +296,9 @@ func run(args []string, out, diag io.Writer) error {
 		fmt.Fprintln(out)
 		fmt.Fprintf(diag, "euasim: %s done in %v (%d workers)\n",
 			e, time.Since(start).Round(time.Millisecond), *workers)
+		if sweepDone(e, sweepErr) {
+			break // interrupted: flush what we have and exit
+		}
 	}
 	fmt.Fprintf(diag, "euasim: all experiments done in %v\n", time.Since(total).Round(time.Millisecond))
 	if *jsonPath != "" {
@@ -207,6 +313,9 @@ func run(args []string, out, diag io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "JSON results written to %s\n", *jsonPath)
+	}
+	if len(sweepFailures) > 0 {
+		return errors.Join(sweepFailures...)
 	}
 	return nil
 }

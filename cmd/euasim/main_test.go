@@ -144,3 +144,117 @@ func TestDiagReporting(t *testing.T) {
 		t.Fatal("timing leaked into stdout")
 	}
 }
+
+// TestFaultsFlag: an injected fault plan keeps the CLI determinism
+// contract (stdout identical across worker counts) and bad specs are
+// rejected at the flag boundary.
+func TestFaultsFlag(t *testing.T) {
+	capture := func(workers string) string {
+		var out bytes.Buffer
+		err := run([]string{"-exp", "fig2", "-seeds", "2", "-horizon", "0.3",
+			"-loads", "0.5,1.5", "-workers", workers,
+			"-faults", "seed=11,overrun=0.2,sticky=0.2"}, &out, io.Discard)
+		if err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		return out.String()
+	}
+	seq := capture("1")
+	if par := capture("8"); par != seq {
+		t.Fatalf("faulted stdout differs between -workers 1 and -workers 8:\n--- 1 ---\n%s--- 8 ---\n%s", seq, par)
+	}
+	for _, spec := range []string{"overrun=2", "nonsense", "bursts=x"} {
+		if err := run([]string{"-exp", "fig2", "-faults", spec}, io.Discard, io.Discard); err == nil {
+			t.Fatalf("-faults %q accepted", spec)
+		}
+	}
+}
+
+// TestFaultSweepExperiment smoke-tests the dedicated faults experiment
+// through the CLI.
+func TestFaultSweepExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "faults", "-seeds", "1", "-horizon", "0.3"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "intensity") {
+		t.Fatalf("faults experiment wrote no table:\n%s", out.String())
+	}
+}
+
+// TestResumeNeedsCheckpoint pins the flag dependency.
+func TestResumeNeedsCheckpoint(t *testing.T) {
+	if err := run([]string{"-exp", "fig2", "-resume"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+}
+
+// TestCheckpointResumeIdenticalStdout: a checkpointed run, then a -resume
+// run that recomputes nothing, must both match the plain run byte for
+// byte — resuming changes where results come from, never what they are.
+func TestCheckpointResumeIdenticalStdout(t *testing.T) {
+	args := []string{"-exp", "fig2", "-seeds", "2", "-horizon", "0.3", "-loads", "0.5,1.5"}
+	capture := func(extra ...string) string {
+		var out bytes.Buffer
+		if err := run(append(append([]string{}, args...), extra...), &out, io.Discard); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		return out.String()
+	}
+	plain := capture()
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	first := capture("-checkpoint", path)
+	resumed := capture("-checkpoint", path, "-resume")
+	if first != plain {
+		t.Fatalf("checkpointed stdout differs from plain run:\n--- plain ---\n%s--- checkpointed ---\n%s", plain, first)
+	}
+	if resumed != plain {
+		t.Fatalf("resumed stdout differs from plain run:\n--- plain ---\n%s--- resumed ---\n%s", plain, resumed)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file missing after run: %v", err)
+	}
+}
+
+// TestSignalFlushesPartialResults: a SIGINT delivered before the sweep
+// starts must still produce the experiment header on stdout, a non-nil
+// error, and a diag line saying results were flushed.
+func TestSignalFlushesPartialResults(t *testing.T) {
+	sigs := make(chan os.Signal, 1)
+	sigs <- os.Interrupt
+	var out, diag bytes.Buffer
+	err := runWithSignals([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "0.3",
+		"-loads", "0.5"}, &out, &diag, sigs)
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !strings.Contains(diag.String(), "stopping and flushing") {
+		t.Fatalf("diag missing flush notice: %q", diag.String())
+	}
+	if !strings.Contains(out.String(), "== fig2") {
+		t.Fatalf("stdout missing experiment header: %q", out.String())
+	}
+}
+
+// TestTimeoutReportedAndPartialFlushed: with an unmeetable per-cell
+// timeout every cell fails, yet euasim still writes the (empty) table and
+// the -json artifact before exiting non-zero, and the error names the
+// timeout.
+func TestTimeoutReportedAndPartialFlushed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "1.0",
+		"-loads", "0.5", "-timeout", "1ns", "-json", path}, &out, io.Discard)
+	if err == nil {
+		t.Fatal("timed-out sweep reported success")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("error does not mention the timeout: %v", err)
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Fatalf("partial table not flushed:\n%s", out.String())
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("json artifact not flushed before non-zero exit: %v", statErr)
+	}
+}

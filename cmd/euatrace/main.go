@@ -19,6 +19,7 @@ import (
 	"github.com/euastar/euastar/internal/cpu"
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/faults"
 	"github.com/euastar/euastar/internal/metrics"
 	"github.com/euastar/euastar/internal/rng"
 	"github.com/euastar/euastar/internal/sched"
@@ -79,8 +80,13 @@ func run(args []string, out io.Writer) error {
 		csvPath   = fs.String("csv", "", "write the execution trace to this CSV file")
 		gantt     = fs.Bool("gantt", false, "render an ASCII Gantt chart of the schedule")
 		width     = fs.Int("width", 100, "Gantt chart width in columns")
+		faultSpec = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faults.Parse(*faultSpec)
+	if err != nil {
 		return err
 	}
 
@@ -144,6 +150,7 @@ func run(args []string, out io.Writer) error {
 		Seed:               *seed,
 		AbortAtTermination: abort,
 		RecordTrace:        true,
+		Faults:             plan,
 	})
 	if err != nil {
 		return err
@@ -165,6 +172,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "busy          %.1f ms over %.1f ms, %d frequency switches, %d decisions\n",
 		rep.BusyTime*1e3, rep.EndTime*1e3, rep.Switches, res.Decisions)
 	fmt.Fprintf(out, "assurance     all {nu, rho} met: %v\n", rep.AssuranceSatisfied())
+	if plan.Enabled() {
+		fmt.Fprintf(out, "degraded      %d faults injected (%s), %d jobs shed, %.4g abort cycles\n",
+			res.FaultEvents, plan, res.JobsShed, res.AbortCycles)
+	}
 	for _, pt := range rep.PerTask {
 		so := pt.Sojourn()
 		fmt.Fprintf(out, "  %-10s met %3d/%3d (rho=%.2f)  aborted %d  sojourn p50/p95 %.1f/%.1f ms\n",

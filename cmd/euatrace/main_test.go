@@ -122,6 +122,46 @@ func TestGoldenTrace(t *testing.T) {
 	}
 }
 
+// goldenDegradedArgs is the golden scenario plus a fault plan that
+// injects exactly one execution-time overrun and one sticky frequency
+// switch on this workload; pinned by testdata/golden_degraded.txt.
+var goldenDegradedArgs = append(append([]string{}, goldenArgs...),
+	"-faults", "seed=1,overrun=0.03,sticky=0.1")
+
+// TestGoldenDegradedTrace is the graceful-degradation regression gate: a
+// degraded-mode run (one sticky-switch fault + one overrun) must stay
+// byte-stable, pinning both the fault injection points and how the
+// scheduler reacts to them. Regenerate like the healthy golden:
+//
+//	cd cmd/euatrace && go run . -tasks testdata/golden_tasks.json \
+//	    -sched eua -seed 7 -load 0.8 -horizon 0.4 -gantt -width 72 \
+//	    -faults seed=1,overrun=0.03,sticky=0.1 > testdata/golden_degraded.txt
+func TestGoldenDegradedTrace(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_degraded.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(goldenDegradedArgs, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "degraded      2 faults injected") {
+		t.Fatalf("degraded run did not report its 2 injected faults:\n%s", out.String())
+	}
+	if got := out.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("degraded euatrace output drifted from golden file\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestFaultsFlagRejected pins -faults validation at the CLI boundary.
+func TestFaultsFlagRejected(t *testing.T) {
+	for _, spec := range []string{"overrun=2", "nonsense", "overrun=x", "sticky=-1"} {
+		if err := run(append(append([]string{}, goldenArgs...), "-faults", spec), io.Discard); err == nil {
+			t.Fatalf("-faults %q accepted", spec)
+		}
+	}
+}
+
 // TestGoldenTraceStable runs the golden scenario twice in one process:
 // equal outputs prove the trace depends only on its inputs, not on
 // leftover state from a previous run.

@@ -17,6 +17,7 @@ import (
 
 	"github.com/euastar/euastar/internal/cpu"
 	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/faults"
 	"github.com/euastar/euastar/internal/rng"
 	"github.com/euastar/euastar/internal/sched"
 	"github.com/euastar/euastar/internal/sim"
@@ -104,6 +105,37 @@ type Config struct {
 	// RecordTrace retains the execution spans for validation and
 	// visualization.
 	RecordTrace bool
+
+	// Faults, when non-nil, injects the deterministic fault plan into the
+	// run: execution-time overruns past the c_i allocation, sticky or
+	// stalling frequency switches, abort-cost spikes, and adversarial
+	// UAM-bound arrival bursts. Every fault decision is a pure function of
+	// the plan seed and the affected entity's coordinates, so equal
+	// configs still produce identical results from any goroutine.
+	Faults *faults.Plan
+
+	// AbortCost is the cycle cost of tearing down an aborted job
+	// (raising and handling its termination-time exception): the cycles
+	// are charged to the energy meter at the processor's current
+	// frequency. The teardown is modelled as energy-only — it does not
+	// delay the schedule. Zero (the paper's model) makes aborts free.
+	AbortCost float64
+
+	// SafeModeMisses, when positive, arms the overload safe mode: after
+	// this many consecutive termination-time misses the engine sheds the
+	// SafeModeShed fraction of pending jobs (lowest UER first) so the
+	// remaining capacity concentrates on work that can still accrue
+	// utility. Zero disables shedding (the watchdog still detects).
+	SafeModeMisses int
+	// SafeModeShed is the fraction of pending jobs shed on safe-mode
+	// entry, in (0, 1]; zero selects the default 0.5.
+	SafeModeShed float64
+
+	// Interrupt, when non-nil, is polled between events: once the channel
+	// is closed the run stops and returns an error wrapping
+	// ErrInterrupted. The experiment runner uses it for per-cell timeouts
+	// and SIGINT/SIGTERM shutdown.
+	Interrupt <-chan struct{}
 }
 
 // Validate checks the configuration.
@@ -123,14 +155,30 @@ func (c *Config) Validate() error {
 	if c.Horizon <= 0 || math.IsInf(c.Horizon, 0) || math.IsNaN(c.Horizon) {
 		return fmt.Errorf("engine: horizon %g must be positive and finite", c.Horizon)
 	}
-	if c.SwitchLatency < 0 {
-		return fmt.Errorf("engine: negative switch latency")
+	// Every remaining scalar must be non-negative and finite: a NaN or
+	// +Inf here would not fail fast but silently corrupt the cycle and
+	// energy accounting many events later.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"switch latency", c.SwitchLatency},
+		{"energy budget", c.EnergyBudget},
+		{"idle power", c.IdleStaticPower},
+		{"abort cost", c.AbortCost},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("engine: %s %g must be non-negative and finite", f.name, f.v)
+		}
 	}
-	if c.EnergyBudget < 0 {
-		return fmt.Errorf("engine: negative energy budget")
+	if c.SafeModeMisses < 0 {
+		return fmt.Errorf("engine: safe-mode miss threshold %d must be non-negative", c.SafeModeMisses)
 	}
-	if c.IdleStaticPower < 0 {
-		return fmt.Errorf("engine: negative idle power")
+	if s := c.SafeModeShed; s < 0 || s > 1 || math.IsNaN(s) {
+		return fmt.Errorf("engine: safe-mode shed fraction %g outside [0, 1]", s)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -159,6 +207,17 @@ type Result struct {
 	// IdleEnergy is the portion of TotalEnergy drawn while idle (non-zero
 	// only with Config.IdleStaticPower).
 	IdleEnergy float64
+
+	// FaultEvents counts injected fault manifestations (overruns, sticky
+	// switches, stalls, abort spikes) — zero without a fault plan.
+	FaultEvents int
+	// SafeModeEntries counts overload safe-mode activations, and JobsShed
+	// the pending jobs those activations aborted.
+	SafeModeEntries int
+	JobsShed        int
+	// AbortCycles is the total abort-cost cycles metered into the energy
+	// account (non-zero only with Config.AbortCost).
+	AbortCycles float64
 }
 
 // defaultArrivals is the generator selection described in Config.Arrivals.
@@ -193,6 +252,15 @@ type state struct {
 	// resolved to its blocking chain's head.
 	holders      map[int]*task.Job
 	inheritances int
+
+	// Degradation state: the always-on invariant watchdog, the fault
+	// bookkeeping, and the overload safe-mode counters.
+	wd              *watchdog
+	switchSeq       int // commanded frequency switches, fault-plan label
+	faultEvents     int
+	safeModeEntries int
+	jobsShed        int
+	abortCycles     float64
 }
 
 // Run executes one simulation and returns its result.
@@ -208,7 +276,7 @@ type state struct {
 //     Profiler: the engine feeds completed jobs' cycles back into the
 //     profiler, which mutates the shared Task. Everything else on Task
 //     is treated as read-only.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (res *Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,14 +288,34 @@ func Run(cfg Config) (*Result, error) {
 		cfg:   cfg,
 		proc:  cpu.NewProcessor(cfg.Freqs, cfg.SwitchLatency),
 		meter: energy.NewMeter(cfg.Energy),
+		wd:    newWatchdog(),
 	}
 	if obs, ok := cfg.Scheduler.(EventObserver); ok {
 		st.observer = obs
 	}
+	// Graceful degradation: internal assertion panics (including the
+	// event queue's typed non-monotonicity panic) become structured,
+	// attributable errors instead of taking the whole process — a
+	// poisoned sweep cell must not kill its siblings.
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			switch v := r.(type) {
+			case *sim.NonMonotonicError:
+				err = &InvariantError{Invariant: InvQueueMonotonic, Time: st.lastTime, Detail: v.Error()}
+			case *InvariantError:
+				err = v
+			default:
+				err = &InvariantError{Invariant: InvInternal, Time: st.lastTime, Detail: fmt.Sprint(v)}
+			}
+		}
+	}()
 	st.seedArrivals()
-	st.loop()
+	if err := st.loop(); err != nil {
+		return nil, err
+	}
 
-	res := &Result{
+	res = &Result{
 		SchedulerName: cfg.Scheduler.Name(),
 		Jobs:          st.all,
 		TotalEnergy:   st.meter.Total(),
@@ -237,10 +325,14 @@ func Run(cfg Config) (*Result, error) {
 		Switches:      st.proc.Switches(),
 		Decisions:     st.decision,
 		Trace:         st.trace,
-		Depleted:      st.depleted,
-		DepletedAt:    st.depletedAt,
-		Inheritances:  st.inheritances,
-		IdleEnergy:    st.meter.IdleEnergy(),
+		Depleted:        st.depleted,
+		DepletedAt:      st.depletedAt,
+		Inheritances:    st.inheritances,
+		IdleEnergy:      st.meter.IdleEnergy(),
+		FaultEvents:     st.faultEvents,
+		SafeModeEntries: st.safeModeEntries,
+		JobsShed:        st.jobsShed,
+		AbortCycles:     st.abortCycles,
 	}
 	return res, nil
 }
@@ -258,7 +350,13 @@ func (st *state) seedArrivals() {
 	root := rng.New(st.cfg.Seed)
 	genF := st.cfg.Arrivals
 	if genF == nil {
-		genF = defaultArrivals
+		// The fault plan's adversarial bursts replace the default
+		// generators only; an explicit Arrivals selector wins.
+		if adv := st.cfg.Faults.Arrivals(); adv != nil {
+			genF = adv
+		} else {
+			genF = defaultArrivals
+		}
 	}
 	tasks := append(task.Set(nil), st.cfg.Tasks...)
 	sort.Slice(tasks, func(i, j int) bool { return tasks[i].ID < tasks[j].ID })
@@ -273,15 +371,30 @@ func (st *state) seedArrivals() {
 	}
 }
 
-func (st *state) loop() {
+func (st *state) loop() error {
 	for {
+		if st.cfg.Interrupt != nil {
+			select {
+			case <-st.cfg.Interrupt:
+				return fmt.Errorf("%w at t=%g (%d events pending)", ErrInterrupted, st.lastTime, st.queue.Len())
+			default:
+			}
+		}
 		ev, ok := st.queue.Pop()
 		if !ok {
 			break
 		}
 		now := ev.Time
+		if ierr := st.wd.checkEvent(st.lastTime, ev); ierr != nil {
+			return ierr
+		}
 		st.advance(now)
-		st.handle(now, ev)
+		if ierr := st.wd.checkEnergy(now, st.meter.Total()); ierr != nil {
+			return ierr
+		}
+		if err := st.handle(now, ev); err != nil {
+			return err
+		}
 		// Process all remaining events at the same instant before invoking
 		// the scheduler once.
 		for {
@@ -290,8 +403,14 @@ func (st *state) loop() {
 				break
 			}
 			e, _ := st.queue.Pop()
-			st.handle(now, e)
+			if err := st.handle(now, e); err != nil {
+				return err
+			}
 		}
+		// Overload safe mode: a sustained streak of termination-time
+		// misses sheds the lowest-UER pending work before the scheduler
+		// runs again.
+		st.maybeShed(now)
 		st.decide(now)
 	}
 	if len(st.pending) != 0 {
@@ -300,6 +419,7 @@ func (st *state) loop() {
 		// completion event queued whenever work is pending.
 		panic(fmt.Sprintf("engine: %d unresolved jobs after event queue drained", len(st.pending)))
 	}
+	return nil
 }
 
 // advance executes the running job from lastTime to now, cutting the span
@@ -356,18 +476,30 @@ func (st *state) advance(now float64) {
 	st.meter.Observe(now)
 }
 
-func (st *state) handle(now float64, ev *sim.Event) {
+func (st *state) handle(now float64, ev *sim.Event) error {
 	switch ev.Kind {
 	case sim.Arrival:
 		p := ev.Payload.(arrivalPayload)
+		if ierr := st.wd.checkArrival(now, p.task); ierr != nil {
+			return ierr
+		}
 		j := task.NewJob(p.task, p.index, now, st.demandSrc[p.task.ID])
+		// Fault injection: an execution-time overrun inflates the realized
+		// demand past whatever the sampler drew — and, with the default
+		// factor, past the c_i allocation. The decision depends only on
+		// (plan seed, task, index), so every scheme sees the same overruns
+		// on the same jobs.
+		if fac, ok := st.cfg.Faults.Overrun(p.task.ID, p.index); ok {
+			j.ActualCycles *= fac
+			st.faultEvents++
+		}
 		st.all = append(st.all, j)
 		if st.depleted {
 			// Released into a dead system: account it as an immediate loss.
 			j.State = task.Aborted
 			j.FinishedAt = now
 			j.AbortReason = "energy budget depleted"
-			return
+			return nil
 		}
 		st.pending = append(st.pending, j)
 		st.queue.Push(j.Termination, sim.Termination, j)
@@ -378,7 +510,7 @@ func (st *state) handle(now float64, ev *sim.Event) {
 		j := ev.Payload.(*task.Job)
 		if j != st.running {
 			if st.depleted && j.State != task.Pending {
-				return // stale event of a job the depletion aborted
+				return nil // stale event of a job the depletion aborted
 			}
 			panic(fmt.Sprintf("engine: completion event for non-running job %v", j))
 		}
@@ -387,6 +519,10 @@ func (st *state) handle(now float64, ev *sim.Event) {
 		j.State = task.Completed
 		j.FinishedAt = now
 		j.Utility = j.UtilityAt(now)
+		if ierr := st.wd.checkResolved(j); ierr != nil {
+			return ierr
+		}
+		st.wd.noteCompletion()
 		st.releaseAll(j)
 		st.removePending(j)
 		st.running = nil
@@ -403,8 +539,12 @@ func (st *state) handle(now float64, ev *sim.Event) {
 	case sim.Termination:
 		j := ev.Payload.(*task.Job)
 		if j.State != task.Pending {
-			return // already resolved
+			return nil // already resolved
 		}
+		// A still-pending job at its termination time is a miss whether or
+		// not the exception aborts it; the watchdog's streak drives the
+		// overload safe mode.
+		st.wd.noteMiss()
 		if st.cfg.AbortAtTermination {
 			st.abort(now, j, "termination time reached")
 		}
@@ -417,7 +557,7 @@ func (st *state) handle(now float64, ev *sim.Event) {
 		j := ev.Payload.(*task.Job)
 		if j != st.running {
 			if st.depleted && j.State != task.Pending {
-				return
+				return nil
 			}
 			panic(fmt.Sprintf("engine: boundary event for non-running job %v", j))
 		}
@@ -426,6 +566,7 @@ func (st *state) handle(now float64, ev *sim.Event) {
 	default:
 		panic(fmt.Sprintf("engine: unexpected event kind %v", ev.Kind))
 	}
+	return nil
 }
 
 func (st *state) abort(now float64, j *task.Job, reason string) {
@@ -445,6 +586,21 @@ func (st *state) abort(now float64, j *task.Job, reason string) {
 		// The aborted job consumed at least this many cycles: a censored
 		// demand observation.
 		j.Task.Profiler.ObserveCensored(j.Executed)
+	}
+	if ierr := st.wd.checkResolved(j); ierr != nil {
+		panic(ierr) // recovered by Run into the structured error
+	}
+	// Abort cost: tearing down the job (the termination-time exception
+	// handler) consumes cycles that are metered into the energy account
+	// at the current frequency. A dead battery has nothing left to spend.
+	if cost := st.cfg.AbortCost; cost > 0 && !st.depleted {
+		if fac, ok := st.cfg.Faults.AbortSpike(j.Task.ID, j.Index); ok {
+			cost *= fac
+			st.faultEvents++
+		}
+		f := st.proc.Frequency()
+		st.meter.Charge(cost, f, cost/f)
+		st.abortCycles += cost
 	}
 	st.releaseAll(j)
 	st.removePending(j)
@@ -509,14 +665,43 @@ func (st *state) decide(now float64) {
 		return // nothing changes; the queued progress event stands
 	}
 	st.stopRunning()
-	cost := st.proc.SetFrequency(d.Freq)
+	target := d.Freq
+	var cost float64
+	if target != st.proc.Frequency() {
+		// A real switch is commanded: the fault plan may make it stick
+		// (the CPU lands on an adjacent discrete step) or stall (an extra
+		// settling delay before the job makes progress).
+		if delta, ok := st.cfg.Faults.Sticky(st.switchSeq); ok {
+			idx := st.cfg.Freqs.Index(target) + delta
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(st.cfg.Freqs) {
+				idx = len(st.cfg.Freqs) - 1
+			}
+			if f := st.cfg.Freqs[idx]; f != target {
+				target = f
+				st.faultEvents++
+			}
+		}
+		stall, stalled := st.cfg.Faults.StallFor(st.switchSeq)
+		st.switchSeq++
+		cost = st.proc.SetFrequency(target)
+		if stalled {
+			cost += stall
+			st.faultEvents++
+		}
+	}
+	// From here on the effective frequency is the processor's, which a
+	// sticky switch may have left one step away from the scheduler's
+	// choice.
+	f := st.proc.Frequency()
 	st.running = eff
 	st.runStart = now + cost
 	remCyc := eff.Remaining()
 	if boundCyc := nextBoundaryCycles(eff); boundCyc < remCyc {
-		st.completion = st.queue.Push(st.runStart+boundCyc/d.Freq, sim.Custom, eff)
+		st.completion = st.queue.Push(st.runStart+boundCyc/f, sim.Custom, eff)
 	} else {
-		st.completion = st.queue.Push(st.runStart+remCyc/d.Freq, sim.Completion, eff)
+		st.completion = st.queue.Push(st.runStart+remCyc/f, sim.Completion, eff)
 	}
 }
 

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzCheckpoint throws arbitrary bytes at the checkpoint decoder: it
+// must reject or accept, never panic, and anything it accepts must
+// survive a marshal/decode round trip unchanged. A resumed sweep trusts
+// this file completely, so the decoder is the trust boundary for every
+// kill-and-resume cycle.
+func FuzzCheckpoint(f *testing.F) {
+	f.Add([]byte(`{"version":1,"experiments":{"fig2":{"fingerprint":"v1|fig2","cells":{"0":{"utility":{"EUA*":1}}}}}}`))
+	f.Add([]byte(`{"version":1,"experiments":{}}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"experiments":{"x":null}}`))
+	f.Add([]byte(`{"version":1,"experiments":{"x":{"cells":{"-1":null}}}}`))
+	f.Add([]byte(`{"version":1,"experiments":{"x":{"cells":{"nope":null}}}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := decodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if doc == nil {
+			t.Fatal("nil doc with nil error")
+		}
+		raw, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not re-marshal: %v", err)
+		}
+		again, err := decodeCheckpoint(raw)
+		if err != nil {
+			t.Fatalf("re-marshaled checkpoint rejected: %v\n%s", err, raw)
+		}
+		if !reflect.DeepEqual(doc, again) {
+			t.Fatalf("checkpoint round trip drifted:\n%+v\nvs\n%+v", doc, again)
+		}
+	})
+}

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/euastar/euastar/internal/cpu"
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/faults"
 	"github.com/euastar/euastar/internal/metrics"
 	"github.com/euastar/euastar/internal/rng"
 	"github.com/euastar/euastar/internal/sched"
@@ -94,6 +96,37 @@ type Config struct {
 	// (seed, load, scheme) coordinates and results are merged back in the
 	// sequential iteration order.
 	Workers int
+
+	// Faults is an optional deterministic fault-injection plan applied to
+	// every run of the sweep (every scheme sees the identical faults, so
+	// the normalization against the baseline stays meaningful).
+	Faults *faults.Plan
+	// AbortCost, SafeModeMisses and SafeModeShed pass through to
+	// engine.Config (see its documentation).
+	AbortCost      float64
+	SafeModeMisses int
+	SafeModeShed   float64
+
+	// Timeout bounds the wall-clock time of one sweep cell; zero means no
+	// limit. A timed-out cell is reported with its coordinates and the
+	// remaining cells still run.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failing cell gets before
+	// it is reported.
+	Retries int
+	// Interrupt, when closed, stops the whole sweep cooperatively:
+	// in-flight cells stop at their next engine event, completed cells are
+	// kept (and checkpointed if a Store is set), and the sweep returns a
+	// *SweepError with Interrupted set.
+	Interrupt <-chan struct{}
+	// Store, when non-nil, persists every completed cell so an
+	// interrupted sweep can resume without recomputation.
+	Store *CheckpointStore
+
+	// testCellFault, when set, is invoked before each attempt of each
+	// cell; a non-nil return fails that attempt. Test-only hook for
+	// exercising retry and continue-on-error paths deterministically.
+	testCellFault func(exp string, i, attempt int) error
 }
 
 func (c Config) withDefaults() Config {
@@ -142,6 +175,8 @@ type runOptions struct {
 	freqs         cpu.FrequencyTable
 	switchLatency float64
 	energyBudget  float64
+	interrupt     <-chan struct{}
+	faults        *faults.Plan // overrides cfg.Faults when non-nil
 }
 
 // runOne executes one scheme on one scaled task set.
@@ -154,6 +189,10 @@ func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 	if err != nil {
 		return nil, err
 	}
+	plan := cfg.Faults
+	if opts.faults != nil {
+		plan = opts.faults
+	}
 	res, err := engine.Run(engine.Config{
 		Tasks:              ts,
 		Scheduler:          scheme.New(),
@@ -165,6 +204,11 @@ func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 		SwitchLatency:      opts.switchLatency,
 		EnergyBudget:       opts.energyBudget,
 		AbortAtTermination: scheme.Abort,
+		Faults:             plan,
+		AbortCost:          cfg.AbortCost,
+		SafeModeMisses:     cfg.SafeModeMisses,
+		SafeModeShed:       cfg.SafeModeShed,
+		Interrupt:          opts.interrupt,
 	})
 	if err != nil {
 		return nil, err
@@ -190,25 +234,25 @@ type Row struct {
 func Figure2(cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	schemes := Figure2Schemes()
-	return sweep(cfg, schemes, workload.Step, 1)
+	return sweep(cfg, "fig2", schemes, workload.Step, 1)
 }
 
 // Ablation runs the EUA* mechanism ablations on the same setup as
 // Figure 2 but with each application's native UAM burst bound.
 func Ablation(cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
-	return sweep(cfg, AblationSchemes(), workload.Step, 0)
+	return sweep(cfg, "ablation", AblationSchemes(), workload.Step, 0)
 }
 
 // sweepUnit is the result of one (load, seed) simulation cell: every
 // scheme's utility and energy normalized to the baseline on the identical
-// realized workload.
+// realized workload. Exported fields: units are checkpointed as JSON.
 type sweepUnit struct {
-	utility map[string]float64
-	energy  map[string]float64
+	Utility map[string]float64 `json:"utility"`
+	Energy  map[string]float64 `json:"energy"`
 }
 
-func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int) ([]Row, error) {
+func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burstOverride int) ([]Row, error) {
 	base := BaselineScheme()
 	// Fan the (load, seed) cells out across the worker pool. Each cell is
 	// self-contained: the workload is synthesized from the seed alone and
@@ -216,42 +260,44 @@ func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int
 	// share no mutable state and their results do not depend on execution
 	// order.
 	g := grid(len(cfg.Loads), len(cfg.Seeds))
-	units := make([]sweepUnit, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
+	coords := func(c []int) Coords {
+		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[1]]}
+	}
+	units, done, err := runCells(cfg, exp, "", g, coords, func(i int, interrupt <-chan struct{}) (sweepUnit, error) {
+		var u sweepUnit
 		c := g.coords(i)
 		load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
 		ts, err := synthesize(cfg, seed, shape, burstOverride)
 		if err != nil {
-			return err
+			return u, err
 		}
 		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-		baseRep, err := runOne(cfg, base, ts, seed, runOptions{})
+		baseRep, err := runOne(cfg, base, ts, seed, runOptions{interrupt: interrupt})
 		if err != nil {
-			return err
+			return u, &schemeError{base.Name, err}
 		}
-		u := sweepUnit{
-			utility: make(map[string]float64, len(schemes)),
-			energy:  make(map[string]float64, len(schemes)),
-		}
+		u.Utility = make(map[string]float64, len(schemes))
+		u.Energy = make(map[string]float64, len(schemes))
 		for _, sc := range schemes {
-			rep, err := runOne(cfg, sc, ts, seed, runOptions{})
+			rep, err := runOne(cfg, sc, ts, seed, runOptions{interrupt: interrupt})
 			if err != nil {
-				return err
+				return sweepUnit{}, &schemeError{sc.Name, err}
 			}
 			n := metrics.Normalize(rep, baseRep)
-			u.utility[sc.Name] = n.Utility
-			u.energy[sc.Name] = n.Energy
+			u.Utility[sc.Name] = n.Utility
+			u.Energy[sc.Name] = n.Energy
 		}
-		units[i] = u
-		return nil
+		return u, nil
 	})
-	if err != nil {
+	if units == nil {
 		return nil, err
 	}
 	// Ordered merge: feed the per-cell results into the Welford
 	// accumulators in exactly the order the sequential loop would have,
 	// so means and error bars are bit-identical regardless of which
-	// worker finished first.
+	// worker finished first. Cells that failed are skipped; the row then
+	// averages the seeds that completed (a partial result, reported
+	// alongside the returned *SweepError).
 	rows := make([]Row, 0, len(cfg.Loads))
 	for li, load := range cfg.Loads {
 		row := Row{
@@ -268,10 +314,14 @@ func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int
 			accE[sc.Name] = &stats.Welford{}
 		}
 		for si := range cfg.Seeds {
-			u := units[li*len(cfg.Seeds)+si]
+			idx := li*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			u := units[idx]
 			for _, sc := range schemes {
-				accU[sc.Name].Add(u.utility[sc.Name])
-				accE[sc.Name].Add(u.energy[sc.Name])
+				accU[sc.Name].Add(u.Utility[sc.Name])
+				accE[sc.Name].Add(u.Energy[sc.Name])
 			}
 		}
 		for _, sc := range schemes {
@@ -284,7 +334,7 @@ func sweep(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // Fig3Row is one load point of Figure 3: per UAM burst bound a, EUA*'s
@@ -324,41 +374,51 @@ func Figure3(cfg Config, bounds []int) ([]Fig3Row, error) {
 	dvs := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
 	// Fan out the (load, bound, seed) cells; merge in sequential order.
 	g := grid(len(cfg.Loads), len(bounds), len(cfg.Seeds))
-	units := make([]float64, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
-		c := g.coords(i)
-		load, a, seed := cfg.Loads[c[0]], bounds[c[1]], cfg.Seeds[c[2]]
-		ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
-		if err != nil {
-			return err
-		}
-		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-		baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals})
-		if err != nil {
-			return err
-		}
-		rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals})
-		if err != nil {
-			return err
-		}
-		units[i] = metrics.Normalize(rep, baseRep).Energy
-		return nil
-	})
-	if err != nil {
+	coords := func(c []int) Coords {
+		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[2]], Extra: fmt.Sprintf("a=%d", bounds[c[1]])}
+	}
+	units, done, err := runCells(cfg, "fig3", fmt.Sprintf("bounds=%v", bounds), g, coords,
+		func(i int, interrupt <-chan struct{}) (float64, error) {
+			c := g.coords(i)
+			load, a, seed := cfg.Loads[c[0]], bounds[c[1]], cfg.Seeds[c[2]]
+			ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
+			if err != nil {
+				return 0, err
+			}
+			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+			baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals, interrupt: interrupt})
+			if err != nil {
+				return 0, &schemeError{noDVS.Name, err}
+			}
+			rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals, interrupt: interrupt})
+			if err != nil {
+				return 0, &schemeError{dvs.Name, err}
+			}
+			return metrics.Normalize(rep, baseRep).Energy, nil
+		})
+	if units == nil {
 		return nil, err
 	}
 	rows := make([]Fig3Row, 0, len(cfg.Loads))
 	for li, load := range cfg.Loads {
 		row := Fig3Row{Load: load, Energy: make(map[int]float64, len(bounds))}
 		for bi, a := range bounds {
+			n := 0
 			for si := range cfg.Seeds {
-				row.Energy[a] += units[(li*len(bounds)+bi)*len(cfg.Seeds)+si]
+				idx := (li*len(bounds)+bi)*len(cfg.Seeds) + si
+				if !done[idx] {
+					continue
+				}
+				row.Energy[a] += units[idx]
+				n++
 			}
-			row.Energy[a] /= float64(len(cfg.Seeds))
+			if n > 0 {
+				row.Energy[a] /= float64(n)
+			}
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // AssuranceRow is one load point of the Section 4 verification: per
@@ -381,35 +441,36 @@ func Assurance(cfg Config) ([]AssuranceRow, error) {
 	}
 	// Fan out the (load, seed) cells; merge in sequential order.
 	type assuranceUnit struct {
-		satisfied map[string]bool
-		ratio     map[string]float64
+		Satisfied map[string]bool    `json:"satisfied"`
+		Ratio     map[string]float64 `json:"ratio"`
 	}
 	g := grid(len(cfg.Loads), len(cfg.Seeds))
-	units := make([]assuranceUnit, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
-		c := g.coords(i)
-		load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
-		ts, err := synthesize(cfg, seed, workload.Step, 1)
-		if err != nil {
-			return err
-		}
-		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-		u := assuranceUnit{
-			satisfied: make(map[string]bool, len(schemes)),
-			ratio:     make(map[string]float64, len(schemes)),
-		}
-		for _, sc := range schemes {
-			rep, err := runOne(cfg, sc, ts, seed, runOptions{})
+	coords := func(c []int) Coords {
+		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[1]]}
+	}
+	units, done, err := runCells(cfg, "assurance", "", g, coords,
+		func(i int, interrupt <-chan struct{}) (assuranceUnit, error) {
+			var u assuranceUnit
+			c := g.coords(i)
+			load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
 			if err != nil {
-				return err
+				return u, err
 			}
-			u.satisfied[sc.Name] = rep.AssuranceSatisfied()
-			u.ratio[sc.Name] = rep.UtilityRatio()
-		}
-		units[i] = u
-		return nil
-	})
-	if err != nil {
+			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+			u.Satisfied = make(map[string]bool, len(schemes))
+			u.Ratio = make(map[string]float64, len(schemes))
+			for _, sc := range schemes {
+				rep, err := runOne(cfg, sc, ts, seed, runOptions{interrupt: interrupt})
+				if err != nil {
+					return assuranceUnit{}, &schemeError{sc.Name, err}
+				}
+				u.Satisfied[sc.Name] = rep.AssuranceSatisfied()
+				u.Ratio[sc.Name] = rep.UtilityRatio()
+			}
+			return u, nil
+		})
+	if units == nil {
 		return nil, err
 	}
 	rows := make([]AssuranceRow, 0, len(cfg.Loads))
@@ -419,22 +480,30 @@ func Assurance(cfg Config) ([]AssuranceRow, error) {
 			Satisfied:    make(map[string]float64, len(schemes)),
 			UtilityRatio: make(map[string]float64, len(schemes)),
 		}
+		n := 0
 		for si := range cfg.Seeds {
-			u := units[li*len(cfg.Seeds)+si]
+			idx := li*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			n++
+			u := units[idx]
 			for _, sc := range schemes {
-				if u.satisfied[sc.Name] {
+				if u.Satisfied[sc.Name] {
 					row.Satisfied[sc.Name]++
 				}
-				row.UtilityRatio[sc.Name] += u.ratio[sc.Name]
+				row.UtilityRatio[sc.Name] += u.Ratio[sc.Name]
 			}
 		}
-		for _, sc := range schemes {
-			row.Satisfied[sc.Name] /= float64(len(cfg.Seeds))
-			row.UtilityRatio[sc.Name] /= float64(len(cfg.Seeds))
+		if n > 0 {
+			for _, sc := range schemes {
+				row.Satisfied[sc.Name] /= float64(n)
+				row.UtilityRatio[sc.Name] /= float64(n)
+			}
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // SchemeNames returns the sorted scheme names present in rows.
@@ -464,9 +533,22 @@ func Fig3Arrivals(t *task.Task) uam.Generator {
 	return uam.RandomBurst{S: t.Arrival}
 }
 
-// Describe summarizes a config for logs.
+// Describe summarizes a config for logs. It also feeds the checkpoint
+// fingerprint, so every knob that changes simulation results must appear:
+// seed values (not just the count), fault plan and degradation settings
+// included.
 func Describe(cfg Config) string {
 	cfg = cfg.withDefaults()
-	return fmt.Sprintf("energy=%s loads=%v seeds=%d horizon=%gs apps=%d",
+	s := fmt.Sprintf("energy=%s loads=%v seeds=%d horizon=%gs apps=%d",
 		cfg.Energy, cfg.Loads, len(cfg.Seeds), cfg.Horizon, len(cfg.Apps))
+	if cfg.Faults.Enabled() {
+		s += " faults=" + cfg.Faults.String()
+	}
+	if cfg.AbortCost != 0 {
+		s += fmt.Sprintf(" abortCost=%g", cfg.AbortCost)
+	}
+	if cfg.SafeModeMisses != 0 {
+		s += fmt.Sprintf(" safeMode=%d/%g", cfg.SafeModeMisses, cfg.SafeModeShed)
+	}
+	return s
 }

@@ -47,49 +47,59 @@ func Budget(cfg Config, fracs []float64) ([]BudgetRow, error) {
 	}
 	// Fan out the (budget fraction, seed) cells; merge in sequential order.
 	g := grid(len(fracs), len(cfg.Seeds))
-	units := make([]map[string]float64, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
-		c := g.coords(i)
-		frac, seed := fracs[c[0]], cfg.Seeds[c[1]]
-		ts, err := synthesize(cfg, seed, workload.Step, 1)
-		if err != nil {
-			return err
-		}
-		ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
-		// Reference: the full-run energy of the EDF-f_m baseline.
-		ref, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
-		if err != nil {
-			return err
-		}
-		budget := frac * ref.TotalEnergy
-		u := make(map[string]float64, len(schemes))
-		for _, sc := range schemes {
-			rep, err := runOne(cfg, sc, ts, seed, runOptions{energyBudget: budget})
+	coords := func(c []int) Coords {
+		return Coords{Load: 0.6, Seed: cfg.Seeds[c[1]], Extra: fmt.Sprintf("frac=%g", fracs[c[0]])}
+	}
+	units, done, err := runCells(cfg, "budget", fmt.Sprintf("fracs=%v", fracs), g, coords,
+		func(i int, interrupt <-chan struct{}) (map[string]float64, error) {
+			c := g.coords(i)
+			frac, seed := fracs[c[0]], cfg.Seeds[c[1]]
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			u[sc.Name] = rep.UtilityRatio()
-		}
-		units[i] = u
-		return nil
-	})
-	if err != nil {
+			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+			// Reference: the full-run energy of the EDF-f_m baseline.
+			ref, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{interrupt: interrupt})
+			if err != nil {
+				return nil, &schemeError{BaselineScheme().Name, err}
+			}
+			budget := frac * ref.TotalEnergy
+			u := make(map[string]float64, len(schemes))
+			for _, sc := range schemes {
+				rep, err := runOne(cfg, sc, ts, seed, runOptions{energyBudget: budget, interrupt: interrupt})
+				if err != nil {
+					return nil, &schemeError{sc.Name, err}
+				}
+				u[sc.Name] = rep.UtilityRatio()
+			}
+			return u, nil
+		})
+	if units == nil {
 		return nil, err
 	}
 	rows := make([]BudgetRow, 0, len(fracs))
 	for fi, frac := range fracs {
 		row := BudgetRow{BudgetFrac: frac, Utility: map[string]float64{}}
+		n := 0
 		for si := range cfg.Seeds {
+			idx := fi*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			n++
 			for _, sc := range schemes {
-				row.Utility[sc.Name] += units[fi*len(cfg.Seeds)+si][sc.Name]
+				row.Utility[sc.Name] += units[idx][sc.Name]
 			}
 		}
-		for _, sc := range schemes {
-			row.Utility[sc.Name] /= float64(len(cfg.Seeds))
+		if n > 0 {
+			for _, sc := range schemes {
+				row.Utility[sc.Name] /= float64(n)
+			}
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // WriteBudget prints the battery sweep.
@@ -145,52 +155,65 @@ func SwitchLatency(cfg Config, latencies []float64) ([]LatencyRow, error) {
 	}
 	euaScheme := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
 	// Fan out the (latency, seed) cells; merge in sequential order.
-	type latUnit struct{ energy, utility float64 }
+	type latUnit struct {
+		Energy  float64 `json:"energy"`
+		Utility float64 `json:"utility"`
+	}
 	g := grid(len(latencies), len(cfg.Seeds))
-	units := make([]latUnit, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
-		c := g.coords(i)
-		lat, seed := latencies[c[0]], cfg.Seeds[c[1]]
-		ts, err := synthesize(cfg, seed, workload.Step, 1)
-		if err != nil {
-			return err
-		}
-		ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
-		base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{})
-		if err != nil {
-			return err
-		}
-		rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{switchLatency: lat})
-		if err != nil {
-			return err
-		}
-		var u latUnit
-		if base.TotalEnergy > 0 {
-			u.energy = rep.TotalEnergy / base.TotalEnergy
-		}
-		if base.AccruedUtility > 0 {
-			u.utility = rep.AccruedUtility / base.AccruedUtility
-		}
-		units[i] = u
-		return nil
-	})
-	if err != nil {
+	coords := func(c []int) Coords {
+		return Coords{Load: 0.6, Seed: cfg.Seeds[c[1]], Extra: fmt.Sprintf("latency=%g", latencies[c[0]])}
+	}
+	units, done, err := runCells(cfg, "latency", fmt.Sprintf("latencies=%v", latencies), g, coords,
+		func(i int, interrupt <-chan struct{}) (latUnit, error) {
+			var u latUnit
+			c := g.coords(i)
+			lat, seed := latencies[c[0]], cfg.Seeds[c[1]]
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return u, err
+			}
+			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+			base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{interrupt: interrupt})
+			if err != nil {
+				return u, &schemeError{BaselineScheme().Name, err}
+			}
+			rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{switchLatency: lat, interrupt: interrupt})
+			if err != nil {
+				return u, &schemeError{euaScheme.Name, err}
+			}
+			if base.TotalEnergy > 0 {
+				u.Energy = rep.TotalEnergy / base.TotalEnergy
+			}
+			if base.AccruedUtility > 0 {
+				u.Utility = rep.AccruedUtility / base.AccruedUtility
+			}
+			return u, nil
+		})
+	if units == nil {
 		return nil, err
 	}
 	rows := make([]LatencyRow, 0, len(latencies))
 	for li, lat := range latencies {
 		var row LatencyRow
 		row.Latency = lat
+		n := 0
 		for si := range cfg.Seeds {
-			u := units[li*len(cfg.Seeds)+si]
-			row.Energy += u.energy
-			row.Utility += u.utility
+			idx := li*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			n++
+			u := units[idx]
+			row.Energy += u.Energy
+			row.Utility += u.Utility
 		}
-		row.Energy /= float64(len(cfg.Seeds))
-		row.Utility /= float64(len(cfg.Seeds))
+		if n > 0 {
+			row.Energy /= float64(n)
+			row.Utility /= float64(n)
+		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // WriteLatency prints the switch-latency sweep.
@@ -227,55 +250,72 @@ func Contention(cfg Config, fracs []float64) ([]ContentionRow, error) {
 	// Fan out the (section fraction, seed) cells; merge in sequential
 	// order. Each cell synthesizes its own task set, so mutating Sections
 	// here never races with another cell.
-	type contUnit struct{ utility, inheritances float64 }
+	type contUnit struct {
+		Utility      float64 `json:"utility"`
+		Inheritances float64 `json:"inheritances"`
+	}
 	g := grid(len(fracs), len(cfg.Seeds))
-	units := make([]contUnit, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
-		c := g.coords(i)
-		frac, seed := fracs[c[0]], cfg.Seeds[c[1]]
-		ts, err := synthesize(cfg, seed, workload.Step, 1)
-		if err != nil {
-			return err
-		}
-		ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
-		if frac > 0 {
-			for _, t := range ts {
-				t.Sections = []task.Section{{Resource: 1, Start: 0.1, End: 0.1 + frac*0.9}}
+	coords := func(c []int) Coords {
+		return Coords{Load: 0.6, Seed: cfg.Seeds[c[1]], Extra: fmt.Sprintf("section=%g", fracs[c[0]])}
+	}
+	units, done, err := runCells(cfg, "contention", fmt.Sprintf("fracs=%v", fracs), g, coords,
+		func(i int, interrupt <-chan struct{}) (contUnit, error) {
+			var u contUnit
+			c := g.coords(i)
+			frac, seed := fracs[c[0]], cfg.Seeds[c[1]]
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return u, err
 			}
-		}
-		ft := cpu.PowerNowK6()
-		model, err := energy.NewPreset(cfg.Energy, ft.Max())
-		if err != nil {
-			return err
-		}
-		res, err := engine.Run(engine.Config{
-			Tasks: ts, Scheduler: eua.New(), Freqs: ft, Energy: model,
-			Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
+			ts = ts.ScaleToLoad(0.6, cpu.PowerNowK6().Max())
+			if frac > 0 {
+				for _, t := range ts {
+					t.Sections = []task.Section{{Resource: 1, Start: 0.1, End: 0.1 + frac*0.9}}
+				}
+			}
+			ft := cpu.PowerNowK6()
+			model, err := energy.NewPreset(cfg.Energy, ft.Max())
+			if err != nil {
+				return u, err
+			}
+			res, err := engine.Run(engine.Config{
+				Tasks: ts, Scheduler: eua.New(), Freqs: ft, Energy: model,
+				Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
+				Faults: cfg.Faults, AbortCost: cfg.AbortCost,
+				SafeModeMisses: cfg.SafeModeMisses, SafeModeShed: cfg.SafeModeShed,
+				Interrupt: interrupt,
+			})
+			if err != nil {
+				return u, &schemeError{"EUA*", err}
+			}
+			rep := metrics.Analyze(res)
+			return contUnit{Utility: rep.UtilityRatio(), Inheritances: float64(res.Inheritances)}, nil
 		})
-		if err != nil {
-			return err
-		}
-		rep := metrics.Analyze(res)
-		units[i] = contUnit{utility: rep.UtilityRatio(), inheritances: float64(res.Inheritances)}
-		return nil
-	})
-	if err != nil {
+	if units == nil {
 		return nil, err
 	}
 	rows := make([]ContentionRow, 0, len(fracs))
 	for fi, frac := range fracs {
 		var row ContentionRow
 		row.SectionFrac = frac
+		n := 0
 		for si := range cfg.Seeds {
-			u := units[fi*len(cfg.Seeds)+si]
-			row.Utility += u.utility
-			row.Inheritances += u.inheritances
+			idx := fi*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			n++
+			u := units[idx]
+			row.Utility += u.Utility
+			row.Inheritances += u.Inheritances
 		}
-		row.Utility /= float64(len(cfg.Seeds))
-		row.Inheritances /= float64(len(cfg.Seeds))
+		if n > 0 {
+			row.Utility /= float64(n)
+			row.Inheritances /= float64(n)
+		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // WriteContention prints the contention sweep.
@@ -312,53 +352,66 @@ func Ladder(cfg Config, steps []int) ([]LadderRow, error) {
 		}
 	}
 	// Fan out the (ladder, seed) cells; merge in sequential order.
-	type ladderUnit struct{ energy, utility float64 }
+	type ladderUnit struct {
+		Energy  float64 `json:"energy"`
+		Utility float64 `json:"utility"`
+	}
 	g := grid(len(steps), len(cfg.Seeds))
-	units := make([]ladderUnit, g.size())
-	err := forEach(resolveWorkers(cfg.Workers, g.size()), g.size(), func(i int) error {
-		c := g.coords(i)
-		n, seed := steps[c[0]], cfg.Seeds[c[1]]
-		table := cpu.Uniform(360e6, 1000e6, n)
-		ts, err := synthesize(cfg, seed, workload.Step, 1)
-		if err != nil {
-			return err
-		}
-		ts = ts.ScaleToLoad(0.6, table.Max())
-		base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{freqs: table})
-		if err != nil {
-			return err
-		}
-		rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{freqs: table})
-		if err != nil {
-			return err
-		}
-		var u ladderUnit
-		if base.TotalEnergy > 0 {
-			u.energy = rep.TotalEnergy / base.TotalEnergy
-		}
-		if base.AccruedUtility > 0 {
-			u.utility = rep.AccruedUtility / base.AccruedUtility
-		}
-		units[i] = u
-		return nil
-	})
-	if err != nil {
+	coords := func(c []int) Coords {
+		return Coords{Load: 0.6, Seed: cfg.Seeds[c[1]], Extra: fmt.Sprintf("steps=%d", steps[c[0]])}
+	}
+	units, done, err := runCells(cfg, "ladder", fmt.Sprintf("steps=%v", steps), g, coords,
+		func(i int, interrupt <-chan struct{}) (ladderUnit, error) {
+			var u ladderUnit
+			c := g.coords(i)
+			n, seed := steps[c[0]], cfg.Seeds[c[1]]
+			table := cpu.Uniform(360e6, 1000e6, n)
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return u, err
+			}
+			ts = ts.ScaleToLoad(0.6, table.Max())
+			base, err := runOne(cfg, BaselineScheme(), ts, seed, runOptions{freqs: table, interrupt: interrupt})
+			if err != nil {
+				return u, &schemeError{BaselineScheme().Name, err}
+			}
+			rep, err := runOne(cfg, euaScheme, ts, seed, runOptions{freqs: table, interrupt: interrupt})
+			if err != nil {
+				return u, &schemeError{euaScheme.Name, err}
+			}
+			if base.TotalEnergy > 0 {
+				u.Energy = rep.TotalEnergy / base.TotalEnergy
+			}
+			if base.AccruedUtility > 0 {
+				u.Utility = rep.AccruedUtility / base.AccruedUtility
+			}
+			return u, nil
+		})
+	if units == nil {
 		return nil, err
 	}
 	rows := make([]LadderRow, 0, len(steps))
 	for ni, n := range steps {
 		var row LadderRow
 		row.Steps = n
+		cnt := 0
 		for si := range cfg.Seeds {
-			u := units[ni*len(cfg.Seeds)+si]
-			row.Energy += u.energy
-			row.Utility += u.utility
+			idx := ni*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			cnt++
+			u := units[idx]
+			row.Energy += u.Energy
+			row.Utility += u.Utility
 		}
-		row.Energy /= float64(len(cfg.Seeds))
-		row.Utility /= float64(len(cfg.Seeds))
+		if cnt > 0 {
+			row.Energy /= float64(cnt)
+			row.Utility /= float64(cnt)
+		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // WriteLadder prints the frequency-granularity sweep.

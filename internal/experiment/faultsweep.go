@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/faults"
+	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// FaultRow is one point of the fault-injection sweep: EUA* under a fault
+// plan of the given intensity, relative to the same EUA* run without
+// faults on the identical workload.
+type FaultRow struct {
+	Intensity   float64 // per-job overrun probability (other fault rates scale with it)
+	Utility     float64 // utility relative to the fault-free run
+	Energy      float64 // energy relative to the fault-free run
+	FaultEvents float64 // mean injected faults per run
+	JobsShed    float64 // mean jobs shed by the safe mode per run
+	SafeEntries float64 // mean safe-mode activations per run
+}
+
+// planFor builds the fault plan of one sweep intensity: overruns at the
+// intensity itself, sticky switches and abort-cost spikes at half of it.
+// The plan seed is fixed (not the workload seed) so the same cell is
+// reproducible from its (intensity, seed) coordinates alone.
+func planFor(intensity float64) *faults.Plan {
+	if intensity == 0 {
+		return nil
+	}
+	return &faults.Plan{
+		Seed:           1,
+		OverrunProb:    intensity,
+		OverrunFactor:  3,
+		StickyProb:     intensity / 2,
+		AbortSpikeProb: intensity / 2,
+	}
+}
+
+// FaultSweep measures graceful degradation: at fixed load 1.0 (where
+// overruns bite) it injects increasingly aggressive fault plans into EUA*
+// with the overload safe mode armed, and reports how utility and energy
+// degrade relative to the fault-free run — the quantitative version of
+// "faults degrade output, they do not corrupt it".
+func FaultSweep(cfg Config, intensities []float64) ([]FaultRow, error) {
+	cfg = cfg.withDefaults()
+	if len(intensities) == 0 {
+		intensities = []float64{0, 0.05, 0.1, 0.2, 0.4}
+	}
+	for _, x := range intensities {
+		if x < 0 || x > 1 {
+			return nil, fmt.Errorf("experiment: fault intensity %g outside [0, 1]", x)
+		}
+	}
+	if cfg.SafeModeMisses == 0 {
+		cfg.SafeModeMisses = 4 // arm the safe mode so shedding is observable
+	}
+	const load = 1.0
+	type faultUnit struct {
+		Utility     float64 `json:"utility"`
+		Energy      float64 `json:"energy"`
+		FaultEvents float64 `json:"faultEvents"`
+		JobsShed    float64 `json:"jobsShed"`
+		SafeEntries float64 `json:"safeEntries"`
+	}
+	g := grid(len(intensities), len(cfg.Seeds))
+	coords := func(c []int) Coords {
+		return Coords{Load: load, Seed: cfg.Seeds[c[1]], Extra: fmt.Sprintf("intensity=%g", intensities[c[0]])}
+	}
+	units, done, err := runCells(cfg, "faults", fmt.Sprintf("intensities=%v", intensities), g, coords,
+		func(i int, interrupt <-chan struct{}) (faultUnit, error) {
+			var u faultUnit
+			c := g.coords(i)
+			intensity, seed := intensities[c[0]], cfg.Seeds[c[1]]
+			ts, err := synthesize(cfg, seed, workload.Step, 1)
+			if err != nil {
+				return u, err
+			}
+			ft := cpu.PowerNowK6()
+			ts = ts.ScaleToLoad(load, ft.Max())
+			model, err := energy.NewPreset(cfg.Energy, ft.Max())
+			if err != nil {
+				return u, err
+			}
+			mk := func(plan *faults.Plan) engine.Config {
+				return engine.Config{
+					Tasks: ts, Scheduler: eua.New(), Freqs: ft, Energy: model,
+					Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
+					AbortCost: cfg.AbortCost, Faults: plan,
+					SafeModeMisses: cfg.SafeModeMisses, SafeModeShed: cfg.SafeModeShed,
+					Interrupt: interrupt,
+				}
+			}
+			clean, err := engine.Run(mk(nil))
+			if err != nil {
+				return u, &schemeError{"EUA*", err}
+			}
+			faulty, err := engine.Run(mk(planFor(intensity)))
+			if err != nil {
+				return u, &schemeError{"EUA*+faults", err}
+			}
+			cleanRep, faultyRep := metrics.Analyze(clean), metrics.Analyze(faulty)
+			if cleanRep.AccruedUtility > 0 {
+				u.Utility = faultyRep.AccruedUtility / cleanRep.AccruedUtility
+			}
+			if cleanRep.TotalEnergy > 0 {
+				u.Energy = faultyRep.TotalEnergy / cleanRep.TotalEnergy
+			}
+			u.FaultEvents = float64(faulty.FaultEvents)
+			u.JobsShed = float64(faulty.JobsShed)
+			u.SafeEntries = float64(faulty.SafeModeEntries)
+			return u, nil
+		})
+	if units == nil {
+		return nil, err
+	}
+	rows := make([]FaultRow, 0, len(intensities))
+	for xi, x := range intensities {
+		row := FaultRow{Intensity: x}
+		n := 0
+		for si := range cfg.Seeds {
+			idx := xi*len(cfg.Seeds) + si
+			if !done[idx] {
+				continue
+			}
+			n++
+			u := units[idx]
+			row.Utility += u.Utility
+			row.Energy += u.Energy
+			row.FaultEvents += u.FaultEvents
+			row.JobsShed += u.JobsShed
+			row.SafeEntries += u.SafeEntries
+		}
+		if n > 0 {
+			row.Utility /= float64(n)
+			row.Energy /= float64(n)
+			row.FaultEvents /= float64(n)
+			row.JobsShed /= float64(n)
+			row.SafeEntries /= float64(n)
+		}
+		rows = append(rows, row)
+	}
+	return rows, err
+}
+
+// WriteFaults prints the fault-injection sweep.
+func WriteFaults(w io.Writer, rows []FaultRow) error {
+	fmt.Fprintln(w, "Fault injection — EUA* under faults relative to its fault-free run (load 1.0, safe mode armed)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "intensity\tutility\tenergy\tfaults/run\tshed/run\tsafeModes/run")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.3f\t%.1f\t%.1f\t%.1f\n",
+			r.Intensity, r.Utility, r.Energy, r.FaultEvents, r.JobsShed, r.SafeEntries)
+	}
+	return tw.Flush()
+}

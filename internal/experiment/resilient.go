@@ -1,0 +1,423 @@
+package experiment
+
+// The resilient cell runner. Every sweep decomposes into independent
+// simulation cells; runCells executes them with the robustness guarantees
+// the production runner needs:
+//
+//   - Per-cell timeouts: a cell that exceeds Config.Timeout is stopped
+//     cooperatively (the engine polls an interrupt channel) and reported,
+//     without taking the sweep down.
+//   - Bounded retries: a failing cell is retried up to Config.Retries
+//     times before being reported.
+//   - Cell-addressable errors: every failure carries the (load, seed,
+//     scheme) coordinates that reproduce it.
+//   - Run-through semantics: one poisoned cell no longer aborts the
+//     sweep; the remaining cells complete and the partial result is
+//     returned alongside a *SweepError.
+//   - Atomic JSON checkpoints: with a CheckpointStore configured, every
+//     completed cell is persisted (write-temp-then-rename) so a killed
+//     sweep resumes without recomputing, bit-identically.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/euastar/euastar/internal/engine"
+)
+
+// Coords addresses one sweep cell in reproduction terms.
+type Coords struct {
+	Load  float64
+	Seed  uint64
+	Extra string // sweep-specific third coordinate, e.g. "a=2" or "frac=0.4"
+}
+
+// CellError reports one failed sweep cell with the coordinates needed to
+// reproduce it (`euasim -loads <load> -seeds ...` with the same scheme).
+type CellError struct {
+	Experiment string
+	Index      int // flat cell index in sweep iteration order
+	Load       float64
+	Seed       uint64
+	Scheme     string // scheme running when the cell failed ("" if none)
+	Extra      string
+	Attempts   int
+	Err        error
+}
+
+func (e *CellError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s cell %d (load=%g seed=%d", e.Experiment, e.Index, e.Load, e.Seed)
+	if e.Scheme != "" {
+		fmt.Fprintf(&b, " scheme=%s", e.Scheme)
+	}
+	if e.Extra != "" {
+		fmt.Fprintf(&b, " %s", e.Extra)
+	}
+	fmt.Fprintf(&b, "): %v", e.Err)
+	if e.Attempts > 1 {
+		fmt.Fprintf(&b, " (after %d attempts)", e.Attempts)
+	}
+	return b.String()
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// SweepError aggregates the failed cells of one sweep. The sweep's other
+// cells completed and their merged partial result is returned alongside.
+type SweepError struct {
+	Experiment  string
+	Cells       []*CellError
+	Interrupted bool // the sweep was stopped by Config.Interrupt
+}
+
+func (e *SweepError) Error() string {
+	if e.Interrupted && len(e.Cells) == 0 {
+		return fmt.Sprintf("%s: sweep interrupted", e.Experiment)
+	}
+	msgs := make([]string, 0, len(e.Cells)+1)
+	if e.Interrupted {
+		msgs = append(msgs, "sweep interrupted")
+	}
+	for _, c := range e.Cells {
+		msgs = append(msgs, c.Error())
+	}
+	return fmt.Sprintf("%s: %d cell(s) failed: %s", e.Experiment, len(e.Cells), strings.Join(msgs, "; "))
+}
+
+// schemeError attributes an error inside a cell to the scheme that was
+// running; runCells lifts the attribution into the CellError.
+type schemeError struct {
+	Scheme string
+	Err    error
+}
+
+func (e *schemeError) Error() string { return fmt.Sprintf("scheme %s: %v", e.Scheme, e.Err) }
+func (e *schemeError) Unwrap() error { return e.Err }
+
+// errSweepInterrupted stops the dispatch of not-yet-started cells once
+// the global interrupt fires; it is internal to runCells.
+var errSweepInterrupted = errors.New("experiment: sweep interrupted")
+
+// closed reports whether ch is non-nil and already closed.
+func closed(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// cellInterrupt returns the interrupt channel one cell attempt should
+// observe: the global Config.Interrupt, additionally closed after
+// Config.Timeout. The returned stop func releases the watcher.
+func cellInterrupt(global <-chan struct{}, timeout time.Duration) (<-chan struct{}, func()) {
+	if timeout <= 0 {
+		return global, func() {}
+	}
+	merged := make(chan struct{})
+	stop := make(chan struct{})
+	timer := time.NewTimer(timeout)
+	go func() {
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			close(merged)
+		case <-global:
+			close(merged)
+		case <-stop:
+		}
+	}()
+	return merged, func() { close(stop) }
+}
+
+// runCells executes every not-yet-checkpointed cell of the grid through
+// run, applying timeouts, retries and checkpointing. It returns the cell
+// results, a per-cell completion mask, and nil or a *SweepError listing
+// every failed cell (any other error is fatal: checkpoint I/O failure or
+// a worker panic). Results for completed cells are valid even when an
+// error is returned — callers merge what finished and pass the error up.
+func runCells[U any](cfg Config, exp, params string, g unitGrid,
+	coords func(c []int) Coords,
+	run func(i int, interrupt <-chan struct{}) (U, error)) ([]U, []bool, error) {
+
+	n := g.size()
+	units := make([]U, n)
+	done := make([]bool, n)
+	fp := fingerprint(cfg, exp, params, g)
+	if cfg.Store != nil {
+		for i := 0; i < n; i++ {
+			raw, ok := cfg.Store.Lookup(exp, fp, i)
+			if !ok {
+				continue
+			}
+			if err := json.Unmarshal(raw, &units[i]); err != nil {
+				return nil, nil, fmt.Errorf("experiment: checkpoint cell %s/%d corrupt: %w", exp, i, err)
+			}
+			done[i] = true
+		}
+	}
+
+	var (
+		mu          sync.Mutex
+		cellErrs    []*CellError
+		interrupted bool
+	)
+	poolErr := forEach(resolveWorkers(cfg.Workers, n), n, func(i int) error {
+		if done[i] {
+			return nil
+		}
+		var lastErr error
+		attempts := 0
+		for attempt := 0; attempt <= cfg.Retries; attempt++ {
+			if closed(cfg.Interrupt) {
+				if lastErr == nil {
+					lastErr = engine.ErrInterrupted
+				}
+				break
+			}
+			attempts++
+			interrupt, stop := cellInterrupt(cfg.Interrupt, cfg.Timeout)
+			if cfg.testCellFault != nil {
+				if err := cfg.testCellFault(exp, i, attempt); err != nil {
+					stop()
+					lastErr = err
+					continue
+				}
+			}
+			u, err := run(i, interrupt)
+			stop()
+			if err == nil {
+				units[i] = u
+				done[i] = true
+				if cfg.Store != nil {
+					raw, err := json.Marshal(u)
+					if err != nil {
+						return fmt.Errorf("experiment: marshal cell %s/%d: %w", exp, i, err)
+					}
+					if err := cfg.Store.Save(exp, fp, i, raw); err != nil {
+						return fmt.Errorf("experiment: checkpoint cell %s/%d: %w", exp, i, err)
+					}
+				}
+				return nil
+			}
+			lastErr = err
+			if errors.Is(err, engine.ErrInterrupted) {
+				if closed(cfg.Interrupt) {
+					break // global shutdown, not a per-cell timeout
+				}
+				lastErr = fmt.Errorf("cell timed out after %v: %w", cfg.Timeout, err)
+			}
+		}
+		c := coords(g.coords(i))
+		ce := &CellError{
+			Experiment: exp, Index: i,
+			Load: c.Load, Seed: c.Seed, Extra: c.Extra,
+			Attempts: attempts, Err: lastErr,
+		}
+		var se *schemeError
+		if errors.As(lastErr, &se) {
+			ce.Scheme = se.Scheme
+			if lastErr == error(se) {
+				// The scheme wrapper is outermost: unwrap it, the scheme is
+				// already in the coordinates. Outer annotations (e.g. the
+				// timeout note) are kept intact otherwise.
+				ce.Err = se.Err
+			}
+		}
+		mu.Lock()
+		cellErrs = append(cellErrs, ce)
+		mu.Unlock()
+		if closed(cfg.Interrupt) {
+			mu.Lock()
+			interrupted = true
+			mu.Unlock()
+			return errSweepInterrupted // stop dispatching further cells
+		}
+		return nil // run-through: the remaining cells still execute
+	})
+	if poolErr != nil && !errors.Is(poolErr, errSweepInterrupted) {
+		return units, done, poolErr
+	}
+	if len(cellErrs) == 0 && !interrupted {
+		return units, done, nil
+	}
+	sort.Slice(cellErrs, func(a, b int) bool { return cellErrs[a].Index < cellErrs[b].Index })
+	return units, done, &SweepError{Experiment: exp, Cells: cellErrs, Interrupted: interrupted}
+}
+
+// fingerprint identifies a sweep's full parameterization; a checkpoint
+// cell is only reused when its experiment's fingerprint matches, so
+// changed loads, seeds, fault plans or sweep-specific parameters can
+// never resurrect stale results.
+func fingerprint(cfg Config, exp, params string, g unitGrid) string {
+	cfg = cfg.withDefaults()
+	fp := fmt.Sprintf("v1|%s|%s|seeds=%v|dims=%v", exp, Describe(cfg), cfg.Seeds, g.dims)
+	if params != "" {
+		fp += "|" + params
+	}
+	return fp
+}
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// checkpointDoc is the on-disk checkpoint format: per experiment, the
+// sweep fingerprint and the JSON result of every completed cell.
+type checkpointDoc struct {
+	Version     int                       `json:"version"`
+	Experiments map[string]*checkpointExp `json:"experiments"`
+}
+
+type checkpointExp struct {
+	Fingerprint string                     `json:"fingerprint"`
+	Cells       map[string]json.RawMessage `json:"cells"`
+}
+
+// decodeCheckpoint parses and validates a checkpoint document. It is the
+// fuzzed entry point: arbitrary bytes must produce an error, never a
+// panic or a structurally unusable document.
+func decodeCheckpoint(data []byte) (*checkpointDoc, error) {
+	var doc checkpointDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint not valid JSON: %w", err)
+	}
+	if doc.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiment: checkpoint version %d, want %d", doc.Version, checkpointVersion)
+	}
+	if doc.Experiments == nil {
+		doc.Experiments = map[string]*checkpointExp{}
+	}
+	for name, e := range doc.Experiments {
+		if e == nil {
+			return nil, fmt.Errorf("experiment: checkpoint experiment %q is null", name)
+		}
+		if e.Cells == nil {
+			e.Cells = map[string]json.RawMessage{}
+		}
+		for key := range e.Cells {
+			if i, err := strconv.Atoi(key); err != nil || i < 0 {
+				return nil, fmt.Errorf("experiment: checkpoint experiment %q has bad cell key %q", name, key)
+			}
+		}
+	}
+	return &doc, nil
+}
+
+// CheckpointStore persists completed sweep cells to a JSON file with
+// atomic write-temp-then-rename updates, so a checkpoint read after a
+// kill at any instant is either the previous or the next consistent
+// state, never a torn write.
+type CheckpointStore struct {
+	mu   sync.Mutex
+	path string
+	doc  *checkpointDoc
+}
+
+// OpenCheckpoint opens (or initializes) the checkpoint at path. With
+// resume set, an existing file is loaded and its completed cells are
+// reused; otherwise the store starts empty and the first save overwrites
+// any stale file.
+func OpenCheckpoint(path string, resume bool) (*CheckpointStore, error) {
+	s := &CheckpointStore{
+		path: path,
+		doc:  &checkpointDoc{Version: checkpointVersion, Experiments: map[string]*checkpointExp{}},
+	}
+	if !resume {
+		return s, nil
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil // nothing to resume from: start fresh
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
+	}
+	doc, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, err
+	}
+	s.doc = doc
+	return s, nil
+}
+
+// Path returns the checkpoint file path.
+func (s *CheckpointStore) Path() string { return s.path }
+
+// Cells returns how many completed cells the store currently holds for
+// the experiment (any fingerprint).
+func (s *CheckpointStore) Cells(exp string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.doc.Experiments[exp]; ok {
+		return len(e.Cells)
+	}
+	return 0
+}
+
+// Lookup returns the checkpointed result of cell i, if present under a
+// matching fingerprint.
+func (s *CheckpointStore) Lookup(exp, fingerprint string, i int) (json.RawMessage, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.doc.Experiments[exp]
+	if !ok || e.Fingerprint != fingerprint {
+		return nil, false
+	}
+	raw, ok := e.Cells[strconv.Itoa(i)]
+	return raw, ok
+}
+
+// Save records cell i's result and atomically rewrites the checkpoint
+// file. A fingerprint change discards the experiment's stale cells.
+func (s *CheckpointStore) Save(exp, fingerprint string, i int, raw json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.doc.Experiments[exp]
+	if !ok || e.Fingerprint != fingerprint {
+		e = &checkpointExp{Fingerprint: fingerprint, Cells: map[string]json.RawMessage{}}
+		s.doc.Experiments[exp] = e
+	}
+	e.Cells[strconv.Itoa(i)] = raw
+	return s.flushLocked()
+}
+
+// flushLocked writes the document atomically: marshal, write to a
+// temporary file in the same directory, rename over the target.
+func (s *CheckpointStore) flushLocked() error {
+	data, err := json.MarshalIndent(s.doc, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

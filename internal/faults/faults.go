@@ -1,0 +1,324 @@
+// Package faults implements a seed-derived, fully deterministic fault
+// plan for stress-testing the simulator in exactly the regimes the paper
+// cares about: execution-time overruns beyond the Chebyshev allocation
+// (the tail the {ν, ρ} assurances must absorb), imperfect DVS hardware
+// (sticky switches that land on an adjacent discrete frequency, and
+// switch-latency stalls), abort-cost spikes, and adversarial arrival
+// bursts that ride the UAM ⟨a_i, P_i⟩ window bound.
+//
+// Every fault decision is a pure function of the plan's seed and the
+// coordinates of the affected entity (task ID and job index, or the
+// per-run switch sequence number), derived through rng.Derive. Decisions
+// therefore do not depend on scheduler behaviour, worker count, or
+// execution order: two runs with the same plan see the same faults on the
+// same jobs, so schemes are still compared on the identical (faulted)
+// workload and parallel sweeps stay bit-identical.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+// Derivation stream tags: each fault family draws from its own labelled
+// stream so that enabling one family never perturbs another's decisions.
+const (
+	streamOverrun uint64 = 1 + iota
+	streamSticky
+	streamStall
+	streamAbortSpike
+)
+
+// Plan is a deterministic fault-injection plan. The zero value injects
+// nothing; a nil *Plan is likewise inert everywhere it is accepted.
+type Plan struct {
+	// Seed is the derivation root of all fault decisions. It is
+	// independent of the engine seed, so the same workload realization can
+	// be replayed under different fault plans and vice versa.
+	Seed uint64
+
+	// OverrunProb is the per-job probability of an execution-time overrun:
+	// the job's realized demand is inflated by OverrunFactor, pushing it
+	// past the c_i allocation regardless of how far into the tail the
+	// original sample fell. OverrunFactor must be > 1 when OverrunProb > 0
+	// (0 selects the default 2).
+	OverrunProb   float64
+	OverrunFactor float64
+
+	// StickyProb is the per-switch probability that a commanded frequency
+	// change lands on an adjacent discrete step instead of the target (the
+	// "sticky switch" hardware failure). The faulted step is one table
+	// index away from the target, direction drawn from the plan.
+	StickyProb float64
+
+	// StallProb is the per-switch probability of a switch stall: the
+	// change completes but costs an extra Stall seconds before the job
+	// makes progress. Stall must be > 0 when StallProb > 0.
+	StallProb float64
+	Stall     float64
+
+	// AbortSpikeProb is the per-job probability that the job's abort cost
+	// (engine.Config.AbortCost) is multiplied by AbortSpikeFactor when it
+	// is aborted — a cleanup path that occasionally blows up.
+	// AbortSpikeFactor must be > 1 when AbortSpikeProb > 0 (0 selects the
+	// default 4).
+	AbortSpikeProb   float64
+	AbortSpikeFactor float64
+
+	// AdversarialBursts replaces the default arrival generators with
+	// random-phase bursts: each window's a_i instances arrive
+	// simultaneously at an unpredictable instant. The traces remain
+	// UAM-compliant — this is the strongest adversary the model admits,
+	// not a model violation.
+	AdversarialBursts bool
+}
+
+// Enabled reports whether the plan can inject anything.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.OverrunProb > 0 || p.StickyProb > 0 || p.StallProb > 0 ||
+		p.AbortSpikeProb > 0 || p.AdversarialBursts
+}
+
+// Validate checks the plan. A nil plan is valid (and inert).
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	checkProb := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("faults: %s probability %g outside [0, 1]", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"overrun", p.OverrunProb},
+		{"sticky", p.StickyProb},
+		{"stall", p.StallProb},
+		{"abort-spike", p.AbortSpikeProb},
+	} {
+		if err := checkProb(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	if f := p.OverrunFactor; f != 0 && (f <= 1 || math.IsNaN(f) || math.IsInf(f, 0)) {
+		return fmt.Errorf("faults: overrun factor %g must be > 1 and finite", f)
+	}
+	if f := p.AbortSpikeFactor; f != 0 && (f <= 1 || math.IsNaN(f) || math.IsInf(f, 0)) {
+		return fmt.Errorf("faults: abort-spike factor %g must be > 1 and finite", f)
+	}
+	if p.Stall < 0 || math.IsNaN(p.Stall) || math.IsInf(p.Stall, 0) {
+		return fmt.Errorf("faults: stall %g must be non-negative and finite", p.Stall)
+	}
+	if p.StallProb > 0 && p.Stall == 0 {
+		return fmt.Errorf("faults: stall probability %g set but stall duration is zero", p.StallProb)
+	}
+	return nil
+}
+
+// overrunDefault and abortSpikeDefault are the factors selected when the
+// corresponding probability is set but the factor is left zero.
+const (
+	overrunDefault    = 2
+	abortSpikeDefault = 4
+)
+
+// Overrun reports whether the job (taskID, jobIndex) suffers an
+// execution-time overrun and, if so, the factor its realized demand is
+// inflated by.
+func (p *Plan) Overrun(taskID, jobIndex int) (factor float64, ok bool) {
+	if p == nil || p.OverrunProb <= 0 {
+		return 0, false
+	}
+	src := rng.Derive(p.Seed, streamOverrun, uint64(taskID), uint64(jobIndex))
+	if !src.Bernoulli(p.OverrunProb) {
+		return 0, false
+	}
+	f := p.OverrunFactor
+	if f == 0 {
+		f = overrunDefault
+	}
+	return f, true
+}
+
+// Sticky reports whether the n-th commanded frequency switch of a run
+// sticks, and if so the signed table-index offset (−1 or +1) the CPU
+// lands on relative to the target (the engine clamps at the table edges).
+func (p *Plan) Sticky(switchSeq int) (delta int, ok bool) {
+	if p == nil || p.StickyProb <= 0 {
+		return 0, false
+	}
+	src := rng.Derive(p.Seed, streamSticky, uint64(switchSeq))
+	if !src.Bernoulli(p.StickyProb) {
+		return 0, false
+	}
+	if src.Bernoulli(0.5) {
+		return 1, true
+	}
+	return -1, true
+}
+
+// StallFor reports whether the n-th commanded frequency switch stalls,
+// and if so for how many extra seconds.
+func (p *Plan) StallFor(switchSeq int) (seconds float64, ok bool) {
+	if p == nil || p.StallProb <= 0 {
+		return 0, false
+	}
+	src := rng.Derive(p.Seed, streamStall, uint64(switchSeq))
+	if !src.Bernoulli(p.StallProb) {
+		return 0, false
+	}
+	return p.Stall, true
+}
+
+// AbortSpike reports whether aborting the job (taskID, jobIndex) costs a
+// spike, and if so the factor its abort cost is multiplied by.
+func (p *Plan) AbortSpike(taskID, jobIndex int) (factor float64, ok bool) {
+	if p == nil || p.AbortSpikeProb <= 0 {
+		return 0, false
+	}
+	src := rng.Derive(p.Seed, streamAbortSpike, uint64(taskID), uint64(jobIndex))
+	if !src.Bernoulli(p.AbortSpikeProb) {
+		return 0, false
+	}
+	f := p.AbortSpikeFactor
+	if f == 0 {
+		f = abortSpikeDefault
+	}
+	return f, true
+}
+
+// Arrivals returns the adversarial arrival selector, or nil when the plan
+// does not replace arrivals. The returned generator produces random-phase
+// UAM-compliant bursts: all a_i instances of a window arrive together.
+func (p *Plan) Arrivals() func(*task.Task) uam.Generator {
+	if p == nil || !p.AdversarialBursts {
+		return nil
+	}
+	return func(t *task.Task) uam.Generator {
+		return uam.RandomBurst{S: t.Arrival}
+	}
+}
+
+// String returns a canonical, order-stable description of the plan. It
+// doubles as the plan's contribution to checkpoint fingerprints, so two
+// plans with equal behaviour render identically.
+func (p *Plan) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.OverrunProb > 0 {
+		f := p.OverrunFactor
+		if f == 0 {
+			f = overrunDefault
+		}
+		parts = append(parts, fmt.Sprintf("overrun=%g x%g", p.OverrunProb, f))
+	}
+	if p.StickyProb > 0 {
+		parts = append(parts, fmt.Sprintf("sticky=%g", p.StickyProb))
+	}
+	if p.StallProb > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%g x%gs", p.StallProb, p.Stall))
+	}
+	if p.AbortSpikeProb > 0 {
+		f := p.AbortSpikeFactor
+		if f == 0 {
+			f = abortSpikeDefault
+		}
+		parts = append(parts, fmt.Sprintf("abort-spike=%g x%g", p.AbortSpikeProb, f))
+	}
+	if p.AdversarialBursts {
+		parts = append(parts, "bursts")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse builds a plan from a compact comma-separated key=value spec, the
+// format of the -faults CLI flag:
+//
+//	seed=7,overrun=0.1,overrun-factor=3,sticky=0.05,stall-prob=0.1,
+//	stall=0.001,abort-spike=0.1,abort-spike-factor=4,bursts=1
+//
+// Unknown keys are rejected. An empty spec yields a nil (inert) plan.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	p := &Plan{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("faults: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %w", val, err)
+			}
+			p.Seed = u
+		case "bursts":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad bursts %q: %w", val, err)
+			}
+			p.AdversarialBursts = b
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad %s %q: %w", key, val, err)
+			}
+			switch key {
+			case "overrun":
+				p.OverrunProb = f
+			case "overrun-factor":
+				p.OverrunFactor = f
+			case "sticky":
+				p.StickyProb = f
+			case "stall-prob":
+				p.StallProb = f
+			case "stall":
+				p.Stall = f
+			case "abort-spike":
+				p.AbortSpikeProb = f
+			case "abort-spike-factor":
+				p.AbortSpikeFactor = f
+			default:
+				return nil, fmt.Errorf("faults: unknown key %q (%s)", key, knownKeys())
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func knownKeys() string {
+	keys := []string{
+		"seed", "overrun", "overrun-factor", "sticky",
+		"stall-prob", "stall", "abort-spike", "abort-spike-factor", "bursts",
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

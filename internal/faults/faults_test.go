@@ -1,0 +1,179 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func TestNilAndZeroPlansAreInert(t *testing.T) {
+	for _, p := range []*Plan{nil, {}} {
+		if p.Enabled() {
+			t.Fatalf("plan %+v reports enabled", p)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("inert plan invalid: %v", err)
+		}
+		if _, ok := p.Overrun(1, 0); ok {
+			t.Fatal("inert plan injected an overrun")
+		}
+		if _, ok := p.Sticky(0); ok {
+			t.Fatal("inert plan injected a sticky switch")
+		}
+		if _, ok := p.StallFor(0); ok {
+			t.Fatal("inert plan injected a stall")
+		}
+		if _, ok := p.AbortSpike(1, 0); ok {
+			t.Fatal("inert plan injected an abort spike")
+		}
+		if p.Arrivals() != nil {
+			t.Fatal("inert plan replaced arrivals")
+		}
+		if p.String() != "none" {
+			t.Fatalf("inert plan String = %q", p.String())
+		}
+	}
+}
+
+func TestValidateRejectsMalformedPlans(t *testing.T) {
+	bad := []*Plan{
+		{OverrunProb: -0.1},
+		{OverrunProb: 1.5},
+		{OverrunProb: math.NaN()},
+		{OverrunProb: 0.5, OverrunFactor: 0.5},
+		{OverrunProb: 0.5, OverrunFactor: math.Inf(1)},
+		{StickyProb: 2},
+		{StallProb: 0.5},             // stall duration missing
+		{StallProb: 0.5, Stall: -1},  // negative stall
+		{Stall: math.NaN()},
+		{AbortSpikeProb: 0.5, AbortSpikeFactor: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: plan %+v accepted", i, p)
+		}
+	}
+	good := &Plan{Seed: 9, OverrunProb: 0.2, StickyProb: 0.1, StallProb: 0.1, Stall: 1e-4, AbortSpikeProb: 0.3, AdversarialBursts: true}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+// TestDecisionsAreCoordinateDeterministic is the core determinism
+// property: a fault decision depends only on (plan seed, coordinates),
+// never on query order, so parallel sweeps and scheme comparisons see
+// identical faults.
+func TestDecisionsAreCoordinateDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, OverrunProb: 0.5, StickyProb: 0.5, StallProb: 0.5, Stall: 1e-3, AbortSpikeProb: 0.5}
+	type key struct{ a, b int }
+	first := map[key][3]any{}
+	for _, order := range [][]key{
+		{{1, 0}, {1, 1}, {2, 0}, {7, 13}},
+		{{7, 13}, {2, 0}, {1, 1}, {1, 0}}, // reversed
+	} {
+		for _, k := range order {
+			of, ook := p.Overrun(k.a, k.b)
+			sf, sok := p.Sticky(k.a*100 + k.b)
+			af, aok := p.AbortSpike(k.a, k.b)
+			got := [3]any{[2]any{of, ook}, [2]any{sf, sok}, [2]any{af, aok}}
+			if prev, seen := first[k]; seen && prev != got {
+				t.Fatalf("coordinates %v: decisions changed across query orders: %v vs %v", k, prev, got)
+			}
+			first[k] = got
+		}
+	}
+}
+
+func TestOverrunRateTracksProbability(t *testing.T) {
+	p := &Plan{Seed: 3, OverrunProb: 0.25}
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if f, ok := p.Overrun(1, i); ok {
+			if f != overrunDefault {
+				t.Fatalf("default overrun factor = %g", f)
+			}
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.2 || rate > 0.3 {
+		t.Fatalf("overrun rate %g far from 0.25", rate)
+	}
+}
+
+func TestStickyDeltasAreAdjacent(t *testing.T) {
+	p := &Plan{Seed: 5, StickyProb: 1}
+	up, down := 0, 0
+	for i := 0; i < 200; i++ {
+		d, ok := p.Sticky(i)
+		if !ok {
+			t.Fatalf("probability-1 sticky did not fire at switch %d", i)
+		}
+		switch d {
+		case 1:
+			up++
+		case -1:
+			down++
+		default:
+			t.Fatalf("sticky delta %d is not adjacent", d)
+		}
+	}
+	if up == 0 || down == 0 {
+		t.Fatalf("sticky direction never varied: up=%d down=%d", up, down)
+	}
+}
+
+func TestArrivalsRideTheUAMBound(t *testing.T) {
+	p := &Plan{Seed: 1, AdversarialBursts: true}
+	sel := p.Arrivals()
+	if sel == nil {
+		t.Fatal("adversarial plan returned nil arrival selector")
+	}
+	tk := &task.Task{Arrival: uam.Spec{A: 3, P: 0.05}}
+	gen := sel(tk)
+	if gen.Spec() != tk.Arrival {
+		t.Fatalf("generator spec %v != task spec %v", gen.Spec(), tk.Arrival)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("seed=7,overrun=0.1,overrun-factor=3,sticky=0.05,stall-prob=0.1,stall=0.001,abort-spike=0.2,abort-spike-factor=4,bursts=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, OverrunProb: 0.1, OverrunFactor: 3, StickyProb: 0.05,
+		StallProb: 0.1, Stall: 0.001, AbortSpikeProb: 0.2, AbortSpikeFactor: 4, AdversarialBursts: true}
+	if *p != want {
+		t.Fatalf("parsed %+v, want %+v", *p, want)
+	}
+	if !strings.Contains(p.String(), "seed=7") {
+		t.Fatalf("String() = %q lacks seed", p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"overrun",           // not key=value
+		"overrun=x",         // bad number
+		"seed=-1",           // bad seed
+		"bogus=1",           // unknown key
+		"overrun=2",         // out of range (via Validate)
+		"stall-prob=0.5",    // stall duration missing
+		"bursts=maybe",      // bad bool
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	for _, spec := range []string{"", "none", "  "} {
+		p, err := Parse(spec)
+		if err != nil || p != nil {
+			t.Errorf("empty spec %q: plan=%v err=%v", spec, p, err)
+		}
+	}
+}

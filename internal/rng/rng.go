@@ -74,6 +74,22 @@ func (s *Source) Float64() float64 {
 	return float64(s.Uint64()>>11) / (1 << 53)
 }
 
+// Bernoulli returns true with probability p. p <= 0 never fires and
+// p >= 1 always fires; it panics on NaN, which silently behaves like 0 in
+// a plain comparison and would hide a misconfigured probability.
+func (s *Source) Bernoulli(p float64) bool {
+	if math.IsNaN(p) {
+		panic("rng: Bernoulli called with NaN probability")
+	}
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {

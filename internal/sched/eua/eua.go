@@ -273,9 +273,7 @@ func (s *Scheduler) optimalFrequency(t *task.Task) float64 {
 // the highest frequency, as in Algorithm 1 line 11:
 // U_J(now + c/f_m) / (E(f_m) · c).
 func (s *Scheduler) UER(now float64, j *task.Job) float64 {
-	c := j.EstimatedRemaining()
-	fm := s.ctx.Freqs.Max()
-	return j.UtilityAt(now+c/fm) / (c * s.ctx.Energy.PerCycle(fm))
+	return sched.UER(now, j, s.ctx.Freqs.Max(), s.ctx.Energy)
 }
 
 // Decide implements sched.Scheduler (Algorithm 1).

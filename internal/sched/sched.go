@@ -61,6 +61,17 @@ type Scheduler interface {
 	Decide(now float64, ready []*task.Job) Decision
 }
 
+// UER returns job j's Utility and Energy Ratio at time now when executed
+// at frequency f: U_J(now + c/f) / (E(f) · c), the utility accrued per
+// unit of energy spent finishing the job's remaining allocation c
+// (Algorithm 1 line 11 evaluates it at f_m). It is the common currency of
+// EUA*'s schedule construction and of the engine's overload safe mode,
+// which sheds the lowest-UER pending work first.
+func UER(now float64, j *task.Job, f float64, m energy.Model) float64 {
+	c := j.EstimatedRemaining()
+	return j.UtilityAt(now+c/f) / (c * m.PerCycle(f))
+}
+
 // ByCriticalTime sorts jobs by absolute critical time (EDF order on
 // critical times), breaking ties by arrival then task ID then index so
 // that the order is total and deterministic.

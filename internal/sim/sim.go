@@ -55,20 +55,46 @@ type Event struct {
 // Cancelled reports whether the event was cancelled before being popped.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
+// NonMonotonicError is the panic value raised by Queue.Push when an event
+// is scheduled strictly before the queue's watermark (the time of the
+// latest popped event). Simulation time only moves forward, so such a
+// push can never be processed and indicates state corruption in the
+// caller. The error identifies the offending event kind so a watchdog
+// recovering the panic can attribute the corruption.
+type NonMonotonicError struct {
+	Kind      Kind    // kind of the rejected event
+	Time      float64 // requested event time
+	Watermark float64 // time of the latest popped event
+}
+
+func (e *NonMonotonicError) Error() string {
+	return fmt.Sprintf("sim: %s event at t=%g scheduled before watermark %g (non-monotonic insertion)",
+		e.Kind, e.Time, e.Watermark)
+}
+
 // Queue is a priority queue of events ordered by (Time, Kind, insertion
 // order). The zero value is ready to use.
 type Queue struct {
-	h      eventHeap
-	seq    uint64
-	active int
+	h         eventHeap
+	seq       uint64
+	active    int
+	watermark float64 // max time of any popped event
 }
 
+// Watermark returns the time of the latest popped event (0 before the
+// first pop). Pushes strictly before the watermark are rejected.
+func (q *Queue) Watermark() float64 { return q.watermark }
+
 // Push enqueues an event and returns it (so the caller can cancel it
-// later). Times must be finite; pushing an event in the past relative to
-// already-popped events is the caller's responsibility to avoid.
+// later). Times must be finite. Pushing an event strictly before the
+// queue's watermark panics with a *NonMonotonicError describing the
+// offending event, since simulation time only moves forward.
 func (q *Queue) Push(t float64, kind Kind, payload any) *Event {
 	if t != t { // NaN
 		panic("sim: event time is NaN")
+	}
+	if t < q.watermark {
+		panic(&NonMonotonicError{Kind: kind, Time: t, Watermark: q.watermark})
 	}
 	e := &Event{Time: t, Kind: kind, Payload: payload, seq: q.seq}
 	q.seq++
@@ -91,7 +117,8 @@ func (q *Queue) Cancel(e *Event) {
 	}
 }
 
-// Pop removes and returns the earliest non-cancelled event.
+// Pop removes and returns the earliest non-cancelled event, advancing the
+// queue's watermark to its time.
 func (q *Queue) Pop() (*Event, bool) {
 	q.skipCancelled()
 	if len(q.h) == 0 {
@@ -100,6 +127,9 @@ func (q *Queue) Pop() (*Event, bool) {
 	e := heap.Pop(&q.h).(*Event)
 	e.index = -1
 	q.active--
+	if e.Time > q.watermark {
+		q.watermark = e.Time
+	}
 	return e, true
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -202,11 +203,58 @@ func TestQuickCancelConsistency(t *testing.T) {
 	}
 }
 
+// TestPushBeforeWatermarkPanicsTyped pins the documented corruption
+// contract: scheduling an event before the time of the latest popped
+// event panics with a *NonMonotonicError identifying the event kind, so
+// the engine watchdog can attribute queue corruption.
+func TestPushBeforeWatermarkPanicsTyped(t *testing.T) {
+	var q Queue
+	q.Push(5, Arrival, nil)
+	if _, ok := q.Pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if w := q.Watermark(); w != 5 {
+		t.Fatalf("watermark = %g, want 5", w)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("push before watermark did not panic")
+		}
+		nme, ok := r.(*NonMonotonicError)
+		if !ok {
+			t.Fatalf("panic value %T is not *NonMonotonicError", r)
+		}
+		if nme.Kind != Completion || nme.Time != 3 || nme.Watermark != 5 {
+			t.Fatalf("unexpected error contents: %+v", nme)
+		}
+		if !strings.Contains(nme.Error(), "completion") {
+			t.Fatalf("error %q does not name the event kind", nme.Error())
+		}
+	}()
+	q.Push(3, Completion, nil)
+}
+
+// TestPushAtWatermarkAllowed: same-instant insertions (e.g. a completion
+// scheduled exactly at the current event time) must stay legal.
+func TestPushAtWatermarkAllowed(t *testing.T) {
+	var q Queue
+	q.Push(2, Arrival, nil)
+	q.Pop()
+	q.Push(2, Completion, nil) // exactly at the watermark
+	e, ok := q.Pop()
+	if !ok || e.Time != 2 || e.Kind != Completion {
+		t.Fatalf("same-instant push lost: %v %v", e, ok)
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	src := rng.New(1)
 	var q Queue
 	for i := 0; i < b.N; i++ {
-		q.Push(src.Float64(), Arrival, nil)
+		// Keep times at or above the watermark: popped times advance it and
+		// earlier pushes are (by design) rejected.
+		q.Push(q.Watermark()+src.Float64(), Arrival, nil)
 		if q.Len() > 1024 {
 			q.Pop()
 		}

@@ -56,8 +56,11 @@ func Validate(res *engine.Result, table cpu.FrequencyTable) error {
 		total += sp.Cycles
 		perJob[sp.Job] += sp.Cycles
 	}
-	if absDiff(total, res.Cycles) > tol*res.Cycles+1 {
-		return fmt.Errorf("trace: spans sum to %g cycles, meter says %g", total, res.Cycles)
+	// Abort-cost cycles are metered (they cost energy) but never appear
+	// as execution spans: the teardown is energy-only by design.
+	if absDiff(total+res.AbortCycles, res.Cycles) > tol*res.Cycles+1 {
+		return fmt.Errorf("trace: spans sum to %g cycles (+%g abort cycles), meter says %g",
+			total, res.AbortCycles, res.Cycles)
 	}
 	for _, j := range res.Jobs {
 		got := perJob[j]
