@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench fuzz fuzz-smoke check experiments examples clean
+.PHONY: all build test test-race vet bench bench-sched bench-check cover fuzz fuzz-smoke check experiments examples clean
 
 all: build vet test
 
@@ -22,6 +22,29 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# bench-sched measures the scheduler hot path — ns/event, allocs/event and
+# events/sec across the task-count x load matrix for the reference and
+# fast-path EUA* cores — and refreshes the committed BENCH_sched.json
+# baseline. Run on a quiet machine; the harness keeps the minimum of 3
+# repetitions per cell.
+bench-sched:
+	$(GO) run ./cmd/euabench -out BENCH_sched.json
+
+# bench-check re-measures the matrix and fails if any cell is >15% slower
+# (ns/event) than the committed baseline. Wired into CI as a separate
+# non-blocking job: shared-runner noise should inform, not gate merges.
+bench-check:
+	$(GO) run ./cmd/euabench -check BENCH_sched.json
+
+# cover runs the tests with coverage and enforces the floor on the
+# scheduler core: internal/sched/eua (reference + fast path + oracle
+# suite) must stay at or above 80% statement coverage.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	$(GO) test -coverprofile=coverage-eua.out ./internal/sched/eua/
+	@$(GO) tool cover -func=coverage-eua.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/sched/eua coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/sched/eua below the 80% coverage floor"; exit 1 } }'
+
 fuzz:
 	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/
 	$(GO) test -fuzz=FuzzGenerators -fuzztime=30s ./internal/uam/
@@ -33,8 +56,9 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzConfig -fuzztime=5s -run='^$$' ./internal/config/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=5s -run='^$$' ./internal/experiment/
 
-# check is the full local gate: build, vet, tests, race tests, fuzz smoke.
-check: build vet test test-race fuzz-smoke
+# check is the full local gate: build, vet, tests, race tests, coverage
+# floor, fuzz smoke.
+check: build vet test test-race cover fuzz-smoke
 
 experiments:
 	$(GO) run ./cmd/euasim -exp all -seeds 3 -horizon 1

@@ -1,0 +1,122 @@
+// Command euabench benchmarks the EUA* scheduler cores across a task
+// count × arrival intensity matrix and reports nanoseconds, allocations
+// and events-per-second per simulation event for the reference and
+// fast-path implementations.
+//
+// Usage:
+//
+//	euabench -out BENCH_sched.json          # refresh the committed baseline
+//	euabench -check BENCH_sched.json        # fail on >15% ns/event regression
+//	euabench -quick                         # small matrix for smoke runs
+//
+// The regression check only gates cells present in both reports; see
+// `make bench-check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/euastar/euastar/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "euabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, diag io.Writer) error {
+	fs := flag.NewFlagSet("euabench", flag.ContinueOnError)
+	fs.SetOutput(diag)
+	var (
+		outPath   = fs.String("out", "", "write the benchmark report as JSON to this file")
+		checkPath = fs.String("check", "", "compare against this baseline report and fail on regression")
+		tolerance = fs.Float64("tolerance", 0.15, "allowed ns/event slowdown vs the -check baseline")
+		reps      = fs.Int("reps", 5, "repetitions per cell (minimum is kept)")
+		horizon   = fs.Float64("horizon", 0.4, "arrival horizon per run in seconds")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		quick     = fs.Bool("quick", false, "small matrix and short horizon for smoke runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("-tolerance must be >= 0, got %g", *tolerance)
+	}
+
+	opts := bench.Options{
+		Reps:     *reps,
+		Horizon:  *horizon,
+		Seed:     *seed,
+		Progress: diag,
+	}
+	if *quick {
+		opts.Tasks = []int{8, 24}
+		opts.Loads = []float64{1.0}
+		if !flagSet(fs, "horizon") {
+			opts.Horizon = 0.1
+		}
+		if !flagSet(fs, "reps") {
+			opts.Reps = 1
+		}
+	}
+
+	rep, err := bench.Sweep(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "speedup (reference vs fast path):")
+	bench.WriteSpeedups(out, rep)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		err = bench.WriteJSON(f, rep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", *outPath)
+	}
+
+	if *checkPath != "" {
+		f, err := os.Open(*checkPath)
+		if err != nil {
+			return err
+		}
+		baseline, err := bench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		regs, drift := bench.Compare(rep, baseline, *tolerance)
+		fmt.Fprintf(out, "suite drift vs baseline: x%.2f (normalized out; see internal/bench.Compare)\n", drift)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(out, "REGRESSION", r)
+			}
+			return fmt.Errorf("%d cell(s) regressed beyond %.0f%% vs %s", len(regs), *tolerance*100, *checkPath)
+		}
+		fmt.Fprintf(out, "no regression beyond %.0f%% vs %s\n", *tolerance*100, *checkPath)
+	}
+	return nil
+}
+
+// flagSet reports whether the user passed the flag explicitly.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

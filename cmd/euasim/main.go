@@ -82,6 +82,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		checkpoint = fs.String("checkpoint", "", "persist completed sweep cells to this JSON file (atomic writes)")
 		resume     = fs.Bool("resume", false, "reuse completed cells from the -checkpoint file instead of recomputing")
 		faultSpec  = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
+		fastpath   = fs.Bool("fastpath", false, "run EUA*-family schedulers on the incremental fast-path core (bit-identical decisions, see DESIGN.md §8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,11 +104,12 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	}
 
 	cfg := experiment.Config{
-		Energy:  energy.Preset(*preset),
-		Horizon: *horizon,
-		Workers: *workers,
-		Timeout: *timeout,
-		Retries: *retries,
+		Energy:   energy.Preset(*preset),
+		Horizon:  *horizon,
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		FastPath: *fastpath,
 	}
 	if *loads != "" {
 		parsed, err := parseLoads(*loads)

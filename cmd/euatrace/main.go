@@ -81,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		gantt     = fs.Bool("gantt", false, "render an ASCII Gantt chart of the schedule")
 		width     = fs.Int("width", 100, "Gantt chart width in columns")
 		faultSpec = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
+		fastpath  = fs.Bool("fastpath", false, "run EUA*-family schedulers on the incremental fast-path core (bit-identical decisions, see DESIGN.md §8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +94,13 @@ func run(args []string, out io.Writer) error {
 	scheduler, abort, err := newScheduler(*schedName)
 	if err != nil {
 		return err
+	}
+	if *fastpath {
+		if s, ok := scheduler.(*eua.Scheduler); ok {
+			s.EnableFastPath()
+		} else {
+			return fmt.Errorf("-fastpath applies only to EUA*-family schedulers, not %q", *schedName)
+		}
 	}
 	var application workload.App
 	switch *app {

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/euastar/euastar/internal/stats"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// Conformance checks a task's statistical timeliness assurance
+// empirically. Section 3.1 allocates c_i cycles per job so that
+// Pr[Y_i < c_i] >= rho_i under the Cantelli bound; this accumulator
+// counts how often realized demands actually fall inside the allocation
+// and confronts the requirement with a Wilson score interval, turning
+// "the math says 96%" into a measured, confidence-bounded claim.
+//
+// Feed realized demands (Job.ActualCycles) through Observe and read the
+// result with Verdict. The accumulator is not safe for concurrent use.
+type Conformance struct {
+	task *task.Task
+	c    float64 // Cantelli allocation c_i at construction time
+	n    int     // demands observed
+	met  int     // demands strictly below c_i
+}
+
+// NewConformance builds an accumulator for the task's current
+// allocation. The allocation is captured once: profiler-driven tasks
+// re-derive c_i as moments accrue, and a conformance check is only
+// meaningful against one fixed allocation.
+func NewConformance(t *task.Task) *Conformance {
+	return &Conformance{task: t, c: t.CycleAllocation()}
+}
+
+// Observe records one realized demand y (in cycles).
+func (c *Conformance) Observe(y float64) {
+	c.n++
+	if y < c.c {
+		c.met++
+	}
+}
+
+// N returns the number of observations.
+func (c *Conformance) N() int { return c.n }
+
+// Met returns how many observations fell inside the allocation.
+func (c *Conformance) Met() int { return c.met }
+
+// Verdict is the outcome of a conformance check for one task.
+type Verdict struct {
+	Task       *task.Task
+	Allocation float64 // the checked c_i
+	N          int
+	Met        int
+	Rate       float64 // point estimate Met/N
+	Interval   stats.Interval
+	Rho        float64 // the required assurance probability
+
+	// Conforms: even the interval's lower bound meets rho — the
+	// assurance is confirmed at the chosen confidence.
+	Conforms bool
+	// Refuted: the interval's upper bound is below rho — the assurance
+	// is violated at the chosen confidence. Neither flag set means the
+	// sample is too small to decide.
+	Refuted bool
+}
+
+func (v Verdict) String() string {
+	status := "inconclusive"
+	if v.Conforms {
+		status = "conforms"
+	} else if v.Refuted {
+		status = "REFUTED"
+	}
+	return fmt.Sprintf("%s: Pr[Y < c] = %d/%d = %.4f, 95%%CI [%.4f, %.4f] vs rho=%.2f: %s",
+		v.Task, v.Met, v.N, v.Rate, v.Interval.Lower, v.Interval.Upper, v.Rho, status)
+}
+
+// Verdict evaluates the accumulated sample at critical value z
+// (z = 1.96 for 95% confidence). It errors when nothing was observed.
+func (c *Conformance) Verdict(z float64) (Verdict, error) {
+	iv, err := stats.Wilson(c.met, c.n, z)
+	if err != nil {
+		return Verdict{}, err
+	}
+	rho := c.task.Req.Rho
+	return Verdict{
+		Task:       c.task,
+		Allocation: c.c,
+		N:          c.n,
+		Met:        c.met,
+		Rate:       float64(c.met) / float64(c.n),
+		Interval:   iv,
+		Rho:        rho,
+		Conforms:   iv.Lower >= rho,
+		Refuted:    iv.Upper < rho,
+	}, nil
+}

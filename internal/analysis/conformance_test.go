@@ -1,0 +1,143 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/analysis"
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/faults"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// runAndCollect executes one simulation and feeds every released job's
+// realized demand into its task's conformance accumulator.
+func runAndCollect(t *testing.T, plan *faults.Plan, seed uint64) map[int]*analysis.Conformance {
+	t.Helper()
+	ft := cpu.PowerNowK6()
+	model, err := energy.NewPreset(energy.E1, ft.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := workload.A2().MustSynthesize(rng.New(seed*0x9e3779b9), workload.Options{})
+	ts = ts.ScaleToLoad(0.9, ft.Max())
+
+	acc := make(map[int]*analysis.Conformance, len(ts))
+	for _, tk := range ts {
+		acc[tk.ID] = analysis.NewConformance(tk)
+	}
+	res, err := engine.Run(engine.Config{
+		Tasks:              ts,
+		Scheduler:          eua.New(),
+		Freqs:              ft,
+		Energy:             model,
+		Horizon:            4,
+		Seed:               seed,
+		AbortAtTermination: true,
+		Faults:             plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Jobs {
+		acc[j.Task.ID].Observe(j.ActualCycles)
+	}
+	return acc
+}
+
+// TestConformanceHolds is the paper's Section 3.1 assurance, measured:
+// with demands drawn from the task's own distribution, the empirical
+// Pr[Y_i < c_i] must meet rho_i = 0.96 — and not merely as a point
+// estimate, but with the entire 95% Wilson interval above rho. Cantelli
+// is distribution-free and therefore conservative for the concrete
+// demand distributions in play, which is what makes the strong
+// (lower-bound) form of the check attainable.
+func TestConformanceHolds(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		for id, c := range runAndCollect(t, nil, seed) {
+			// n/(n+z²) >= 0.96 needs n >= 93 even with zero violations;
+			// the horizon is sized to clear that for every task.
+			if c.N() < 100 {
+				t.Fatalf("seed %d task %d: only %d observations; workload too thin for the check", seed, id, c.N())
+			}
+			v, err := c.Verdict(1.96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Conforms {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+		}
+	}
+}
+
+// TestConformanceDetectsOverruns turns the check around: with injected
+// execution-time overruns inflating half the demands past the
+// allocation, the assurance must be REFUTED (interval entirely below
+// rho), not merely inconclusive. This pins the check's statistical
+// power, guarding against an accumulator that silently conforms.
+func TestConformanceDetectsOverruns(t *testing.T) {
+	plan := &faults.Plan{Seed: 7, OverrunProb: 0.5, OverrunFactor: 2}
+	refuted := 0
+	for id, c := range runAndCollect(t, plan, 1) {
+		v, err := c.Verdict(1.96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Conforms {
+			t.Errorf("task %d conforms despite 50%% overruns: %s", id, v)
+		}
+		if v.Refuted {
+			refuted++
+		}
+	}
+	if refuted == 0 {
+		t.Fatal("no task refuted under 50% overruns; the check has no power")
+	}
+}
+
+// TestConformanceAccumulator covers the counting and verdict logic with
+// a synthetic sample, independent of the engine.
+func TestConformanceAccumulator(t *testing.T) {
+	tk := &task.Task{
+		ID:     1,
+		TUF:    tuf.NewStep(10, 0.05),
+		Demand: task.Demand{Mean: 100, Variance: 0}, // c_i = 100 exactly
+		Req:    task.Requirement{Nu: 1, Rho: 0.96},
+	}
+	c := analysis.NewConformance(tk)
+	if _, err := c.Verdict(1.96); err == nil {
+		t.Fatal("want error on empty sample")
+	}
+	for i := 0; i < 99; i++ {
+		c.Observe(50) // inside the allocation
+	}
+	c.Observe(150) // outside (and the boundary y == c counts as outside too)
+	if c.N() != 100 || c.Met() != 99 {
+		t.Fatalf("N=%d Met=%d, want 100/99", c.N(), c.Met())
+	}
+	v, err := c.Verdict(1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rate != 0.99 || v.Allocation != 100 {
+		t.Fatalf("rate=%v allocation=%v, want 0.99/100", v.Rate, v.Allocation)
+	}
+	// 99/100 at 95%: Wilson interval ≈ [0.946, 0.998] — straddles 0.96,
+	// so the sample is inconclusive: neither confirmed nor refuted.
+	if v.Conforms || v.Refuted {
+		t.Fatalf("verdict %s should be inconclusive", v)
+	}
+	// Boundary semantics: y == c is a violation (the requirement is
+	// strict: Pr[Y < c]).
+	b := analysis.NewConformance(tk)
+	b.Observe(100)
+	if b.Met() != 0 {
+		t.Fatal("y == c must not count as met")
+	}
+}

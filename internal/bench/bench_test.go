@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke exercises one tiny cell per scheme end to end: the
+// measurement must carry positive rates and a nonzero event count.
+func TestRunSmoke(t *testing.T) {
+	for _, scheme := range []string{SchemeRef, SchemeFast} {
+		c := Cell{Tasks: 4, Load: 0.8, Scheme: scheme, Seed: 1, Horizon: 0.05}
+		m, err := Run(c, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if m.Events <= 0 || m.NsPerEvent <= 0 || m.EventsPerSec <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", scheme, m)
+		}
+	}
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	if _, err := Run(Cell{Tasks: 4, Load: 0.8, Scheme: "edf", Seed: 1, Horizon: 0.05}, 1); err == nil {
+		t.Fatal("want error for unknown scheme")
+	}
+}
+
+// TestCompare pins the regression gate: within tolerance passes, beyond
+// tolerance is reported, and unmatched cells are ignored.
+func TestCompare(t *testing.T) {
+	cell := func(tasks int, load float64, scheme string, ns float64) Measurement {
+		return Measurement{
+			Cell:       Cell{Tasks: tasks, Load: load, Scheme: scheme, Seed: 1, Horizon: 0.4},
+			NsPerEvent: ns,
+		}
+	}
+	baseline := Report{Version: 1, Cells: []Measurement{
+		cell(8, 0.5, SchemeFast, 1000),
+		cell(8, 1.0, SchemeFast, 1000),
+		cell(8, 1.6, SchemeFast, 1000),
+		cell(24, 1.0, SchemeFast, 1000),
+	}}
+	current := Report{Version: 1, Cells: []Measurement{
+		cell(8, 0.5, SchemeFast, 1000),
+		cell(8, 1.0, SchemeFast, 1100),  // +10%: inside 15% tolerance
+		cell(24, 1.0, SchemeFast, 1300), // +30%: regression
+		cell(64, 1.0, SchemeFast, 9999), // not in baseline: ignored
+	}}
+	regs, drift := Compare(current, baseline, 0.15)
+	if drift != 1 {
+		t.Fatalf("drift %v, want 1 (lower quartile of {1, 1.1, 1.3})", drift)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want 1", len(regs), regs)
+	}
+	if regs[0].Baseline != 1000 || regs[0].Current != 1300 {
+		t.Fatalf("wrong regression %v", regs[0])
+	}
+	if s := regs[0].String(); !strings.Contains(s, "+30.0%") {
+		t.Fatalf("regression rendering %q lacks the percentage", s)
+	}
+	if regs, _ := Compare(current, baseline, 0.35); len(regs) != 0 {
+		t.Fatalf("tolerance 35%% should pass, got %v", regs)
+	}
+}
+
+// TestCompareNormalizesDrift pins the machine-drift defense: a uniform
+// 30% slowdown across every cell is drift (slower host), not a
+// regression — but one cell rising far beyond the rest still trips the
+// gate after normalization.
+func TestCompareNormalizesDrift(t *testing.T) {
+	cell := func(tasks int, load float64, ns float64) Measurement {
+		return Measurement{
+			Cell:       Cell{Tasks: tasks, Load: load, Scheme: SchemeFast, Seed: 1, Horizon: 0.4},
+			NsPerEvent: ns,
+		}
+	}
+	baseline := Report{Version: 1, Cells: []Measurement{
+		cell(8, 0.5, 1000), cell(8, 1.0, 1000), cell(8, 1.6, 1000), cell(24, 1.0, 1000),
+	}}
+	uniform := Report{Version: 1, Cells: []Measurement{
+		cell(8, 0.5, 1300), cell(8, 1.0, 1300), cell(8, 1.6, 1300), cell(24, 1.0, 1300),
+	}}
+	regs, drift := Compare(uniform, baseline, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("uniform slowdown flagged as regression: %v", regs)
+	}
+	if drift != 1.3 {
+		t.Fatalf("drift %v, want 1.3", drift)
+	}
+	spiked := Report{Version: 1, Cells: []Measurement{
+		cell(8, 0.5, 1300), cell(8, 1.0, 1300), cell(8, 1.6, 1300), cell(24, 1.0, 2600),
+	}}
+	regs, _ = Compare(spiked, baseline, 0.15)
+	if len(regs) != 1 || regs[0].Current != 2600 {
+		t.Fatalf("spike not isolated after drift normalization: %v", regs)
+	}
+}
+
+// TestReportRoundTrip checks WriteJSON/ReadJSON and the version guard.
+func TestReportRoundTrip(t *testing.T) {
+	rep := Report{Version: 1, Go: "go-test", Cells: []Measurement{{
+		Cell:       Cell{Tasks: 8, Load: 0.5, Scheme: SchemeRef, Seed: 1, Horizon: 0.4},
+		NsPerEvent: 123, AllocsPerEvent: 4.5, EventsPerSec: 1e6, Events: 1000, Reps: 3,
+	}}}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 1 || got.Cells[0] != rep.Cells[0] || got.Go != rep.Go {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":2}`)); err == nil {
+		t.Fatal("want version guard error")
+	}
+}
+
+// TestSpeedups checks the ref/fast pairing and ordering.
+func TestSpeedups(t *testing.T) {
+	rep := Report{Version: 1, Cells: []Measurement{
+		{Cell: Cell{Tasks: 24, Load: 1, Scheme: SchemeRef, Seed: 1, Horizon: 0.4}, NsPerEvent: 3000},
+		{Cell: Cell{Tasks: 24, Load: 1, Scheme: SchemeFast, Seed: 1, Horizon: 0.4}, NsPerEvent: 1000},
+		{Cell: Cell{Tasks: 8, Load: 1, Scheme: SchemeRef, Seed: 1, Horizon: 0.4}, NsPerEvent: 500},
+		{Cell: Cell{Tasks: 8, Load: 1, Scheme: SchemeFast, Seed: 1, Horizon: 0.4}, NsPerEvent: 250},
+		{Cell: Cell{Tasks: 64, Load: 1, Scheme: SchemeRef, Seed: 1, Horizon: 0.4}, NsPerEvent: 100}, // unpaired
+	}}
+	sp := Speedups(rep)
+	if len(sp) != 2 {
+		t.Fatalf("got %d speedups, want 2 (unpaired ref ignored)", len(sp))
+	}
+	if sp[0].Tasks != 8 || sp[1].Tasks != 24 {
+		t.Fatalf("not sorted by tasks: %+v", sp)
+	}
+	if sp[1].Speedup != 3 {
+		t.Fatalf("speedup %v, want 3", sp[1].Speedup)
+	}
+	var sb strings.Builder
+	WriteSpeedups(&sb, rep)
+	if !strings.Contains(sb.String(), "3.00x") {
+		t.Fatalf("speedup table missing ratio:\n%s", sb.String())
+	}
+}

@@ -193,7 +193,11 @@ type Result struct {
 	EndTime       float64 // time of the last processed event
 	Switches      int
 	Decisions     int
-	Trace         []Span // non-nil only when Config.RecordTrace
+	// Events counts processed simulation events (arrivals, completions,
+	// terminations, boundaries); benchmark harnesses divide wall time by
+	// it to report ns/event.
+	Events int
+	Trace  []Span // non-nil only when Config.RecordTrace
 
 	// Depleted reports whether a configured energy budget ran out, and
 	// DepletedAt when.
@@ -243,6 +247,8 @@ type state struct {
 	lastTime   float64
 	observer   EventObserver
 	decision   int
+	events     int
+	readyBuf   []*task.Job // reusable Decide argument buffer
 	trace      []Span
 	depleted   bool
 	depletedAt float64
@@ -316,15 +322,16 @@ func Run(cfg Config) (res *Result, err error) {
 	}
 
 	res = &Result{
-		SchedulerName: cfg.Scheduler.Name(),
-		Jobs:          st.all,
-		TotalEnergy:   st.meter.Total(),
-		Cycles:        st.meter.Cycles(),
-		BusyTime:      st.meter.BusyTime(),
-		EndTime:       st.lastTime,
-		Switches:      st.proc.Switches(),
-		Decisions:     st.decision,
-		Trace:         st.trace,
+		SchedulerName:   cfg.Scheduler.Name(),
+		Jobs:            st.all,
+		TotalEnergy:     st.meter.Total(),
+		Cycles:          st.meter.Cycles(),
+		BusyTime:        st.meter.BusyTime(),
+		EndTime:         st.lastTime,
+		Switches:        st.proc.Switches(),
+		Decisions:       st.decision,
+		Events:          st.events,
+		Trace:           st.trace,
 		Depleted:        st.depleted,
 		DepletedAt:      st.depletedAt,
 		Inheritances:    st.inheritances,
@@ -385,6 +392,7 @@ func (st *state) loop() error {
 			break
 		}
 		now := ev.Time
+		st.events++
 		if ierr := st.wd.checkEvent(st.lastTime, ev); ierr != nil {
 			return ierr
 		}
@@ -398,11 +406,11 @@ func (st *state) loop() error {
 		// Process all remaining events at the same instant before invoking
 		// the scheduler once.
 		for {
-			next, ok := st.queue.Peek()
-			if !ok || next.Time != now {
+			e, ok := st.queue.PopAt(now)
+			if !ok {
 				break
 			}
-			e, _ := st.queue.Pop()
+			st.events++
 			if err := st.handle(now, e); err != nil {
 				return err
 			}
@@ -629,8 +637,11 @@ func (st *state) decide(now float64) {
 			bo.OnEnergy(st.meter.Total(), st.cfg.EnergyBudget)
 		}
 	}
-	ready := append([]*task.Job(nil), st.pending...)
-	d := st.cfg.Scheduler.Decide(now, ready)
+	// Decide may reorder ready in place but must not retain it, so one
+	// buffer is reused across the run instead of copying pending afresh
+	// on every decision.
+	st.readyBuf = append(st.readyBuf[:0], st.pending...)
+	d := st.cfg.Scheduler.Decide(now, st.readyBuf)
 	st.decision++
 	for _, j := range d.Abort {
 		st.abort(now, j, "scheduler abort")

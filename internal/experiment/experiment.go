@@ -97,6 +97,15 @@ type Config struct {
 	// sequential iteration order.
 	Workers int
 
+	// FastPath switches every EUA*-family scheduler in the sweep to the
+	// incremental fast-path core (eua.WithFastPath). Decisions are
+	// bit-identical to the reference implementation — the differential
+	// oracle suite in internal/sched/eua enforces this — so FastPath is
+	// deliberately excluded from Describe(): a sweep resumed from a
+	// checkpoint written by the other implementation produces the same
+	// rows.
+	FastPath bool
+
 	// Faults is an optional deterministic fault-injection plan applied to
 	// every run of the sweep (every scheme sees the identical faults, so
 	// the normalization against the baseline stays meaningful).
@@ -193,9 +202,15 @@ func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 	if opts.faults != nil {
 		plan = opts.faults
 	}
+	scheduler := scheme.New()
+	if cfg.FastPath {
+		if s, ok := scheduler.(*eua.Scheduler); ok {
+			s.EnableFastPath()
+		}
+	}
 	res, err := engine.Run(engine.Config{
 		Tasks:              ts,
-		Scheduler:          scheme.New(),
+		Scheduler:          scheduler,
 		Freqs:              ft,
 		Energy:             model,
 		Horizon:            cfg.Horizon,

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/faults"
+)
+
+// TestFastPathSweepRowsIdentical extends the differential oracle to the
+// sweep level: the full Figure 2 grid (all seeds, loads and schemes) must
+// produce byte-identical rows with the fast path on, for any worker
+// count. Non-EUA* schemes are unaffected by the toggle; EUA* itself is
+// covered by the bit-identity guarantee.
+func TestFastPathSweepRowsIdentical(t *testing.T) {
+	ref, err := Figure2(detCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsBytes(ref)
+	for _, workers := range []int{1, 8} {
+		cfg := detCfg(workers)
+		cfg.FastPath = true
+		got, err := Figure2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := rowsBytes(got); g != want {
+			t.Fatalf("fast-path sweep (Workers=%d) diverged from reference:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, g)
+		}
+	}
+}
+
+// TestFastPathAblationRowsIdentical runs the ablation schemes — every
+// EUA* option variant plus DASA and GUS — through the toggle: each EUA*
+// variant composes with the fast path and must not change its row.
+func TestFastPathAblationRowsIdentical(t *testing.T) {
+	cfg := detCfg(1)
+	cfg.Loads = []float64{0.6, 1.4}
+	cfg.Seeds = []uint64{1, 2}
+	ref, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FastPath = true
+	got, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, g := rowsBytes(ref), rowsBytes(got); g != want {
+		t.Fatalf("fast-path ablation sweep diverged:\n--- want ---\n%s--- got ---\n%s", want, g)
+	}
+}
+
+// TestFastPathFaultedSweepIdentical covers fault plans at the sweep
+// level: injected overruns, sticky switches and abort spikes must leave
+// the fast path bit-identical too.
+func TestFastPathFaultedSweepIdentical(t *testing.T) {
+	mk := func(fast bool) Config {
+		cfg := detCfg(4)
+		cfg.Loads = []float64{0.8, 1.5}
+		cfg.Seeds = []uint64{1, 2}
+		cfg.Faults = &faults.Plan{
+			Seed:           7,
+			OverrunProb:    0.1,
+			OverrunFactor:  1.5,
+			StickyProb:     0.1,
+			AbortSpikeProb: 0.1,
+		}
+		cfg.AbortCost = 2000
+		cfg.FastPath = fast
+		return cfg
+	}
+	ref, err := Figure2(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Figure2(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, g := rowsBytes(ref), rowsBytes(got); g != want {
+		t.Fatalf("fast-path faulted sweep diverged:\n--- want ---\n%s--- got ---\n%s", want, g)
+	}
+}
+
+// TestDescribeExcludesFastPath pins the checkpoint-compatibility
+// decision: because fast-path results are bit-identical, the toggle is
+// not part of the sweep fingerprint, and a checkpoint written by either
+// implementation resumes under the other.
+func TestDescribeExcludesFastPath(t *testing.T) {
+	a := detCfg(1)
+	b := detCfg(1)
+	b.FastPath = true
+	if da, db := Describe(a), Describe(b); da != db {
+		t.Fatalf("Describe differs with FastPath: %q vs %q", da, db)
+	}
+}

@@ -1,0 +1,351 @@
+package eua_test
+
+// The differential oracle suite: every case below runs the identical
+// simulation twice — once on the reference EUA* implementation, once on
+// the fast-path core — and requires the two results to be bit-identical:
+// decision and event counts, every job's resolution (state, finish time,
+// accrued utility, executed cycles, abort reason), the full execution
+// trace span by span, and all energy accounting, compared with exact
+// float64 equality. The grid covers all three Table 1 applications, both
+// TUF families, underload through heavy overload, every scheduler option
+// (ablation flags, strict break, budget awareness), online-profiled
+// tasks, fault-injection plans, abort costs, overload safe mode,
+// progress-utility accounting and idle static power — so any divergence
+// introduced into fastpath.go fails loudly with the first differing
+// field's coordinates.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/faults"
+	"github.com/euastar/euastar/internal/profile"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// diffCase builds one engine configuration twice: build(fast) must return
+// a fresh config each call (fresh scheduler, freshly synthesized task
+// set) so the two runs share no mutable state — profiled tasks mutate
+// their estimators during a run.
+type diffCase struct {
+	name  string
+	build func(fast bool) engine.Config
+}
+
+// oracleCases enumerates the differential grid. Over 200 cases by
+// construction; TestDifferentialOracle asserts the floor so the suite
+// cannot silently shrink.
+func oracleCases() []diffCase {
+	var cases []diffCase
+	apps := []workload.App{workload.A1(), workload.A2(), workload.A3()}
+	shapes := []workload.Shape{workload.Step, workload.LinearDecay}
+	presets := []energy.Preset{energy.E1, energy.E2, energy.E3}
+
+	add := func(name string, build func(fast bool) engine.Config) {
+		cases = append(cases, diffCase{name: name, build: build})
+	}
+
+	// Base grid: app × TUF family × load × seed, defaults otherwise. The
+	// energy preset rotates with the case index so all three settings are
+	// exercised.
+	for ai, app := range apps {
+		for si, shape := range shapes {
+			for li, load := range []float64{0.4, 0.9, 1.3, 1.7} {
+				for seed := uint64(1); seed <= 5; seed++ {
+					app, shape, load, seed := app, shape, load, seed
+					preset := presets[(ai+si+li+int(seed))%len(presets)]
+					add(fmt.Sprintf("base/%s-%s-L%.1f-s%d", app.Name, shape, load, seed),
+						func(fast bool) engine.Config {
+							cfg := baseConfig(app, shape, load, seed, preset, fast)
+							return cfg
+						})
+				}
+			}
+		}
+	}
+
+	// Scheduler option variants (the ablation surface) on A2/step.
+	options := []struct {
+		name string
+		opts []eua.Option
+	}{
+		{"noDVS", []eua.Option{eua.WithoutDVS()}},
+		{"noUER", []eua.Option{eua.WithoutUERInsertion()}},
+		{"noFo", []eua.Option{eua.WithoutFoClamp()}},
+		{"noWin", []eua.Option{eua.WithoutWindowedDemand()}},
+		{"noPhantom", []eua.Option{eua.WithoutPhantomReservation()}},
+		{"strictBreak", []eua.Option{eua.WithStrictBreak()}},
+		{"strictBreak-noFo", []eua.Option{eua.WithStrictBreak(), eua.WithoutFoClamp()}},
+	}
+	for _, o := range options {
+		for _, load := range []float64{0.8, 1.6} {
+			for seed := uint64(1); seed <= 2; seed++ {
+				o, load, seed := o, load, seed
+				add(fmt.Sprintf("opt/%s-L%.1f-s%d", o.name, load, seed),
+					func(fast bool) engine.Config {
+						cfg := baseConfig(workload.A2(), workload.Step, load, seed, energy.E1, fast, o.opts...)
+						return cfg
+					})
+			}
+		}
+	}
+
+	// Fault plans: overruns, sticky/stalling switches, abort spikes,
+	// adversarial UAM bursts — combined with an abort teardown cost so
+	// the spike path runs.
+	plans := []string{
+		"seed=7,overrun=0.15,overrun-factor=1.6",
+		"seed=11,sticky=0.2,stall-prob=0.1,stall=0.0005",
+		"seed=13,overrun=0.1,sticky=0.1,abort-spike=0.2,abort-spike-factor=5,bursts=true",
+	}
+	for pi, spec := range plans {
+		for _, load := range []float64{0.8, 1.6} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				spec, load, seed := spec, load, seed
+				add(fmt.Sprintf("faults/p%d-L%.1f-s%d", pi, load, seed),
+					func(fast bool) engine.Config {
+						plan, err := faults.Parse(spec)
+						if err != nil {
+							panic(err)
+						}
+						cfg := baseConfig(workload.A3(), workload.Step, load, seed, energy.E2, fast)
+						cfg.Faults = plan
+						cfg.AbortCost = 2000
+						return cfg
+					})
+			}
+		}
+	}
+
+	// Budget awareness + finite battery: the rationing and
+	// energy-constrained admission paths, including depletion. The
+	// fractions are of a typical unconstrained A2 run's total energy
+	// (~5e26 model units at these loads): 0.5 binds mid-run (depletion
+	// and rationing both fire), 0.05 rations from the start.
+	for _, budget := range []float64{0.5, 0.05} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			for _, load := range []float64{0.9, 1.4} {
+				budget, seed, load := budget, seed, load
+				add(fmt.Sprintf("budget/b%.2f-L%.1f-s%d", budget, load, seed),
+					func(fast bool) engine.Config {
+						cfg := baseConfig(workload.A2(), workload.Step, load, seed, energy.E1, fast,
+							eua.WithBudgetAwareness(0))
+						cfg.EnergyBudget = budget * 5e26
+						return cfg
+					})
+			}
+		}
+	}
+
+	// Online-profiled tasks: allocations move between events, so the fast
+	// path must recompute them (its per-event cache) instead of trusting
+	// the Init-time snapshot.
+	for _, shape := range shapes {
+		for seed := uint64(1); seed <= 3; seed++ {
+			for _, load := range []float64{0.7, 1.2} {
+				shape, seed, load := shape, seed, load
+				add(fmt.Sprintf("profiled/%s-L%.1f-s%d", shape, load, seed),
+					func(fast bool) engine.Config {
+						cfg := baseConfig(workload.A1(), shape, load, seed, energy.E1, fast)
+						for i, tk := range cfg.Tasks {
+							if i%2 == 0 {
+								est, err := profile.New(tk.Demand.Mean*1.3, tk.Demand.Variance, 4)
+								if err != nil {
+									panic(err)
+								}
+								tk.Profiler = est
+							}
+						}
+						return cfg
+					})
+			}
+		}
+	}
+
+	// Engine extensions riding on the decision stream: overload safe
+	// mode, progress utility, idle static power, no-abort termination.
+	extras := []struct {
+		name string
+		mod  func(*engine.Config)
+	}{
+		// Safe mode only arms on termination-time misses, which EUA*'s
+		// abort policy preempts; disabling abortion lets the miss streak
+		// build so shedding actually fires.
+		{"safemode", func(c *engine.Config) {
+			c.AbortAtTermination = false
+			c.SafeModeMisses = 3
+			c.SafeModeShed = 0.5
+		}},
+		{"progress", func(c *engine.Config) { c.ProgressUtility = true }},
+		{"idlepower", func(c *engine.Config) { c.IdleStaticPower = 0.05 }},
+		{"noabort", func(c *engine.Config) { c.AbortAtTermination = false }},
+	}
+	for _, ex := range extras {
+		for seed := uint64(1); seed <= 2; seed++ {
+			for _, load := range []float64{0.8, 1.7} {
+				ex, seed, load := ex, seed, load
+				add(fmt.Sprintf("engine/%s-L%.1f-s%d", ex.name, load, seed),
+					func(fast bool) engine.Config {
+						cfg := baseConfig(workload.A3(), workload.Step, load, seed, energy.E3, fast)
+						ex.mod(&cfg)
+						return cfg
+					})
+			}
+		}
+	}
+
+	return cases
+}
+
+// baseConfig assembles one run: a freshly synthesized, load-scaled task
+// set (the same floats every call — synthesis is a pure function of the
+// seed) and a fresh scheduler, reference or fast-path.
+func baseConfig(app workload.App, shape workload.Shape, load float64, seed uint64, preset energy.Preset, fast bool, opts ...eua.Option) engine.Config {
+	ft := cpu.PowerNowK6()
+	model, err := energy.NewPreset(preset, ft.Max())
+	if err != nil {
+		panic(err)
+	}
+	ts := app.MustSynthesize(rng.New(seed*0x9e3779b9), workload.Options{Shape: shape})
+	ts = ts.ScaleToLoad(load, ft.Max())
+	if fast {
+		opts = append(opts, eua.WithFastPath())
+	}
+	return engine.Config{
+		Tasks:              ts,
+		Scheduler:          eua.New(opts...),
+		Freqs:              ft,
+		Energy:             model,
+		Horizon:            0.5,
+		Seed:               seed,
+		AbortAtTermination: true,
+		RecordTrace:        true,
+	}
+}
+
+// requireIdentical compares two results field by field with exact
+// equality. Any difference is a fast-path bug by definition.
+func requireIdentical(t *testing.T, ref, fast *engine.Result) {
+	t.Helper()
+	type scalar struct {
+		name     string
+		ref, got float64
+	}
+	scalars := []scalar{
+		{"TotalEnergy", ref.TotalEnergy, fast.TotalEnergy},
+		{"Cycles", ref.Cycles, fast.Cycles},
+		{"BusyTime", ref.BusyTime, fast.BusyTime},
+		{"EndTime", ref.EndTime, fast.EndTime},
+		{"IdleEnergy", ref.IdleEnergy, fast.IdleEnergy},
+		{"AbortCycles", ref.AbortCycles, fast.AbortCycles},
+		{"DepletedAt", ref.DepletedAt, fast.DepletedAt},
+	}
+	for _, s := range scalars {
+		if s.ref != s.got {
+			t.Fatalf("%s: reference %v, fast path %v", s.name, s.ref, s.got)
+		}
+	}
+	type count struct {
+		name     string
+		ref, got int
+	}
+	counts := []count{
+		{"Switches", ref.Switches, fast.Switches},
+		{"Decisions", ref.Decisions, fast.Decisions},
+		{"Events", ref.Events, fast.Events},
+		{"FaultEvents", ref.FaultEvents, fast.FaultEvents},
+		{"SafeModeEntries", ref.SafeModeEntries, fast.SafeModeEntries},
+		{"JobsShed", ref.JobsShed, fast.JobsShed},
+		{"Jobs", len(ref.Jobs), len(fast.Jobs)},
+		{"TraceSpans", len(ref.Trace), len(fast.Trace)},
+	}
+	for _, c := range counts {
+		if c.ref != c.got {
+			t.Fatalf("%s: reference %d, fast path %d", c.name, c.ref, c.got)
+		}
+	}
+	if ref.Depleted != fast.Depleted {
+		t.Fatalf("Depleted: reference %v, fast path %v", ref.Depleted, fast.Depleted)
+	}
+	for i := range ref.Jobs {
+		a, b := ref.Jobs[i], fast.Jobs[i]
+		if a.Task.ID != b.Task.ID || a.Index != b.Index {
+			t.Fatalf("job %d: identity mismatch %v vs %v", i, a, b)
+		}
+		if a.ActualCycles != b.ActualCycles || a.Arrival != b.Arrival {
+			t.Fatalf("job %v: realized workload differs (cycles %v vs %v, arrival %v vs %v) — harness bug",
+				a, a.ActualCycles, b.ActualCycles, a.Arrival, b.Arrival)
+		}
+		if a.State != b.State {
+			t.Fatalf("job %v: state %v vs %v", a, a.State, b.State)
+		}
+		if a.FinishedAt != b.FinishedAt {
+			t.Fatalf("job %v: finished at %v vs %v", a, a.FinishedAt, b.FinishedAt)
+		}
+		if a.Utility != b.Utility {
+			t.Fatalf("job %v: utility %v vs %v", a, a.Utility, b.Utility)
+		}
+		if a.Executed != b.Executed {
+			t.Fatalf("job %v: executed %v vs %v", a, a.Executed, b.Executed)
+		}
+		if a.AbortReason != b.AbortReason {
+			t.Fatalf("job %v: abort reason %q vs %q", a, a.AbortReason, b.AbortReason)
+		}
+	}
+	for i := range ref.Trace {
+		a, b := ref.Trace[i], fast.Trace[i]
+		if a.Job.Task.ID != b.Job.Task.ID || a.Job.Index != b.Job.Index {
+			t.Fatalf("span %d: job %v vs %v", i, a.Job, b.Job)
+		}
+		if a.Start != b.Start || a.End != b.End || a.Frequency != b.Frequency || a.Cycles != b.Cycles {
+			t.Fatalf("span %d (job %v): [%v,%v]@%v/%v cycles vs [%v,%v]@%v/%v cycles",
+				i, a.Job, a.Start, a.End, a.Frequency, a.Cycles, b.Start, b.End, b.Frequency, b.Cycles)
+		}
+	}
+}
+
+func TestDifferentialOracle(t *testing.T) {
+	cases := oracleCases()
+	if len(cases) < 200 {
+		t.Fatalf("oracle grid shrank to %d cases; the suite requires at least 200", len(cases))
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := engine.Run(c.build(false))
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			fast, err := engine.Run(c.build(true))
+			if err != nil {
+				t.Fatalf("fast-path run: %v", err)
+			}
+			requireIdentical(t, ref, fast)
+		})
+	}
+}
+
+// TestFastPathNameUnchanged pins the scheme name: sweep output rows are
+// keyed by Name(), so the fast path must not rename the scheduler.
+func TestFastPathNameUnchanged(t *testing.T) {
+	if got := eua.New(eua.WithFastPath()).Name(); got != "EUA*" {
+		t.Fatalf("fast-path scheduler name = %q, want EUA*", got)
+	}
+	if !eua.New(eua.WithFastPath()).FastPath() {
+		t.Fatal("WithFastPath did not enable the fast path")
+	}
+	s := eua.New()
+	if s.FastPath() {
+		t.Fatal("fast path enabled by default")
+	}
+	s.EnableFastPath()
+	if !s.FastPath() {
+		t.Fatal("EnableFastPath did not enable the fast path")
+	}
+}

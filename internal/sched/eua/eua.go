@@ -72,6 +72,17 @@ func WithBudgetAwareness(lookahead float64) Option {
 	}
 }
 
+// WithFastPath switches Decide to the incremental fast-path core in
+// fastpath.go: cached cycle allocations, memoized per-job UERs with lazy
+// invalidation, an indexed max-heap in place of the per-event sorts,
+// copy-free greedy insertion and a reusable windowed-demand table for
+// decideFreq. The fast path makes bit-identical decisions — the
+// differential oracle suite (differential_test.go) proves decision
+// streams, accrued utility and energy equal on every covered workload —
+// it is purely a constant-factor optimization. All other options compose
+// with it.
+func WithFastPath() Option { return func(s *Scheduler) { s.fast = true } }
+
 // WithoutPhantomReservation disables the UAM phantom-arrival reservation
 // in decideFreq (see Scheduler), reverting to the literal Algorithm 2,
 // which reserves only rate capacity for tasks without pending jobs. The
@@ -101,6 +112,11 @@ type Scheduler struct {
 	noPhantom   bool
 	strictBreak bool
 
+	// fast selects the incremental Decide implementation (fastpath.go);
+	// fp holds its caches and scratch buffers.
+	fast bool
+	fp   fastState
+
 	// Budget state (WithBudgetAwareness), fed by the engine via OnEnergy.
 	budgetAware     bool
 	budgetLookahead float64
@@ -120,6 +136,14 @@ func New(opts ...Option) *Scheduler {
 	}
 	return s
 }
+
+// EnableFastPath turns on the fast-path core after construction (see
+// WithFastPath). It must be called before Init. The experiment runner
+// uses it to retrofit the -fastpath toggle onto scheme constructors.
+func (s *Scheduler) EnableFastPath() { s.fast = true }
+
+// FastPath reports whether the fast-path core is active.
+func (s *Scheduler) FastPath() bool { return s.fast }
 
 // Name implements sched.Scheduler.
 func (s *Scheduler) Name() string {
@@ -169,6 +193,9 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		if sumE > 0 {
 			s.fleetUER = sumU / sumE
 		}
+	}
+	if s.fast {
+		s.initFast()
 	}
 	return nil
 }
@@ -278,12 +305,14 @@ func (s *Scheduler) UER(now float64, j *task.Job) float64 {
 
 // Decide implements sched.Scheduler (Algorithm 1).
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	if s.fast {
+		return s.decideFast(now, ready)
+	}
 	fm := s.ctx.Freqs.Max()
 
-	// Line 9–11: abort infeasible jobs, compute UERs of the rest.
+	// Line 9–11: abort infeasible jobs, keep the rest.
 	var live []*task.Job
 	var aborts []*task.Job
-	uer := make(map[*task.Job]float64, len(ready))
 	for _, j := range ready {
 		if !sched.JobFeasible(j, now, fm) {
 			j.AbortReason = "infeasible at f_m"
@@ -291,15 +320,19 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 			continue
 		}
 		live = append(live, j)
-		uer[j] = s.UER(now, j)
 	}
 	if len(live) == 0 {
 		return sched.Decision{Abort: aborts}
 	}
 
 	// Line 12: σ_tmp := sortByUER(J_r), non-increasing, deterministic
-	// tie-break by critical time.
+	// tie-break by critical time. UERs are keyed by position — uer[i]
+	// belongs to live[i] — and the two slices are permuted in tandem.
 	sched.ByCriticalTime(live)
+	uer := make([]float64, len(live))
+	for i, j := range live {
+		uer[i] = s.UER(now, j)
+	}
 	stableSortByUERDesc(live, uer)
 
 	// Lines 13–18: greedy feasible insertion in critical-time order.
@@ -316,8 +349,8 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 			budgetLeft = s.energyBudget - s.spentEnergy
 			constrained = s.energyConstrained(budgetLeft)
 		}
-		for _, j := range live {
-			if uer[j] <= 0 {
+		for i, j := range live {
+			if uer[i] <= 0 {
 				break // sorted: no later job has positive UER
 			}
 			cost := 0.0
@@ -334,7 +367,7 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 				// energy-weighted average utility-per-energy dilutes it —
 				// those joules are worth more on the better tasks' future
 				// jobs.
-				if constrained && uer[j] < s.fleetUER {
+				if constrained && uer[i] < s.fleetUER {
 					continue
 				}
 			}
@@ -428,17 +461,19 @@ func (s *Scheduler) decideFreq(now float64, live []*task.Job, jexe *task.Job) fl
 }
 
 // stableSortByUERDesc sorts jobs by UER non-increasing, preserving the
-// existing (critical-time) order among equal UERs.
-func stableSortByUERDesc(jobs []*task.Job, uer map[*task.Job]float64) {
+// existing (critical-time) order among equal UERs. uer is positional —
+// uer[i] is jobs[i]'s ratio — and both slices are permuted in tandem, so
+// no pointer-keyed map (with its allocations and hashing) is needed.
+func stableSortByUERDesc(jobs []*task.Job, uer []float64) {
 	// Insertion sort keeps stability without allocating; job counts per
 	// event are small (tens).
 	for i := 1; i < len(jobs); i++ {
-		j := jobs[i]
+		j, u := jobs[i], uer[i]
 		k := i - 1
-		for k >= 0 && uer[jobs[k]] < uer[j] {
-			jobs[k+1] = jobs[k]
+		for k >= 0 && uer[k] < u {
+			jobs[k+1], uer[k+1] = jobs[k], uer[k]
 			k--
 		}
-		jobs[k+1] = j
+		jobs[k+1], uer[k+1] = j, u
 	}
 }

@@ -79,6 +79,13 @@ func ByCriticalTime(jobs []*task.Job) {
 	sort.SliceStable(jobs, func(i, j int) bool { return jobLess(jobs[i], jobs[j]) })
 }
 
+// Less reports whether a precedes b in the deterministic critical-time
+// total order (AbsCritical, then Arrival, then Task.ID, then Index) that
+// ByCriticalTime and InsertByCritical are built on. It is exported so
+// alternative schedule constructions (e.g. EUA*'s fast path) can
+// reproduce exactly the same ordering decisions.
+func Less(a, b *task.Job) bool { return jobLess(a, b) }
+
 func jobLess(a, b *task.Job) bool {
 	if a.AbsCritical != b.AbsCritical {
 		return a.AbsCritical < b.AbsCritical

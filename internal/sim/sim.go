@@ -133,6 +133,18 @@ func (q *Queue) Pop() (*Event, bool) {
 	return e, true
 }
 
+// PopAt removes and returns the earliest non-cancelled event if it is
+// scheduled exactly at time t. It is the engine's same-instant batch
+// primitive: one call replaces the Peek-then-Pop pair, halving the
+// cancelled-event skip work on the hot loop.
+func (q *Queue) PopAt(t float64) (*Event, bool) {
+	q.skipCancelled()
+	if len(q.h) == 0 || q.h[0].Time != t {
+		return nil, false
+	}
+	return q.Pop()
+}
+
 // Peek returns the earliest non-cancelled event without removing it.
 func (q *Queue) Peek() (*Event, bool) {
 	q.skipCancelled()

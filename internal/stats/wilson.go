@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a two-sided confidence interval for a proportion.
+type Interval struct {
+	Lower float64
+	Upper float64
+}
+
+// Wilson returns the Wilson score confidence interval for a binomial
+// proportion: successes out of n trials, at critical value z (z = 1.96
+// for 95% confidence). Unlike the normal-approximation (Wald) interval,
+// the Wilson interval stays inside [0, 1] and behaves sensibly at
+// proportions near 0 or 1 — exactly the regime of assurance
+// probabilities like rho = 0.96.
+//
+//	center = (p̂ + z²/2n) / (1 + z²/n)
+//	half   = z/(1 + z²/n) · sqrt(p̂(1−p̂)/n + z²/4n²)
+func Wilson(successes, n int, z float64) (Interval, error) {
+	if n <= 0 {
+		return Interval{}, fmt.Errorf("stats: Wilson needs n >= 1, got %d", n)
+	}
+	if successes < 0 || successes > n {
+		return Interval{}, fmt.Errorf("stats: Wilson successes %d out of range [0, %d]", successes, n)
+	}
+	if z < 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		return Interval{}, fmt.Errorf("stats: Wilson critical value %v must be finite and >= 0", z)
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	// Clamp away float-rounding spill; the score interval is contained
+	// in [0, 1] analytically.
+	return Interval{
+		Lower: math.Max(0, center-half),
+		Upper: math.Min(1, center+half),
+	}, nil
+}
+
+// MustWilson is Wilson for statically valid parameters; it panics on
+// error.
+func MustWilson(successes, n int, z float64) Interval {
+	iv, err := Wilson(successes, n, z)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}

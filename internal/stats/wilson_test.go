@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWilsonKnownValues checks the interval against hand-computed
+// references (z = 1.96, the 95% critical value).
+func TestWilsonKnownValues(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-3 }
+
+	// 50/100: the textbook example, interval ≈ [0.404, 0.596].
+	iv := MustWilson(50, 100, 1.96)
+	if !approx(iv.Lower, 0.404) || !approx(iv.Upper, 0.596) {
+		t.Fatalf("Wilson(50,100) = [%v, %v], want ≈ [0.404, 0.596]", iv.Lower, iv.Upper)
+	}
+
+	// 0/10: rule-of-three regime; Wilson upper ≈ 0.2775, lower exactly 0.
+	iv = MustWilson(0, 10, 1.96)
+	if iv.Lower != 0 || !approx(iv.Upper, 0.2775) {
+		t.Fatalf("Wilson(0,10) = [%v, %v], want [0, ≈0.2775]", iv.Lower, iv.Upper)
+	}
+
+	// n/n: symmetric to the above.
+	iv = MustWilson(10, 10, 1.96)
+	if iv.Upper != 1 || !approx(iv.Lower, 1-0.2775) {
+		t.Fatalf("Wilson(10,10) = [%v, %v], want [≈0.7225, 1]", iv.Lower, iv.Upper)
+	}
+
+	// z = 0 degenerates to the point estimate.
+	iv = MustWilson(3, 4, 0)
+	if iv.Lower != 0.75 || iv.Upper != 0.75 {
+		t.Fatalf("Wilson(3,4,z=0) = [%v, %v], want the point estimate 0.75", iv.Lower, iv.Upper)
+	}
+}
+
+// TestWilsonProperties checks structural properties: containment in
+// [0, 1], lower <= upper, and the interval tightening with n.
+func TestWilsonProperties(t *testing.T) {
+	prevWidth := math.Inf(1)
+	for _, n := range []int{10, 100, 1000, 10000} {
+		iv := MustWilson(96*n/100, n, 1.96)
+		if iv.Lower < 0 || iv.Upper > 1 || iv.Lower > iv.Upper {
+			t.Fatalf("n=%d: malformed interval [%v, %v]", n, iv.Lower, iv.Upper)
+		}
+		width := iv.Upper - iv.Lower
+		if width >= prevWidth {
+			t.Fatalf("n=%d: interval did not tighten (%v >= %v)", n, width, prevWidth)
+		}
+		prevWidth = width
+	}
+}
+
+func TestWilsonErrors(t *testing.T) {
+	cases := []struct {
+		successes, n int
+		z            float64
+	}{
+		{0, 0, 1.96},
+		{-1, 10, 1.96},
+		{11, 10, 1.96},
+		{5, 10, -1},
+		{5, 10, math.NaN()},
+		{5, 10, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := Wilson(c.successes, c.n, c.z); err == nil {
+			t.Errorf("Wilson(%d, %d, %v): want error", c.successes, c.n, c.z)
+		}
+	}
+}

@@ -307,6 +307,25 @@ type Job struct {
 	// to fold a blocking chain's utility into a decision) but never write.
 	Held      map[int]bool
 	BlockedBy *Job
+
+	// SchedCache is the scheduler-private bookkeeping slot the Job
+	// documentation reserves: the engine never reads or writes it, and a
+	// fresh job carries the zero value. EUA*'s fast path memoizes the
+	// job's UER here across scheduling events.
+	SchedCache SchedCache
+}
+
+// SchedCache is per-job memoization state owned by the active scheduler.
+// Exactly one scheduler instance runs per simulation, so no coordination
+// is needed; the zero value means "nothing cached".
+type SchedCache struct {
+	// UER is the cached Utility and Energy Ratio, valid only while Valid
+	// is set and the job's Executed cycles still equal ExecStamp (any
+	// execution progress changes the remaining allocation the UER is
+	// derived from).
+	UER       float64
+	ExecStamp float64
+	Valid     bool
 }
 
 // Holds reports whether the job currently holds resource r.
@@ -341,7 +360,17 @@ const estimateFloorFrac = 1e-3
 // cycles: the allocated budget c_i minus executed cycles (the paper's
 // c^r). The actual demand is hidden from schedulers.
 func (j *Job) EstimatedRemaining() float64 {
-	c := j.Task.CycleAllocation()
+	return j.EstimatedRemainingWith(j.Task.CycleAllocation())
+}
+
+// EstimatedRemainingWith is EstimatedRemaining with the task's cycle
+// allocation c_i supplied by the caller. Schedulers that cache the
+// allocation (it is a pure function of the task's effective demand moments
+// and ρ_i, but costs a square root to derive) use this entry point on
+// their hot path; passing the cached value yields bit-identical results
+// to EstimatedRemaining because both evaluate the same expression on the
+// same floats.
+func (j *Job) EstimatedRemainingWith(c float64) float64 {
 	if rem := c - j.Executed; rem > estimateFloorFrac*c {
 		return rem
 	}
