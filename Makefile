@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-sched bench-check cover fuzz fuzz-smoke check experiments examples clean
+.PHONY: all build test test-race test-service vet bench bench-sched bench-check cover fuzz fuzz-smoke check experiments examples euad clean
 
 all: build vet test
 
@@ -18,6 +18,13 @@ test:
 # worker counts, so data races in the fan-out surface here.
 test-race:
 	$(GO) test -race ./...
+
+# test-service exercises the euad service stack under the race detector:
+# the server/jobstore/client suites (including the 30s+ saturation soak)
+# plus the kill -9 chaos tests for both the daemon and the CLI.
+test-service:
+	$(GO) test -race -count=1 ./internal/server/ ./internal/jobstore/ ./internal/client/
+	$(GO) test -race -count=1 -run 'TestChaos' ./cmd/euad/ ./cmd/euasim/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -62,6 +69,11 @@ check: build vet test test-race cover fuzz-smoke
 
 experiments:
 	$(GO) run ./cmd/euasim -exp all -seeds 3 -horizon 1
+
+# euad starts the scheduling daemon with a local data directory (job
+# journal + sweep checkpoints; see DESIGN.md §9).
+euad:
+	$(GO) run ./cmd/euad -addr 127.0.0.1:9176 -data ./euad-data
 
 examples:
 	$(GO) run ./examples/quickstart

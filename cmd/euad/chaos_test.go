@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/client"
+	"github.com/euastar/euastar/internal/jobstore"
+	"github.com/euastar/euastar/internal/server"
+)
+
+var (
+	buildOnce sync.Once
+	euadBin   string
+	buildErr  error
+)
+
+// binary builds the euad executable once per test process.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "euad-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		euadBin = filepath.Join(dir, "euad")
+		out, err := exec.Command("go", "build", "-o", euadBin, ".").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return euadBin
+}
+
+// daemon is one running euad process under test control.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	logs *bytes.Buffer
+}
+
+// startDaemon launches euad on a kernel-assigned port and waits for the
+// "listening on" line to learn the address.
+func startDaemon(t *testing.T, dataDir string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", dataDir}, extra...)
+	cmd := exec.Command(binary(t), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, logs: &bytes.Buffer{}}
+	addrC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			d.logs.WriteString(line + "\n")
+			if _, base, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrC <- base:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case d.base = <-addrC:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("euad did not report a listen address; logs:\n%s", d.logs)
+	}
+	return d
+}
+
+// stop SIGTERMs the daemon and returns its exit code.
+func (d *daemon) stop(t *testing.T) int {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	return d.wait(t)
+}
+
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case <-done:
+		return d.cmd.ProcessState.ExitCode()
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("euad did not exit; logs:\n%s", d.logs)
+		return -1
+	}
+}
+
+// sweepSpec is the chaos workload: a fig2 sweep long enough (~2s) that a
+// SIGKILL reliably lands mid-flight.
+func sweepSpec(id string) server.JobSpec {
+	return server.JobSpec{
+		ID:         id,
+		Kind:       server.KindSweep,
+		Experiment: "fig2",
+		Seeds:      3,
+		Horizon:    2.5,
+	}
+}
+
+// TestChaosKillResume is the crash-safety acceptance test: kill -9 a
+// daemon mid-sweep, restart it on the same data directory, and require
+// the recovered job's result to be bit-identical to an uninterrupted
+// run on a separate daemon.
+func TestChaosKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is multi-second; skipped in -short")
+	}
+	ctx := context.Background()
+
+	// Reference: uninterrupted run.
+	refDir := t.TempDir()
+	ref := startDaemon(t, refDir)
+	refClient := client.New(ref.base)
+	start := time.Now()
+	refSt, err := refClient.Run(ctx, sweepSpec("chaos-sweep"))
+	if err != nil {
+		t.Fatalf("reference run: %v; logs:\n%s", err, ref.logs)
+	}
+	refDur := time.Since(start)
+	if refSt.State != server.StateDone {
+		t.Fatalf("reference job: %+v; logs:\n%s", refSt, ref.logs)
+	}
+	if code := ref.stop(t); code != 0 {
+		t.Fatalf("reference daemon exit code %d; logs:\n%s", code, ref.logs)
+	}
+
+	// Chaos: same spec, SIGKILL partway through the sweep.
+	chaosDir := t.TempDir()
+	victim := startDaemon(t, chaosDir)
+	if _, err := client.New(victim.base).Submit(ctx, sweepSpec("chaos-sweep")); err != nil {
+		t.Fatalf("chaos submit: %v; logs:\n%s", err, victim.logs)
+	}
+	time.Sleep(refDur * 2 / 5)
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+
+	// Restart on the same data directory: the journaled submission is
+	// re-enqueued and the sweep resumes from its checkpoint.
+	revived := startDaemon(t, chaosDir)
+	st, err := client.New(revived.base).Wait(ctx, "chaos-sweep")
+	if err != nil {
+		t.Fatalf("recovered wait: %v; logs:\n%s", err, revived.logs)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("recovered job: %+v; logs:\n%s", st, revived.logs)
+	}
+	if !bytes.Equal(st.Result, refSt.Result) {
+		t.Fatalf("recovered result differs from uninterrupted run:\nref:  %.200s\ngot:  %.200s", refSt.Result, st.Result)
+	}
+	if code := revived.stop(t); code != 0 {
+		t.Fatalf("revived daemon exit code %d; logs:\n%s", code, revived.logs)
+	}
+
+	// A further restart replays the terminal record without recomputing.
+	again := startDaemon(t, chaosDir)
+	st, err = client.New(again.base).Get(ctx, "chaos-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone || !bytes.Equal(st.Result, refSt.Result) {
+		t.Fatalf("replayed result differs: %+v", st)
+	}
+	if code := again.stop(t); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+}
+
+// TestChaosDrainSIGTERM checks graceful shutdown: SIGTERM while a sweep
+// is in flight must let the job finish, journal it terminal, and exit 0.
+func TestChaosDrainSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is multi-second; skipped in -short")
+	}
+	ctx := context.Background()
+	dataDir := t.TempDir()
+	d := startDaemon(t, dataDir)
+	if _, err := client.New(d.base).Submit(ctx, sweepSpec("drain-sweep")); err != nil {
+		t.Fatalf("submit: %v; logs:\n%s", err, d.logs)
+	}
+	time.Sleep(300 * time.Millisecond) // let a worker pick the job up
+	if code := d.stop(t); code != 0 {
+		t.Fatalf("drain exit code %d; logs:\n%s", code, d.logs)
+	}
+
+	// The drained daemon must have finished the job, not abandoned it.
+	rec, err := jobstore.ReadAll(filepath.Join(dataDir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := jobstore.Rebuild(rec.Records)
+	st, ok := states["drain-sweep"]
+	if !ok || st.Kind != jobstore.KindDone {
+		t.Fatalf("journal does not record drain-sweep as done: %+v\nlogs:\n%s", states, d.logs)
+	}
+	var res server.SweepResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatalf("journaled result unreadable: %v", err)
+	}
+	if len(res.Rows) == 0 || res.Text == "" {
+		t.Fatalf("journaled result empty: %.200s", st.Result)
+	}
+}

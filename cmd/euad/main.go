@@ -1,0 +1,102 @@
+// Command euad is the EUA* scheduling daemon: a long-running HTTP/JSON
+// service that accepts schedulability analyses, single simulations and
+// experiment sweeps, runs them on a bounded worker pool, and journals
+// every job so a crash mid-sweep resumes on restart (see DESIGN.md §9).
+//
+// Usage:
+//
+//	euad -addr 127.0.0.1:9176 -data /var/lib/euad
+//
+// SIGTERM or SIGINT triggers a graceful drain: admission stops (503),
+// in-flight jobs finish, and the process exits 0. If the drain budget
+// expires first, running jobs are stopped cooperatively and will resume
+// from their checkpoints on the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/euastar/euastar/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("euad", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9176", "listen address (host:port; port 0 picks a free port)")
+	data := fs.String("data", "euad-data", "data directory for the job journal and sweep checkpoints (empty disables durability)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	simWorkers := fs.Int("sim-workers", 1, "simulation workers per sweep job")
+	queue := fs.Int("queue", 64, "admission queue depth; beyond it submissions get 429")
+	defTimeout := fs.Duration("timeout", 2*time.Minute, "default per-job wall-clock budget")
+	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "ceiling on any job's wall-clock budget")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+	fs.Parse(args)
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	srv, err := server.New(server.Config{
+		DataDir:        *data,
+		Workers:        *workers,
+		SimWorkers:     *simWorkers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logf:           logf,
+	})
+	if err != nil {
+		logf("euad: %v", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("euad: %v", err)
+		return 1
+	}
+	// The resolved address (port 0 → kernel-assigned) goes to stderr so
+	// wrappers and tests can discover where to connect.
+	logf("euad: listening on http://%s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigC:
+		logf("euad: %v: draining (budget %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			logf("euad: drain: %v", err)
+		}
+		// Jobs are settled and journaled; now stop serving. Long-polls
+		// already woke up when their jobs finished, so this is quick.
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		httpSrv.Shutdown(shutCtx)
+		logf("euad: drained, exiting")
+		return 0
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logf("euad: serve: %v", err)
+			return 1
+		}
+		return 0
+	}
+}

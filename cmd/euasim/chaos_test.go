@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	cliBuildOnce sync.Once
+	cliBin       string
+	cliBuildErr  error
+)
+
+func cliBinary(t *testing.T) string {
+	t.Helper()
+	cliBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "euasim-bin-")
+		if err != nil {
+			cliBuildErr = err
+			return
+		}
+		cliBin = filepath.Join(dir, "euasim")
+		out, err := exec.Command("go", "build", "-o", cliBin, ".").CombinedOutput()
+		if err != nil {
+			cliBuildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if cliBuildErr != nil {
+		t.Fatal(cliBuildErr)
+	}
+	return cliBin
+}
+
+// TestChaosKillResumeCLI is the CLI crash-safety acceptance test: SIGKILL
+// euasim mid-sweep under a fault plan, re-run with -resume, and require
+// stdout to be bit-identical to an uninterrupted run. A corrupt
+// checkpoint must degrade to a warned fresh start, never a crash.
+func TestChaosKillResumeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is multi-second; skipped in -short")
+	}
+	bin := cliBinary(t)
+	args := []string{"-exp", "fig2", "-seeds", "3", "-horizon", "2",
+		"-workers", "2", "-faults", "seed=7,overrun=0.1,sticky=0.05"}
+
+	// Reference: uninterrupted, no checkpoint.
+	var ref bytes.Buffer
+	refCmd := exec.Command(bin, args...)
+	refCmd.Stdout = &ref
+	start := time.Now()
+	if err := refCmd.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refDur := time.Since(start)
+
+	// Chaos: SIGKILL partway through a checkpointed run. No cleanup code
+	// runs; the checkpoint on disk is whatever the last atomic flush left.
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	victim := exec.Command(bin, append(args, "-checkpoint", ck)...)
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(refDur * 2 / 5)
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+
+	// Resume must complete the sweep with stdout bit-identical to the
+	// uninterrupted reference.
+	var resumed bytes.Buffer
+	resumeCmd := exec.Command(bin, append(args, "-checkpoint", ck, "-resume")...)
+	resumeCmd.Stdout = &resumed
+	if err := resumeCmd.Run(); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if !bytes.Equal(ref.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed stdout differs from uninterrupted run:\n--- reference ---\n%s\n--- resumed ---\n%s", &ref, &resumed)
+	}
+
+	// A corrupt checkpoint is warned about and recomputed from scratch:
+	// same stdout, exit 0.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("garbage{{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fresh, diag bytes.Buffer
+	freshCmd := exec.Command(bin, append(args, "-checkpoint", bad, "-resume")...)
+	freshCmd.Stdout = &fresh
+	freshCmd.Stderr = &diag
+	if err := freshCmd.Run(); err != nil {
+		t.Fatalf("corrupt-checkpoint run: %v\nstderr:\n%s", err, &diag)
+	}
+	if !strings.Contains(diag.String(), "starting fresh") {
+		t.Fatalf("expected corruption warning on stderr, got:\n%s", &diag)
+	}
+	if !bytes.Equal(ref.Bytes(), fresh.Bytes()) {
+		t.Fatalf("fresh-start stdout differs from reference")
+	}
+}

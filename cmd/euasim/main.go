@@ -83,6 +83,8 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		resume     = fs.Bool("resume", false, "reuse completed cells from the -checkpoint file instead of recomputing")
 		faultSpec  = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
 		fastpath   = fs.Bool("fastpath", false, "run EUA*-family schedulers on the incremental fast-path core (bit-identical decisions, see DESIGN.md §8)")
+		remote     = fs.String("remote", "", "submit sweeps to a euad daemon at this base URL instead of running locally (fig2|fig3|assurance|ablation)")
+		jobID      = fs.String("job-id", "", "idempotency-key prefix for -remote submissions (default: random per invocation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +103,41 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
+	}
+
+	if *remote != "" {
+		// Execution-control flags have no meaning when the daemon runs the
+		// sweep; rejecting them beats silently ignoring them.
+		for _, f := range []struct {
+			name string
+			set  bool
+		}{
+			{"-chart", *chart}, {"-checkpoint", *checkpoint != ""}, {"-resume", *resume},
+			{"-timeout", *timeout != 0}, {"-retries", *retries != 0},
+		} {
+			if f.set {
+				return fmt.Errorf("%s is not supported with -remote", f.name)
+			}
+		}
+		var parsed []float64
+		if *loads != "" {
+			var err error
+			if parsed, err = parseLoads(*loads); err != nil {
+				return err
+			}
+		}
+		return runRemote(remoteOpts{
+			base:     *remote,
+			jobID:    *jobID,
+			exp:      *exp,
+			preset:   *preset,
+			loads:    parsed,
+			seeds:    *seeds,
+			horizon:  *horizon,
+			faults:   *faultSpec,
+			fastpath: *fastpath,
+			jsonPath: *jsonPath,
+		}, out, diag, sigs)
 	}
 
 	cfg := experiment.Config{
@@ -130,6 +167,12 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	}
 	if *checkpoint != "" {
 		store, err := experiment.OpenCheckpoint(*checkpoint, *resume)
+		if errors.Is(err, experiment.ErrCheckpointCorrupt) {
+			// A damaged checkpoint costs recomputation, never the run: fall
+			// back to a fresh store whose first save replaces the bad file.
+			fmt.Fprintf(diag, "euasim: %v; ignoring %s and starting fresh\n", err, *checkpoint)
+			store, err = experiment.OpenCheckpoint(*checkpoint, false)
+		}
 		if err != nil {
 			return err
 		}

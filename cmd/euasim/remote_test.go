@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/server"
+)
+
+// startRemote stands up a real in-process euad core behind httptest.
+func startRemote(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := server.New(server.Config{DataDir: t.TempDir(), Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRemoteMatchesLocalOutput is the -remote contract: the daemon-rendered
+// tables must be byte-identical to running the same sweep locally.
+func TestRemoteMatchesLocalOutput(t *testing.T) {
+	ts := startRemote(t)
+	args := []string{"-exp", "fig2,fig3,assurance,ablation", "-seeds", "1", "-horizon", "0.1", "-loads", "0.4,1.0"}
+
+	var local, remote bytes.Buffer
+	if err := run(args, &local, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-remote", ts.URL, "-job-id", "rt"), &remote, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatalf("remote stdout differs from local:\n--- local ---\n%s\n--- remote ---\n%s", &local, &remote)
+	}
+
+	// The -json documents must round-trip through the daemon identically
+	// too (this exercises Fig3Row's Unmarshal/Marshal symmetry).
+	localJSON := filepath.Join(t.TempDir(), "out.json")
+	remoteJSON := filepath.Join(t.TempDir(), "out.json")
+	if err := run(append(args, "-json", localJSON), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	// Same -job-id: the daemon replays the already-computed results.
+	if err := run(append(args, "-remote", ts.URL, "-job-id", "rt", "-json", remoteJSON), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(localJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(remoteJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("remote -json differs from local:\n--- local ---\n%s\n--- remote ---\n%s", a, b)
+	}
+}
+
+// TestRemoteFailedJobSurfaces checks that a job failing server-side
+// validation comes back as a structured, non-zero-exit error.
+func TestRemoteFailedJobSurfaces(t *testing.T) {
+	ts := startRemote(t)
+	err := run([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "0.1", "-loads", "0.4",
+		"-faults", "not-a-plan", "-remote", ts.URL, "-job-id", "bad"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("expected structured invalid error, got %v", err)
+	}
+}
+
+func TestRemoteFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-remote", "http://x", "-exp", "fig2", "-chart"},
+		{"-remote", "http://x", "-exp", "fig2", "-checkpoint", "c.json"},
+		{"-remote", "http://x", "-exp", "fig2", "-retries", "1"},
+		{"-remote", "http://x", "-exp", "fig2", "-timeout", "1s"},
+		{"-remote", "http://x", "-exp", "table1"},
+		{"-remote", "http://x", "-exp", "all"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

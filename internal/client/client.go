@@ -1,0 +1,245 @@
+// Package client talks to a euad daemon. It retries transient failures
+// (network errors, 429 backpressure, 5xx) with jittered exponential
+// backoff, honoring the server's Retry-After hint. Retries are safe
+// because job IDs are client-supplied idempotency keys: resubmitting the
+// same spec after an ambiguous failure returns the existing job instead
+// of duplicating work.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/euastar/euastar/internal/server"
+)
+
+// Client is a euad API client. The zero value is not usable; construct
+// with New.
+type Client struct {
+	// Base is the daemon address, e.g. "http://127.0.0.1:9176".
+	Base string
+	// HTTP is the underlying transport client.
+	HTTP *http.Client
+	// Retries is how many additional attempts a transient failure gets
+	// (default 8).
+	Retries int
+	// BaseDelay and MaxDelay bound the exponential backoff schedule
+	// (defaults 100ms and 5s). Each delay is jittered uniformly over
+	// [d/2, d] so synchronized clients do not stampede.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// jitter overrides the randomness source in tests.
+	jitter func() float64
+}
+
+// New builds a client for the daemon at base.
+func New(base string) *Client {
+	return &Client{
+		Base:      strings.TrimRight(base, "/"),
+		HTTP:      &http.Client{Timeout: 60 * time.Second},
+		Retries:   8,
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  5 * time.Second,
+	}
+}
+
+// APIError is a structured error response from the daemon.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("euad: HTTP %d: %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// Temporary reports whether retrying the same request can succeed:
+// backpressure (429), draining (503) and other 5xx responses are
+// transient; the remaining 4xx are client bugs.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+}
+
+// backoff returns the jittered delay for attempt (1-based), at least
+// floor (the server's Retry-After hint, when present).
+func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
+	d := c.BaseDelay
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	rnd := c.jitter
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	d = d/2 + time.Duration(rnd()*float64(d/2))
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do performs one request and decodes either a JobStatus or the error
+// envelope. Transport errors come back as-is (and are retryable).
+func (c *Client) do(ctx context.Context, method, url string, body []byte) (*server.JobStatus, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(data))}
+		var env struct {
+			Error server.JobError `json:"error"`
+		}
+		if jerr := json.Unmarshal(data, &env); jerr == nil && env.Error.Code != "" {
+			apiErr.Code, apiErr.Message = env.Error.Code, env.Error.Message
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil && secs > 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, apiErr
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("euad: decode response: %w", err)
+	}
+	return &st, nil
+}
+
+// retrying runs one request attempt function under the retry policy.
+func (c *Client) retrying(ctx context.Context, attempt func() (*server.JobStatus, error)) (*server.JobStatus, error) {
+	var lastErr error
+	for try := 0; ; try++ {
+		if try > 0 {
+			var floor time.Duration
+			var apiErr *APIError
+			if ok := asAPIError(lastErr, &apiErr); ok {
+				floor = apiErr.RetryAfter
+			}
+			if err := c.sleep(ctx, c.backoff(try, floor)); err != nil {
+				return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
+			}
+		}
+		st, err := attempt()
+		if err == nil {
+			return st, nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if asAPIError(err, &apiErr) && !apiErr.Temporary() {
+			return nil, err // permanent: retrying cannot help
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+		}
+		if try >= c.Retries {
+			return nil, fmt.Errorf("euad: giving up after %d attempts: %w", try+1, lastErr)
+		}
+	}
+}
+
+func asAPIError(err error, out **APIError) bool {
+	if e, ok := err.(*APIError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+// Submit enqueues a job. The spec's ID makes this idempotent: a retry
+// after an ambiguous failure, or a resubmission of an already-known job,
+// returns the existing job's status.
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (*server.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.retrying(ctx, func() (*server.JobStatus, error) {
+		return c.do(ctx, http.MethodPost, c.Base+"/v1/jobs", body)
+	})
+}
+
+// Get fetches a job's current status.
+func (c *Client) Get(ctx context.Context, id string) (*server.JobStatus, error) {
+	return c.retrying(ctx, func() (*server.JobStatus, error) {
+		return c.do(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id, nil)
+	})
+}
+
+// Wait long-polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (*server.JobStatus, error) {
+	for {
+		st, err := c.retrying(ctx, func() (*server.JobStatus, error) {
+			return c.do(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"?wait=30s", nil)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// Run submits the job and waits for its terminal status.
+func (c *Client) Run(ctx context.Context, spec server.JobSpec) (*server.JobStatus, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if st.Terminal() {
+		return st, nil
+	}
+	return c.Wait(ctx, spec.ID)
+}

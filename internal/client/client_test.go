@@ -1,0 +1,261 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/server"
+)
+
+// fastClient is a client aimed at url with a tight backoff schedule so
+// retry tests run in milliseconds; jitter is pinned for determinism.
+func fastClient(url string) *Client {
+	c := New(url)
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 5 * time.Millisecond
+	c.jitter = func() float64 { return 1 }
+	return c
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"error": server.JobError{Code: "backpressure", Message: "queue full"}})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+	}))
+	defer ts.Close()
+
+	st, err := fastClient(ts.URL).Submit(context.Background(), server.JobSpec{ID: "j1", Kind: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" || st.State != server.StateQueued {
+		t.Fatalf("unexpected status %+v", st)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("expected 4 attempts, got %d", got)
+	}
+}
+
+func TestRetryOn5xxAndNetworkError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusInternalServerError)
+		case 2:
+			// Slam the connection mid-response: a transport-level error.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+		default:
+			json.NewEncoder(w).Encode(server.JobStatus{ID: "j2", State: server.StateDone})
+		}
+	}))
+	defer ts.Close()
+
+	st, err := fastClient(ts.URL).Get(context.Background(), "j2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Terminal() {
+		t.Fatalf("expected terminal status, got %+v", st)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 attempts, got %d", got)
+	}
+}
+
+func TestNoRetryOnPermanent4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{"error": server.JobError{Code: "invalid", Message: "bad spec"}})
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Submit(context.Background(), server.JobSpec{ID: "j3", Kind: "nope"})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("expected *APIError, got %T: %v", err, err)
+	}
+	if apiErr.StatusCode != http.StatusBadRequest || apiErr.Code != "invalid" {
+		t.Fatalf("unexpected error %+v", apiErr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("permanent error must not retry; got %d attempts", got)
+	}
+}
+
+func TestGiveUpAfterRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.Retries = 2
+	_, err := c.Get(context.Background(), "j4")
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("expected give-up error, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 attempts (1 + 2 retries), got %d", got)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j5", State: server.StateDone})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	if _, err := fastClient(ts.URL).Get(context.Background(), "j5"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("Retry-After: 1 not honored; retried after %v", elapsed)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.BaseDelay = time.Second // first backoff sleeps long enough to observe the cancel
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Get(ctx, "j6")
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("expected deadline error, got %v", err)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	c := &Client{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, jitter: func() float64 { return 1 }}
+	want := []time.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, ms := range want {
+		if got := c.backoff(i+1, 0); got != ms*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v, want %v", i+1, got, ms*time.Millisecond)
+		}
+	}
+	// The floor (Retry-After) dominates a smaller computed delay.
+	if got := c.backoff(1, 2*time.Second); got != 2*time.Second {
+		t.Errorf("floor not honored: %v", got)
+	}
+	// Jitter keeps the delay in [d/2, d].
+	c.jitter = func() float64 { return 0 }
+	if got := c.backoff(1, 0); got != 50*time.Millisecond {
+		t.Errorf("lower jitter bound: %v", got)
+	}
+}
+
+// tasksDoc mirrors the server package's fixture: two tasks in the
+// internal/config format, enough for a real analyze job.
+const tasksDoc = `{
+ "tasks": [
+  {"id": 1, "name": "A", "a": 1, "window_ms": 50,
+   "tuf": {"shape": "step", "umax": 10},
+   "mean_cycles": 2e6, "variance_cycles": 1e11, "nu": 1, "rho": 0.9},
+  {"id": 2, "name": "B", "a": 2, "window_ms": 120,
+   "tuf": {"shape": "linear", "umax": 40, "uend": 0},
+   "mean_cycles": 5e6, "variance_cycles": 4e11, "nu": 0.3, "rho": 0.9}
+ ]
+}`
+
+// TestAgainstRealServer drives the whole stack: a real server.Server
+// behind httptest, a real analyze job, idempotent resubmission, and a
+// structured failure surfaced through Wait.
+func TestAgainstRealServer(t *testing.T) {
+	srv, err := server.New(server.Config{
+		DataDir: t.TempDir(),
+		Workers: 2,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	ctx := context.Background()
+
+	spec := server.JobSpec{ID: "client-an-1", Kind: server.KindAnalyze, Tasks: json.RawMessage(tasksDoc)}
+	st, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job state %s, error %v", st.State, st.Error)
+	}
+	var res struct {
+		Tasks               int     `json:"tasks"`
+		TheoremOneFrequency float64 `json:"theorem_one_frequency"`
+	}
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 2 || res.TheoremOneFrequency <= 0 {
+		t.Fatalf("implausible analyze result: %s", st.Result)
+	}
+
+	// Resubmitting the same spec is a 200 replay, not a new job.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != server.StateDone || string(again.Result) != string(st.Result) {
+		t.Fatalf("replay mismatch: %+v", again)
+	}
+
+	// The same ID with a different spec is a permanent conflict.
+	conflict := spec
+	conflict.Load = 0.5
+	if _, err := c.Submit(ctx, conflict); err == nil {
+		t.Fatal("conflicting resubmission accepted")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("expected 409 conflict, got %v", err)
+	}
+
+	// A job that fails deep validation terminates with a structured error.
+	bad := server.JobSpec{ID: "client-bad-1", Kind: server.KindAnalyze, Tasks: json.RawMessage(`{"tasks":[]}`)}
+	st, err = c.Run(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateFailed || st.Error == nil || st.Error.Code != server.CodeInvalid {
+		t.Fatalf("expected structured invalid error, got %+v", st)
+	}
+}

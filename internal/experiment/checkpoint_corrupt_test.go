@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeValidCheckpoint builds a checkpoint file with real content the way
+// the runner would: a saved cell per experiment, flushed atomically.
+func writeValidCheckpoint(t *testing.T, path string) []byte {
+	t.Helper()
+	store, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("fig2", "v1|fig2|test", 0, json.RawMessage(`{"utility":{"EUA*":1.25},"energy":{"EUA*":0.75}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save("fig3", "v1|fig3|test", 3, json.RawMessage(`0.5`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCheckpointTruncated: a checkpoint cut off at any byte boundary — a
+// crash mid-write on a filesystem without atomic rename, or a partial
+// copy — must surface as ErrCheckpointCorrupt, never a panic or a silent
+// partial resume.
+func TestCheckpointTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	data := writeValidCheckpoint(t, path)
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenCheckpoint(path, true)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+		if !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("truncation at %d/%d bytes: error is not ErrCheckpointCorrupt: %v", cut, len(data), err)
+		}
+	}
+}
+
+// TestCheckpointBitFlip: flipping any single bit of a valid checkpoint
+// must never smuggle altered content past the decoder. JSON syntax
+// damage fails the parse; content damage inside the experiments payload
+// fails the CRC; header damage fails the version or checksum match. The
+// one benign exception is a case flip in a wrapper key name ("version" →
+// "Version"): Go's decoder matches those case-insensitively, the CRC
+// still validates the untouched payload, and the decoded document is
+// byte-for-byte the original — so the invariant is "rejected as
+// ErrCheckpointCorrupt, or decodes to exactly the pristine document".
+func TestCheckpointBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	data := writeValidCheckpoint(t, path)
+	pristine, err := decodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mutated := append([]byte(nil), data...)
+			mutated[i] ^= 1 << bit
+			doc, err := decodeCheckpoint(mutated)
+			if err == nil {
+				if !reflect.DeepEqual(doc, pristine) {
+					t.Fatalf("bit flip at byte %d bit %d accepted with altered content:\n%s", i, bit, mutated)
+				}
+				continue
+			}
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("bit flip at byte %d bit %d: error is not ErrCheckpointCorrupt: %v", i, bit, err)
+			}
+		}
+	}
+}
+
+// TestCheckpointCorruptFreshStart: the documented fallback path — open
+// the same path without resume — must succeed on a corrupt file and the
+// first save must replace it with a valid checkpoint.
+func TestCheckpointCorruptFreshStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	data := writeValidCheckpoint(t, path)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, true); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("want ErrCheckpointCorrupt, got %v", err)
+	}
+	store, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatalf("fresh start on corrupt file failed: %v", err)
+	}
+	if err := store.Save("fig2", "fp", 0, json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatalf("checkpoint written over corrupt file does not reopen: %v", err)
+	}
+	if got := reopened.Cells("fig2"); got != 1 {
+		t.Fatalf("reopened store has %d cells, want 1", got)
+	}
+	// Version-1 checkpoints (pre-CRC) are likewise corrupt-by-definition:
+	// there is no checksum to trust.
+	if err := os.WriteFile(path, []byte(`{"version":1,"experiments":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, true); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("version-1 checkpoint: want ErrCheckpointCorrupt, got %v", err)
+	}
+}

@@ -2,40 +2,60 @@ package experiment
 
 import (
 	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
 )
 
 // FuzzCheckpoint throws arbitrary bytes at the checkpoint decoder: it
 // must reject or accept, never panic, and anything it accepts must
-// survive a marshal/decode round trip unchanged. A resumed sweep trusts
+// survive an encode/decode round trip unchanged. A resumed sweep trusts
 // this file completely, so the decoder is the trust boundary for every
-// kill-and-resume cycle.
+// kill-and-resume cycle. Every rejection must be a structured
+// ErrCheckpointCorrupt so callers can fall back to a fresh start.
 func FuzzCheckpoint(f *testing.F) {
-	f.Add([]byte(`{"version":1,"experiments":{"fig2":{"fingerprint":"v1|fig2","cells":{"0":{"utility":{"EUA*":1}}}}}}`))
+	if seed, err := encodeCheckpoint(&checkpointDoc{
+		Version: checkpointVersion,
+		Experiments: map[string]*checkpointExp{
+			"fig2": {Fingerprint: "v1|fig2", Cells: map[string]json.RawMessage{
+				"0": json.RawMessage(`{"utility":{"EUA*":1}}`),
+			}},
+		},
+	}); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := encodeCheckpoint(&checkpointDoc{
+		Version:     checkpointVersion,
+		Experiments: map[string]*checkpointExp{},
+	}); err == nil {
+		f.Add(seed)
+	}
 	f.Add([]byte(`{"version":1,"experiments":{}}`))
+	f.Add([]byte(`{"version":2,"crc":0,"experiments":{}}`))
+	f.Add([]byte(`{"version":2,"crc":0,"experiments":{"x":null}}`))
+	f.Add([]byte(`{"version":2,"crc":0,"experiments":{"x":{"cells":{"-1":null}}}}`))
 	f.Add([]byte(`{"version":99}`))
-	f.Add([]byte(`{"version":1,"experiments":{"x":null}}`))
-	f.Add([]byte(`{"version":1,"experiments":{"x":{"cells":{"-1":null}}}}`))
-	f.Add([]byte(`{"version":1,"experiments":{"x":{"cells":{"nope":null}}}}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(``))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		doc, err := decodeCheckpoint(data)
 		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("rejection is not ErrCheckpointCorrupt: %v", err)
+			}
 			return
 		}
 		if doc == nil {
 			t.Fatal("nil doc with nil error")
 		}
-		raw, err := json.Marshal(doc)
+		raw, err := encodeCheckpoint(doc)
 		if err != nil {
-			t.Fatalf("accepted checkpoint does not re-marshal: %v", err)
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
 		}
 		again, err := decodeCheckpoint(raw)
 		if err != nil {
-			t.Fatalf("re-marshaled checkpoint rejected: %v\n%s", err, raw)
+			t.Fatalf("re-encoded checkpoint rejected: %v\n%s", err, raw)
 		}
 		if !reflect.DeepEqual(doc, again) {
 			t.Fatalf("checkpoint round trip drifted:\n%+v\nvs\n%+v", doc, again)

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 )
@@ -36,4 +37,28 @@ func (r Fig3Row) MarshalJSON() ([]byte, error) {
 		out.Energy[strconv.Itoa(a)] = v
 	}
 	return json.Marshal(out)
+}
+
+// UnmarshalJSON reverses MarshalJSON's string keys back to int bounds, so
+// documents round-trip (euasim -remote decodes sweep results the daemon
+// marshaled).
+func (r *Fig3Row) UnmarshalJSON(data []byte) error {
+	type wire struct {
+		Load   float64            `json:"load"`
+		Energy map[string]float64 `json:"energy_by_bound"`
+	}
+	var in wire
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	r.Load = in.Load
+	r.Energy = make(map[int]float64, len(in.Energy))
+	for k, v := range in.Energy {
+		a, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("fig3 row: bound key %q is not an integer", k)
+		}
+		r.Energy[a] = v
+	}
+	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -271,10 +272,20 @@ func fingerprint(cfg Config, exp, params string, g unitGrid) string {
 	return fp
 }
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format. Version 2 added the CRC32
+// over the experiments payload; version-1 files (no checksum) are treated
+// as corrupt and resumed from scratch.
+const checkpointVersion = 2
 
-// checkpointDoc is the on-disk checkpoint format: per experiment, the
+// ErrCheckpointCorrupt reports a checkpoint file that exists but cannot
+// be trusted: truncated, bit-flipped (CRC mismatch), not valid JSON, or
+// structurally invalid. Callers that want resume-if-possible semantics
+// match it with errors.Is and fall back to a fresh (non-resuming) store —
+// euasim and euad both do, with a diagnostic — so a damaged checkpoint
+// costs recomputation, never a panic or a silent partial resume.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+
+// checkpointDoc is the in-memory checkpoint state: per experiment, the
 // sweep fingerprint and the JSON result of every completed cell.
 type checkpointDoc struct {
 	Version     int                       `json:"version"`
@@ -286,30 +297,66 @@ type checkpointExp struct {
 	Cells       map[string]json.RawMessage `json:"cells"`
 }
 
-// decodeCheckpoint parses and validates a checkpoint document. It is the
-// fuzzed entry point: arbitrary bytes must produce an error, never a
-// panic or a structurally unusable document.
-func decodeCheckpoint(data []byte) (*checkpointDoc, error) {
-	var doc checkpointDoc
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, fmt.Errorf("experiment: checkpoint not valid JSON: %w", err)
+// checkpointWire is the on-disk framing: the experiments payload is kept
+// as raw bytes so the CRC is computed over exactly what the file stores.
+// The document is written compact (no re-indentation), which makes the
+// decoded RawMessage byte-identical to what encodeCheckpoint hashed.
+type checkpointWire struct {
+	Version     int             `json:"version"`
+	CRC         uint32          `json:"crc"`
+	Experiments json.RawMessage `json:"experiments"`
+}
+
+// encodeCheckpoint serializes a checkpoint document with its integrity
+// checksum: CRC32-C over the marshaled experiments payload.
+func encodeCheckpoint(doc *checkpointDoc) ([]byte, error) {
+	payload, err := json.Marshal(doc.Experiments)
+	if err != nil {
+		return nil, err
 	}
-	if doc.Version != checkpointVersion {
-		return nil, fmt.Errorf("experiment: checkpoint version %d, want %d", doc.Version, checkpointVersion)
+	return json.Marshal(checkpointWire{
+		Version:     checkpointVersion,
+		CRC:         crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)),
+		Experiments: payload,
+	})
+}
+
+// decodeCheckpoint parses and validates a checkpoint document. It is the
+// fuzzed entry point: arbitrary bytes must produce an error (wrapping
+// ErrCheckpointCorrupt), never a panic or a structurally unusable
+// document. A truncated file fails the JSON parse; a bit-flipped one
+// fails either the parse or the CRC check.
+func decodeCheckpoint(data []byte) (*checkpointDoc, error) {
+	var wire checkpointWire
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return nil, fmt.Errorf("experiment: %w: not valid JSON: %v", ErrCheckpointCorrupt, err)
+	}
+	if wire.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiment: %w: version %d, want %d", ErrCheckpointCorrupt, wire.Version, checkpointVersion)
+	}
+	if len(wire.Experiments) == 0 {
+		return nil, fmt.Errorf("experiment: %w: missing experiments payload", ErrCheckpointCorrupt)
+	}
+	if sum := crc32.Checksum(wire.Experiments, crc32.MakeTable(crc32.Castagnoli)); sum != wire.CRC {
+		return nil, fmt.Errorf("experiment: %w: CRC mismatch (file %08x, payload %08x)", ErrCheckpointCorrupt, wire.CRC, sum)
+	}
+	doc := checkpointDoc{Version: wire.Version}
+	if err := json.Unmarshal(wire.Experiments, &doc.Experiments); err != nil {
+		return nil, fmt.Errorf("experiment: %w: experiments payload: %v", ErrCheckpointCorrupt, err)
 	}
 	if doc.Experiments == nil {
 		doc.Experiments = map[string]*checkpointExp{}
 	}
 	for name, e := range doc.Experiments {
 		if e == nil {
-			return nil, fmt.Errorf("experiment: checkpoint experiment %q is null", name)
+			return nil, fmt.Errorf("experiment: %w: experiment %q is null", ErrCheckpointCorrupt, name)
 		}
 		if e.Cells == nil {
 			e.Cells = map[string]json.RawMessage{}
 		}
 		for key := range e.Cells {
 			if i, err := strconv.Atoi(key); err != nil || i < 0 {
-				return nil, fmt.Errorf("experiment: checkpoint experiment %q has bad cell key %q", name, key)
+				return nil, fmt.Errorf("experiment: %w: experiment %q has bad cell key %q", ErrCheckpointCorrupt, name, key)
 			}
 		}
 	}
@@ -394,10 +441,11 @@ func (s *CheckpointStore) Save(exp, fingerprint string, i int, raw json.RawMessa
 	return s.flushLocked()
 }
 
-// flushLocked writes the document atomically: marshal, write to a
-// temporary file in the same directory, rename over the target.
+// flushLocked writes the document atomically: marshal with checksum,
+// write to a temporary file in the same directory, rename over the
+// target.
 func (s *CheckpointStore) flushLocked() error {
-	data, err := json.MarshalIndent(s.doc, "", " ")
+	data, err := encodeCheckpoint(s.doc)
 	if err != nil {
 		return err
 	}

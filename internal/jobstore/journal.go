@@ -1,0 +1,356 @@
+// Package jobstore persists the euad daemon's job lifecycle in a
+// crash-safe append-only journal, so a kill -9 at any instant loses no
+// accepted work: on restart the journal is replayed, finished jobs keep
+// their results, and unfinished jobs are re-run (sweeps resume from their
+// per-job checkpoint, bit-identically).
+//
+// On-disk format: an 8-byte magic header, then framed records —
+//
+//	uint32 LE payload length | uint32 LE CRC32-C of payload | payload JSON
+//
+// Appends are flushed with fsync before the daemon acknowledges the job,
+// so an acknowledged submission survives any crash. A torn tail (crash
+// mid-append) or a bit-flipped record is detected by the framing CRC;
+// recovery keeps the longest valid prefix and atomically rewrites the
+// file (write temp, fsync, rename), so the journal is self-healing and
+// every subsequent open sees only intact records.
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// magic identifies a euad journal file (and its format version).
+var magic = [8]byte{'E', 'U', 'A', 'J', 'R', 'N', 'L', '1'}
+
+// maxRecordBytes bounds one record's payload; a corrupt length field must
+// not trigger a multi-gigabyte allocation.
+const maxRecordBytes = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrJournalCorrupt reports a journal whose header is not ours: either a
+// foreign file or damage beyond tail-truncation repair. Torn or
+// bit-flipped records are NOT this error — those are expected crash
+// debris and are repaired silently during Open.
+var ErrJournalCorrupt = errors.New("jobstore: journal corrupt")
+
+// Kind is a job lifecycle transition.
+type Kind string
+
+const (
+	// KindSubmitted records an accepted job and its full spec. It is
+	// written (and fsynced) before the daemon acknowledges the
+	// submission, so every acknowledged job is durable.
+	KindSubmitted Kind = "submitted"
+	// KindDone records a successful completion and its result.
+	KindDone Kind = "done"
+	// KindFailed records a terminal failure and its structured error.
+	KindFailed Kind = "failed"
+)
+
+// Record is one journal entry. Spec, Result and Error are opaque JSON
+// blobs: the journal persists the server's types without depending on
+// them.
+type Record struct {
+	Seq    uint64          `json:"seq"`
+	Kind   Kind            `json:"kind"`
+	JobID  string          `json:"job_id"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  json.RawMessage `json:"error,omitempty"`
+}
+
+// Recovery describes what Open found on disk.
+type Recovery struct {
+	// Records is the replayed journal, in append order.
+	Records []Record
+	// TruncatedBytes is how much torn or corrupt tail was discarded. Zero
+	// means the file was fully intact.
+	TruncatedBytes int
+}
+
+// JobState is a job's current position in its lifecycle, rebuilt from the
+// journal.
+type JobState struct {
+	ID     string
+	Spec   json.RawMessage
+	Kind   Kind // latest lifecycle record: submitted, done or failed
+	Result json.RawMessage
+	Error  json.RawMessage
+}
+
+// Terminal reports whether the job reached a terminal state and therefore
+// must not be re-run on restart.
+func (s *JobState) Terminal() bool { return s.Kind == KindDone || s.Kind == KindFailed }
+
+// Journal is an open, append-only job journal. Safe for concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	seq  uint64
+}
+
+// Open opens (or creates) the journal at path, replays it, and repairs
+// any torn tail. The returned Recovery holds the surviving records; use
+// Rebuild to collapse them into per-job states.
+func Open(path string) (*Journal, *Recovery, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		data = nil
+	} else if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: read journal: %w", err)
+	}
+	recs, goodLen, err := scan(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{Records: recs, TruncatedBytes: len(data) - goodLen}
+	if rec.TruncatedBytes > 0 || len(data) < len(magic) {
+		// Crash debris past the valid prefix, or a missing/partial header:
+		// rewrite the clean prefix atomically so the file is intact again.
+		if err := rewrite(path, data[:goodLen]); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: open journal for append: %w", err)
+	}
+	j := &Journal{path: path, f: f}
+	for _, r := range recs {
+		if r.Seq > j.seq {
+			j.seq = r.Seq
+		}
+	}
+	return j, rec, nil
+}
+
+// scan walks the framed records and returns the longest valid prefix:
+// the decoded records and how many bytes of the file they (plus the
+// header) occupy. A wrong magic header is ErrJournalCorrupt; anything
+// else merely ends the valid prefix.
+func scan(data []byte) ([]Record, int, error) {
+	if len(data) < len(magic) {
+		// Empty or torn before the header finished: an empty journal.
+		return nil, 0, nil
+	}
+	if [8]byte(data[:8]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic header", ErrJournalCorrupt)
+	}
+	var recs []Record
+	off := len(magic)
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return recs, off, nil // torn mid-frame
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxRecordBytes || len(rest) < 8+int(n) {
+			return recs, off, nil // implausible length or torn payload
+		}
+		payload := rest[8 : 8+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off, nil // bit flip: stop at the last good record
+		}
+		var r Record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return recs, off, nil // framed but not ours: treat as corrupt tail
+		}
+		recs = append(recs, r)
+		off += 8 + int(n)
+	}
+}
+
+// rewrite atomically replaces the journal with header + body: write to a
+// temp file in the same directory, fsync, rename over the target.
+func rewrite(path string, body []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("jobstore: create journal dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("jobstore: rewrite journal: %w", err)
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobstore: rewrite journal: %w", err)
+	}
+	if len(body) < len(magic) {
+		body = magic[:]
+	}
+	if _, err := tmp.Write(body); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobstore: rewrite journal: %w", err)
+	}
+	return nil
+}
+
+// Append assigns the record the next sequence number, frames it, writes
+// it, and fsyncs before returning: once Append returns nil the record
+// survives any crash.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("jobstore: journal closed")
+	}
+	j.seq++
+	r.Seq = j.seq
+	payload, err := json.Marshal(r)
+	if err != nil {
+		j.seq--
+		return fmt.Errorf("jobstore: marshal record: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[8:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("jobstore: append record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Compact rewrites the journal to the minimal equivalent history: per
+// job, the submitted record plus the terminal record (if any), in the
+// original sequence order. The rewrite is atomic; the append handle is
+// reopened on the new file.
+func (j *Journal) Compact(records []Record) error {
+	states := Rebuild(records)
+	keep := make([]Record, 0, len(records))
+	for _, r := range records {
+		st := states[r.JobID]
+		if st == nil {
+			continue
+		}
+		switch r.Kind {
+		case KindSubmitted:
+			keep = append(keep, r)
+		case KindDone, KindFailed:
+			if r.Kind == st.Kind {
+				keep = append(keep, r)
+			}
+		}
+	}
+	body := magic[:]
+	var maxSeq uint64
+	for _, r := range keep {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("jobstore: marshal record: %w", err)
+		}
+		frame := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+		copy(frame[8:], payload)
+		body = append(body, frame...)
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("jobstore: journal closed")
+	}
+	if err := rewrite(j.path, body); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: reopen journal: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	if maxSeq > j.seq {
+		j.seq = maxSeq
+	}
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Rebuild collapses a replayed journal into per-job states: the spec from
+// the submission record, overlaid with the latest terminal record.
+// Records for jobs that were never submitted (their submission fell past
+// a corrupt region) are kept too — their result is still valid, only the
+// spec is missing.
+func Rebuild(records []Record) map[string]*JobState {
+	states := make(map[string]*JobState)
+	for _, r := range records {
+		st := states[r.JobID]
+		if st == nil {
+			st = &JobState{ID: r.JobID}
+			states[r.JobID] = st
+		}
+		switch r.Kind {
+		case KindSubmitted:
+			st.Spec = r.Spec
+			if st.Kind == "" {
+				st.Kind = KindSubmitted
+			}
+		case KindDone:
+			st.Kind = KindDone
+			st.Result = r.Result
+		case KindFailed:
+			st.Kind = KindFailed
+			st.Error = r.Error
+		}
+	}
+	return states
+}
+
+// ReadAll replays the journal at path without opening it for appends —
+// the inspection entry point for tests and tooling. It never repairs the
+// file.
+func ReadAll(path string) (*Recovery, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: read journal: %w", err)
+	}
+	recs, goodLen, err := scan(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Recovery{Records: recs, TruncatedBytes: len(data) - goodLen}, nil
+}

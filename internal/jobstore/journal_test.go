@@ -1,0 +1,277 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func appendAll(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// prefixEqual reports whether got is a (possibly empty) prefix of want.
+func prefixEqual(got, want []Record) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func lifecycle(id string) []Record {
+	return []Record{
+		{Kind: KindSubmitted, JobID: id, Spec: json.RawMessage(`{"kind":"sweep","experiment":"fig2"}`)},
+		{Kind: KindDone, JobID: id, Result: json.RawMessage(`{"rows":[1,2,3]}`)},
+	}
+}
+
+// TestJournalRoundTrip: records appended before Close replay identically
+// after reopening, with sequence numbers continuing where they left off.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, rec, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 || rec.TruncatedBytes != 0 {
+		t.Fatalf("fresh journal recovered %+v", rec)
+	}
+	appendAll(t, j, lifecycle("job-a")...)
+	appendAll(t, j, Record{Kind: KindSubmitted, JobID: "job-b", Spec: json.RawMessage(`{"kind":"analyze"}`)})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported %d truncated bytes", rec2.TruncatedBytes)
+	}
+	if len(rec2.Records) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(rec2.Records))
+	}
+	for i, r := range rec2.Records {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	states := Rebuild(rec2.Records)
+	if a := states["job-a"]; a == nil || !a.Terminal() || a.Kind != KindDone || string(a.Result) != `{"rows":[1,2,3]}` {
+		t.Fatalf("job-a state %+v", states["job-a"])
+	}
+	if b := states["job-b"]; b == nil || b.Terminal() || b.Kind != KindSubmitted {
+		t.Fatalf("job-b state %+v", states["job-b"])
+	}
+	// Appends continue the sequence.
+	if err := j2.Append(Record{Kind: KindFailed, JobID: "job-b", Error: json.RawMessage(`{"code":"panic"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec3, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec3.Records[len(rec3.Records)-1].Seq; got != 4 {
+		t.Fatalf("continued seq %d, want 4", got)
+	}
+	if st := Rebuild(rec3.Records)["job-b"]; !st.Terminal() || st.Kind != KindFailed {
+		t.Fatalf("job-b after failure: %+v", st)
+	}
+}
+
+// TestJournalTornTail: a crash can cut the file at any byte. Every
+// truncation point must recover the longest valid record prefix, repair
+// the file in place, and leave it appendable.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	j, _, err := Open(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, lifecycle("job-a")...)
+	appendAll(t, j, lifecycle("job-b")...)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record boundaries, to know how many records each cut preserves.
+	clean, _, err := scan(data)
+	if err != nil || len(clean) != 4 {
+		t.Fatalf("clean scan: %d records, err %v", len(clean), err)
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, "torn.wal")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, rec, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		// The recovered prefix must be exact: same records, in order.
+		if !prefixEqual(rec.Records, clean) {
+			t.Fatalf("cut at %d: recovered records diverge from prefix", cut)
+		}
+		if cut == len(data) && (rec.TruncatedBytes != 0 || len(rec.Records) != 4) {
+			t.Fatalf("uncut file: %+v", rec)
+		}
+		// The repaired journal must accept appends and replay cleanly.
+		if err := jt.Append(Record{Kind: KindSubmitted, JobID: "job-new"}); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		if err := jt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(path)
+		if err != nil {
+			t.Fatalf("cut at %d: reread: %v", cut, err)
+		}
+		if again.TruncatedBytes != 0 {
+			t.Fatalf("cut at %d: repaired journal still has %d torn bytes", cut, again.TruncatedBytes)
+		}
+		if len(again.Records) != len(rec.Records)+1 {
+			t.Fatalf("cut at %d: %d records after append, want %d", cut, len(again.Records), len(rec.Records)+1)
+		}
+	}
+}
+
+// TestJournalBitFlip: a flipped bit inside a record payload fails that
+// record's CRC; replay keeps the records before it and discards the rest
+// (standard write-ahead-log recovery), never panicking and never
+// returning a record whose checksum does not match.
+func TestJournalBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.wal")
+	j, _, err := Open(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, lifecycle("job-a")...)
+	appendAll(t, j, lifecycle("job-b")...)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _, err := scan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(magic); i < len(data); i++ {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x40
+		recs, goodLen, err := scan(mutated)
+		if err != nil {
+			t.Fatalf("flip at %d: scan error %v", i, err)
+		}
+		if goodLen > len(mutated) {
+			t.Fatalf("flip at %d: goodLen %d past end", i, goodLen)
+		}
+		// Whatever survives must be a prefix of the clean history.
+		if !prefixEqual(recs, clean) {
+			t.Fatalf("flip at %d: surviving records are not a clean prefix", i)
+		}
+		if len(recs) == len(clean) {
+			t.Fatalf("flip at %d: corruption went undetected", i)
+		}
+	}
+	// A flipped magic header is not repairable crash debris: Open must
+	// refuse with the structured error instead of clobbering the file.
+	mutated := append([]byte(nil), data...)
+	mutated[0] ^= 0x01
+	if err := os.WriteFile(filepath.Join(dir, "badmagic.wal"), mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(filepath.Join(dir, "badmagic.wal")); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("bad magic: want ErrJournalCorrupt, got %v", err)
+	}
+}
+
+// TestJournalCompact: compaction keeps exactly one submitted and at most
+// one terminal record per job, replays to the same states, and leaves the
+// journal appendable with monotonic sequence numbers.
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, lifecycle("job-a")...)
+	appendAll(t, j, Record{Kind: KindSubmitted, JobID: "job-b", Spec: json.RawMessage(`{"kind":"simulate"}`)})
+	appendAll(t, j, Record{Kind: KindFailed, JobID: "job-c", Error: json.RawMessage(`{"code":"panic"}`)})
+	rec, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Rebuild(rec.Records)
+	if err := j.Compact(rec.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Kind: KindDone, JobID: "job-b", Result: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TruncatedBytes != 0 {
+		t.Fatalf("compacted journal has %d torn bytes", after.TruncatedBytes)
+	}
+	states := Rebuild(after.Records)
+	for id, st := range before {
+		got := states[id]
+		if got == nil {
+			t.Fatalf("job %s lost in compaction", id)
+		}
+		if id != "job-b" && (got.Kind != st.Kind || string(got.Result) != string(st.Result) || string(got.Error) != string(st.Error)) {
+			t.Fatalf("job %s drifted: %+v vs %+v", id, got, st)
+		}
+	}
+	if states["job-b"].Kind != KindDone {
+		t.Fatalf("append after compact lost: %+v", states["job-b"])
+	}
+	// Sequence numbers must not reset: the post-compaction append is
+	// strictly newer than everything it follows.
+	var maxSeq uint64
+	for _, r := range after.Records {
+		if r.Kind == KindDone && r.JobID == "job-b" {
+			continue
+		}
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	for _, r := range after.Records {
+		if r.Kind == KindDone && r.JobID == "job-b" && r.Seq <= maxSeq {
+			t.Fatalf("append after compact has stale seq %d (max %d)", r.Seq, maxSeq)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// soakCounters tallies the exactly-one-of outcomes every request must
+// land in: a result, a structured job error, or a 429 rejection.
+type soakCounters struct {
+	results    atomic.Int64 // jobs that reached done with a result payload
+	jobErrors  atomic.Int64 // jobs that reached failed with a structured error
+	panics     atomic.Int64 // ... of which were isolated panics
+	rejected   atomic.Int64 // 429 backpressure rejections
+	invalid    atomic.Int64 // intentionally malformed specs rejected with 400
+	violations atomic.Int64 // anything outside the contract
+}
+
+// TestSoakSaturated is the service acceptance test: 32 concurrent clients
+// hammer a deliberately under-provisioned server (2 workers, queue depth
+// 2) for 30+ seconds with a mix of sleeping jobs, panicking jobs, failing
+// jobs, real analyze jobs and malformed specs. Every single request must
+// resolve to exactly one of {result, structured job error, 429/400
+// rejection} — no hangs, no crashes, no malformed envelopes — and a
+// graceful drain must complete afterwards.
+func TestSoakSaturated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test runs for 30s; skipped in -short")
+	}
+	const (
+		clients  = 32
+		duration = 31 * time.Second
+	)
+	s, ts := newTestServer(t, Config{
+		DataDir:    t.TempDir(),
+		Workers:    2,
+		QueueDepth: 2,
+		Logf:       func(string, ...any) {}, // t.Logf races with post-test logging; soak is silent
+	})
+
+	httpc := &http.Client{Timeout: 40 * time.Second}
+	var ctr soakCounters
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for n := 0; time.Since(start) < duration; n++ {
+				jobID := fmt.Sprintf("soak-%d-%d", id, n)
+				body, wantInvalid := soakBody(rng, jobID)
+				resp, data, err := soakPost(httpc, ts.URL, body)
+				if err != nil {
+					ctr.violations.Add(1)
+					t.Errorf("client %d: transport error: %v", id, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusOK:
+					soakSettle(t, httpc, ts.URL, jobID, &ctr)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						ctr.violations.Add(1)
+						t.Errorf("429 without Retry-After")
+					}
+					ctr.rejected.Add(1)
+					time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+				case http.StatusBadRequest:
+					if !wantInvalid {
+						ctr.violations.Add(1)
+						t.Errorf("unexpected 400 for %s: %s", body, data)
+					}
+					ctr.invalid.Add(1)
+				default:
+					ctr.violations.Add(1)
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, data)
+				}
+			}
+		}(i)
+	}
+
+	// A health prober rides along: the service must stay live throughout.
+	probeStop := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-probeStop:
+				return
+			case <-tick.C:
+				resp, err := httpc.Get(ts.URL + "/healthz")
+				if err != nil {
+					t.Errorf("healthz probe: %v", err)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("healthz = %d under load", resp.StatusCode)
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(probeStop)
+	probeWG.Wait()
+
+	// Every client settled all its jobs, so a drain has nothing in flight
+	// left to wait for and must complete well within its budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	resp, err := httpc.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain = %d, want 503", resp.StatusCode)
+	}
+
+	t.Logf("soak: %d results, %d job errors (%d panics), %d backpressure rejections, %d invalid",
+		ctr.results.Load(), ctr.jobErrors.Load(), ctr.panics.Load(), ctr.rejected.Load(), ctr.invalid.Load())
+	if ctr.violations.Load() > 0 {
+		t.Fatalf("%d contract violations", ctr.violations.Load())
+	}
+	// The mix must have actually exercised every path.
+	for name, n := range map[string]int64{
+		"results":      ctr.results.Load(),
+		"job errors":   ctr.jobErrors.Load(),
+		"panics":       ctr.panics.Load(),
+		"backpressure": ctr.rejected.Load(),
+		"invalid":      ctr.invalid.Load(),
+	} {
+		if n == 0 {
+			t.Errorf("soak produced no %s — the mix did not exercise that path", name)
+		}
+	}
+}
+
+// soakBody picks a submission from the chaos mix; wantInvalid marks the
+// deliberately malformed ones.
+func soakBody(rng *rand.Rand, id string) (body string, wantInvalid bool) {
+	switch r := rng.Intn(20); {
+	case r < 10: // cooperative sleeper: the bread-and-butter load
+		return fmt.Sprintf(`{"id":%q,"kind":"test","payload":{"sleep_ms":%d}}`, id, 1+rng.Intn(10)), false
+	case r < 12: // panicking job: must be isolated, not crash the server
+		return fmt.Sprintf(`{"id":%q,"kind":"test","payload":{"panic":true}}`, id), false
+	case r < 14: // failing job: must surface a structured error
+		return fmt.Sprintf(`{"id":%q,"kind":"test","payload":{"fail":true}}`, id), false
+	case r < 18: // real work: schedulability analysis of the fixture set
+		return fmt.Sprintf(`{"id":%q,"kind":"analyze","tasks":%s}`, id, tasksDoc), false
+	default: // malformed spec: must be rejected at admission with 400
+		return fmt.Sprintf(`{"id":%q,"kind":"no-such-kind"}`, id), true
+	}
+}
+
+func soakPost(c *http.Client, base, body string) (*http.Response, []byte, error) {
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// soakSettle long-polls an accepted job until it is terminal and files
+// the outcome; a job that never settles is a contract violation.
+func soakSettle(t *testing.T, c *http.Client, base, id string, ctr *soakCounters) {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := c.Get(base + "/v1/jobs/" + id + "?wait=2s")
+		if err != nil {
+			ctr.violations.Add(1)
+			t.Errorf("poll %s: %v", id, err)
+			return
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			ctr.violations.Add(1)
+			t.Errorf("poll %s: status %d err %v", id, resp.StatusCode, err)
+			return
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			ctr.violations.Add(1)
+			t.Errorf("poll %s: bad envelope %s", id, data)
+			return
+		}
+		switch {
+		case st.State == StateDone:
+			if len(st.Result) == 0 {
+				ctr.violations.Add(1)
+				t.Errorf("job %s done without a result", id)
+				return
+			}
+			ctr.results.Add(1)
+			return
+		case st.State == StateFailed:
+			if st.Error == nil || st.Error.Code == "" {
+				ctr.violations.Add(1)
+				t.Errorf("job %s failed without a structured error: %s", id, data)
+				return
+			}
+			if st.Error.Code == CodePanic {
+				ctr.panics.Add(1)
+			}
+			ctr.jobErrors.Add(1)
+			return
+		}
+	}
+	ctr.violations.Add(1)
+	t.Errorf("job %s never settled", id)
+}
