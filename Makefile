@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-service vet bench bench-sched bench-check cover fuzz fuzz-smoke check experiments examples euad clean
+.PHONY: all build test test-race test-service vet bench bench-sched bench-check telemetry-overhead telemetry-smoke cover fuzz fuzz-smoke check experiments examples euad clean
 
 all: build vet test
 
@@ -42,6 +42,18 @@ bench-sched:
 # non-blocking job: shared-runner noise should inform, not gate merges.
 bench-check:
 	$(GO) run ./cmd/euabench -check BENCH_sched.json
+
+# telemetry-overhead benchmarks each cell with the no-op sink and with a
+# live registry, and fails when the median ns/event cost of enabling
+# telemetry exceeds 5% (see DESIGN.md §10).
+telemetry-overhead:
+	$(GO) run ./cmd/euabench -overhead
+
+# telemetry-smoke drives a real euad process: runs a sweep job, scrapes
+# /metrics for the job/engine/scheduler families, and pulls a CPU profile
+# from /debug/pprof.
+telemetry-smoke:
+	$(GO) test -count=1 -run 'TestTelemetrySmoke' -v ./cmd/euad/
 
 # cover runs the tests with coverage and enforces the floor on the
 # scheduler core: internal/sched/eua (reference + fast path + oracle

@@ -8,9 +8,12 @@
 //	euabench -out BENCH_sched.json          # refresh the committed baseline
 //	euabench -check BENCH_sched.json        # fail on >15% ns/event regression
 //	euabench -quick                         # small matrix for smoke runs
+//	euabench -overhead                      # gate the telemetry sink cost
 //
 // The regression check only gates cells present in both reports; see
-// `make bench-check`.
+// `make bench-check`. -overhead benchmarks each cell twice — no-op
+// telemetry vs a live registry — and fails when the median cost exceeds
+// -max-overhead percent (see `make telemetry-overhead`).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"github.com/euastar/euastar/internal/bench"
 )
@@ -40,12 +44,17 @@ func run(args []string, out, diag io.Writer) error {
 		horizon   = fs.Float64("horizon", 0.4, "arrival horizon per run in seconds")
 		seed      = fs.Uint64("seed", 1, "workload seed")
 		quick     = fs.Bool("quick", false, "small matrix and short horizon for smoke runs")
+		overhead  = fs.Bool("overhead", false, "measure the enabled-telemetry cost instead of the ref/fast matrix")
+		maxOver   = fs.Float64("max-overhead", 5, "fail -overhead when the median cost exceeds this percent")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tolerance < 0 {
 		return fmt.Errorf("-tolerance must be >= 0, got %g", *tolerance)
+	}
+	if *overhead {
+		return runOverhead(out, *reps, *horizon, *seed, *quick, *maxOver)
 	}
 
 	opts := bench.Options{
@@ -106,6 +115,38 @@ func run(args []string, out, diag io.Writer) error {
 			return fmt.Errorf("%d cell(s) regressed beyond %.0f%% vs %s", len(regs), *tolerance*100, *checkPath)
 		}
 		fmt.Fprintf(out, "no regression beyond %.0f%% vs %s\n", *tolerance*100, *checkPath)
+	}
+	return nil
+}
+
+// runOverhead gates the telemetry sink: each cell is benchmarked with the
+// no-op sink and with a live registry, and the median percent cost across
+// cells must stay under maxOver. The median (not the worst cell) is the
+// gate because single cells on shared CI runners see multi-percent noise
+// that minimum-of-reps cannot fully cancel.
+func runOverhead(out io.Writer, reps int, horizon float64, seed uint64, quick bool, maxOver float64) error {
+	tasks := []int{8, 24, 64}
+	if quick {
+		tasks = []int{8, 24}
+		if horizon == 0.4 { // flag default; quick mode shrinks it
+			horizon = 0.1
+		}
+	}
+	var costs []float64
+	for _, n := range tasks {
+		c := bench.Cell{Tasks: n, Load: 1.0, Scheme: bench.SchemeFast, Seed: seed, Horizon: horizon}
+		o, err := bench.MeasureOverhead(c, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "overhead", o)
+		costs = append(costs, o.Percent)
+	}
+	sort.Float64s(costs)
+	median := costs[len(costs)/2]
+	fmt.Fprintf(out, "median telemetry overhead: %+.1f%% (limit %.0f%%)\n", median, maxOver)
+	if median > maxOver {
+		return fmt.Errorf("telemetry overhead %.1f%% exceeds %.0f%%", median, maxOver)
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/client"
+	"github.com/euastar/euastar/internal/server"
+)
+
+// TestTelemetrySmoke drives a real euad process end to end: run a sweep
+// job, then scrape /metrics (Prometheus text format, job + engine +
+// scheduler families) and pull a short CPU profile from /debug/pprof.
+// `make telemetry-smoke` runs exactly this test.
+func TestTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a daemon and takes seconds; skipped in -short")
+	}
+	d := startDaemon(t, t.TempDir())
+	defer func() {
+		if d.cmd.ProcessState == nil {
+			d.stop(t)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	spec := server.JobSpec{
+		ID:         "telemetry-smoke",
+		Kind:       server.KindSweep,
+		Experiment: "fig2",
+		Seeds:      1,
+		Horizon:    0.3,
+		Loads:      []float64{0.5},
+	}
+	st, err := client.New(d.base).Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("sweep job: %v; logs:\n%s", err, d.logs)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job state %s, error %v", st.State, st.Error)
+	}
+	if st.Timings == nil || st.Timings.RunSeconds <= 0 {
+		t.Fatalf("done job reports no run timing: %+v", st.Timings)
+	}
+
+	httpGet := func(url string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ct := httpGet(d.base + "/metrics")
+	if ct != "text/plain; version=0.0.4" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"euad_jobs_admitted_total 1",
+		`euad_jobs_finished_total{outcome="done"} 1`,
+		`euad_job_phase_seconds_count{phase="run"} 1`,
+		"euastar_engine_events_total",
+		"euastar_sched_decide_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("metrics body:\n%s", metrics)
+	}
+
+	profile, _ := httpGet(d.base + "/debug/pprof/profile?seconds=1")
+	if len(profile) == 0 {
+		t.Fatal("empty CPU profile")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/experiment"
 	"github.com/euastar/euastar/internal/faults"
+	"github.com/euastar/euastar/internal/telemetry"
 )
 
 func main() {
@@ -83,6 +84,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		resume     = fs.Bool("resume", false, "reuse completed cells from the -checkpoint file instead of recomputing")
 		faultSpec  = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
 		fastpath   = fs.Bool("fastpath", false, "run EUA*-family schedulers on the incremental fast-path core (bit-identical decisions, see DESIGN.md §8)")
+		stats      = fs.Bool("stats", false, "print an end-of-run telemetry snapshot (decision latencies, preemptions, frequency switches) to stderr")
 		remote     = fs.String("remote", "", "submit sweeps to a euad daemon at this base URL instead of running locally (fig2|fig3|assurance|ablation)")
 		jobID      = fs.String("job-id", "", "idempotency-key prefix for -remote submissions (default: random per invocation)")
 	)
@@ -113,7 +115,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 			set  bool
 		}{
 			{"-chart", *chart}, {"-checkpoint", *checkpoint != ""}, {"-resume", *resume},
-			{"-timeout", *timeout != 0}, {"-retries", *retries != 0},
+			{"-timeout", *timeout != 0}, {"-retries", *retries != 0}, {"-stats", *stats},
 		} {
 			if f.set {
 				return fmt.Errorf("%s is not supported with -remote", f.name)
@@ -164,6 +166,11 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 			return err
 		}
 		cfg.Faults = plan
+	}
+	if *stats {
+		// The snapshot goes to stderr with the other diagnostics: decision
+		// latencies are wall-clock, and stdout must stay deterministic.
+		cfg.Telemetry = telemetry.NewRegistry()
 	}
 	if *checkpoint != "" {
 		store, err := experiment.OpenCheckpoint(*checkpoint, *resume)
@@ -346,6 +353,12 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		}
 	}
 	fmt.Fprintf(diag, "euasim: all experiments done in %v\n", time.Since(total).Round(time.Millisecond))
+	if *stats {
+		fmt.Fprintln(diag, "euasim: telemetry snapshot")
+		if err := telemetry.WriteStats(diag, cfg.Telemetry.Snapshot()); err != nil {
+			return err
+		}
+	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {

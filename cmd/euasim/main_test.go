@@ -258,3 +258,44 @@ func TestTimeoutReportedAndPartialFlushed(t *testing.T) {
 		t.Fatalf("json artifact not flushed before non-zero exit: %v", statErr)
 	}
 }
+
+// TestStatsFlag: -stats appends the telemetry table to stderr — covering
+// scheduler decision latencies, preemptions and frequency switches — and
+// leaves stdout byte-identical to a run without it.
+func TestStatsFlag(t *testing.T) {
+	args := []string{"-exp", "fig2", "-seeds", "1", "-horizon", "0.3", "-loads", "0.5"}
+	var plainOut bytes.Buffer
+	if err := run(args, &plainOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out, diag bytes.Buffer
+	if err := run(append(args, "-stats"), &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != plainOut.String() {
+		t.Error("-stats changed stdout; the snapshot must go to stderr only")
+	}
+	text := diag.String()
+	for _, want := range []string{
+		"euasim: telemetry snapshot",
+		"HISTOGRAM",
+		"euastar_sched_decide_seconds",
+		"euastar_engine_preemptions_total",
+		"euastar_engine_freq_switches_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("stderr missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("stderr:\n%s", text)
+	}
+}
+
+// TestStatsRejectedWithRemote: -stats needs local runs to observe.
+func TestStatsRejectedWithRemote(t *testing.T) {
+	err := run([]string{"-exp", "fig2", "-remote", "http://127.0.0.1:1", "-stats"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-stats") {
+		t.Fatalf("err = %v, want -stats rejection", err)
+	}
+}

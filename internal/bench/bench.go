@@ -30,6 +30,7 @@ import (
 	"github.com/euastar/euastar/internal/engine"
 	"github.com/euastar/euastar/internal/rng"
 	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/telemetry"
 	"github.com/euastar/euastar/internal/workload"
 )
 
@@ -150,7 +151,11 @@ func cellConfig(c Cell) (engine.Config, error) {
 
 // Run benchmarks one cell: one warm-up run, then reps timed runs keeping
 // the minimum ns/event and allocs/event.
-func Run(c Cell, reps int) (Measurement, error) {
+func Run(c Cell, reps int) (Measurement, error) { return measure(c, reps, nil) }
+
+// measure is Run with an optional telemetry registry attached to every
+// engine run — the instrumented side of the overhead comparison.
+func measure(c Cell, reps int, reg *telemetry.Registry) (Measurement, error) {
 	if c.Scheme != SchemeRef && c.Scheme != SchemeFast {
 		return Measurement{}, fmt.Errorf("bench: unknown scheme %q", c.Scheme)
 	}
@@ -162,6 +167,7 @@ func Run(c Cell, reps int) (Measurement, error) {
 		if err != nil {
 			return 0, 0, 0, err
 		}
+		cfg.Telemetry = reg
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -198,6 +204,40 @@ func Run(c Cell, reps int) (Measurement, error) {
 		m.Events = events
 	}
 	return m, nil
+}
+
+// Overhead is one cell's enabled-vs-no-op telemetry cost. The no-op side
+// runs with Config.Telemetry nil (the default every sweep and test uses);
+// the enabled side attaches a live registry, so Percent is exactly the
+// price a euad deployment pays for /metrics.
+type Overhead struct {
+	Cell
+	BaseNs    float64 `json:"base_ns_per_event"`    // no-op sink
+	EnabledNs float64 `json:"enabled_ns_per_event"` // live registry
+	Percent   float64 `json:"percent"`              // 100*(enabled/base - 1)
+}
+
+func (o Overhead) String() string {
+	return fmt.Sprintf("%s: %.0f -> %.0f ns/event (%+.1f%% with telemetry)",
+		o.Key(), o.BaseNs, o.EnabledNs, o.Percent)
+}
+
+// MeasureOverhead benchmarks one cell twice — no-op sink, then a live
+// registry — under the same minimum-of-reps methodology as Run.
+func MeasureOverhead(c Cell, reps int) (Overhead, error) {
+	base, err := measure(c, reps, nil)
+	if err != nil {
+		return Overhead{}, err
+	}
+	enabled, err := measure(c, reps, telemetry.NewRegistry())
+	if err != nil {
+		return Overhead{}, err
+	}
+	o := Overhead{Cell: c, BaseNs: base.NsPerEvent, EnabledNs: enabled.NsPerEvent}
+	if o.BaseNs > 0 {
+		o.Percent = 100 * (o.EnabledNs/o.BaseNs - 1)
+	}
+	return o, nil
 }
 
 // Sweep runs the full matrix and returns the report, cells ordered by

@@ -22,6 +22,7 @@ import (
 	"github.com/euastar/euastar/internal/sched"
 	"github.com/euastar/euastar/internal/sim"
 	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/telemetry"
 	"github.com/euastar/euastar/internal/uam"
 )
 
@@ -136,6 +137,19 @@ type Config struct {
 	// ErrInterrupted. The experiment runner uses it for per-cell timeouts
 	// and SIGINT/SIGTERM shutdown.
 	Interrupt <-chan struct{}
+
+	// Telemetry, when non-nil, registers this run's counters, gauges and
+	// histograms (and the scheduler's, via sched.Context) in the given
+	// registry. A registry may be shared across runs — the euad service
+	// does — in which case counters accumulate; Result's integer fields
+	// remain strictly per-run either way. Nil (the default) costs nothing
+	// on the hot path.
+	Telemetry *telemetry.Registry
+
+	// Trace, when non-nil, receives one TraceEvent per processed
+	// simulation event, scheduler decision, abort and watchdog detection.
+	// Nil (the default) skips all TraceEvent construction.
+	Trace telemetry.TraceFunc
 }
 
 // Validate checks the configuration.
@@ -195,9 +209,15 @@ type Result struct {
 	Decisions     int
 	// Events counts processed simulation events (arrivals, completions,
 	// terminations, boundaries); benchmark harnesses divide wall time by
-	// it to report ns/event.
+	// it to report ns/event. It is a view over the run's telemetry
+	// counters — the sum of the per-kind event counts — not a separately
+	// incremented field, so it cannot diverge from what a configured
+	// Telemetry registry exports.
 	Events int
-	Trace  []Span // non-nil only when Config.RecordTrace
+	// Preemptions counts dispatches that stopped a still-pending running
+	// job in favor of another.
+	Preemptions int
+	Trace       []Span // non-nil only when Config.RecordTrace
 
 	// Depleted reports whether a configured energy budget ran out, and
 	// DepletedAt when.
@@ -246,27 +266,24 @@ type state struct {
 	meter      *energy.Meter
 	lastTime   float64
 	observer   EventObserver
-	decision   int
-	events     int
 	readyBuf   []*task.Job // reusable Decide argument buffer
 	trace      []Span
 	depleted   bool
 	depletedAt float64
 
-	// Resource state: holders maps resource id → holding job;
-	// inheritances counts dispatches where a blocked selection was
-	// resolved to its blocking chain's head.
-	holders      map[int]*task.Job
-	inheritances int
+	// ins holds every counting site of the run: always-on per-run
+	// counters feeding Result's integer fields, plus optional registered
+	// mirrors and trace hooks (Config.Telemetry / Config.Trace).
+	ins instruments
 
-	// Degradation state: the always-on invariant watchdog, the fault
-	// bookkeeping, and the overload safe-mode counters.
-	wd              *watchdog
-	switchSeq       int // commanded frequency switches, fault-plan label
-	faultEvents     int
-	safeModeEntries int
-	jobsShed        int
-	abortCycles     float64
+	// Resource state: holders maps resource id → holding job.
+	holders map[int]*task.Job
+
+	// Degradation state: the always-on invariant watchdog and the fault
+	// plan's switch-sequence label.
+	wd          *watchdog
+	switchSeq   int // commanded frequency switches, fault-plan label
+	abortCycles float64
 }
 
 // Run executes one simulation and returns its result.
@@ -286,7 +303,7 @@ func Run(cfg Config) (res *Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	ctx := &sched.Context{Tasks: cfg.Tasks, Freqs: cfg.Freqs, Energy: cfg.Energy}
+	ctx := &sched.Context{Tasks: cfg.Tasks, Freqs: cfg.Freqs, Energy: cfg.Energy, Telemetry: cfg.Telemetry}
 	if err := cfg.Scheduler.Init(ctx); err != nil {
 		return nil, err
 	}
@@ -296,6 +313,7 @@ func Run(cfg Config) (res *Result, err error) {
 		meter: energy.NewMeter(cfg.Energy),
 		wd:    newWatchdog(),
 	}
+	st.ins.init(cfg.Telemetry, cfg.Trace)
 	if obs, ok := cfg.Scheduler.(EventObserver); ok {
 		st.observer = obs
 	}
@@ -314,6 +332,7 @@ func Run(cfg Config) (res *Result, err error) {
 			default:
 				err = &InvariantError{Invariant: InvInternal, Time: st.lastTime, Detail: fmt.Sprint(v)}
 			}
+			st.ins.noteInvariant(err.(*InvariantError))
 		}
 	}()
 	st.seedArrivals()
@@ -329,16 +348,17 @@ func Run(cfg Config) (res *Result, err error) {
 		BusyTime:        st.meter.BusyTime(),
 		EndTime:         st.lastTime,
 		Switches:        st.proc.Switches(),
-		Decisions:       st.decision,
-		Events:          st.events,
+		Decisions:       st.ins.decisions.Value(),
+		Events:          st.ins.eventTotal(),
+		Preemptions:     st.ins.preemptions.Value(),
 		Trace:           st.trace,
 		Depleted:        st.depleted,
 		DepletedAt:      st.depletedAt,
-		Inheritances:    st.inheritances,
+		Inheritances:    st.ins.inherits.Value(),
 		IdleEnergy:      st.meter.IdleEnergy(),
-		FaultEvents:     st.faultEvents,
-		SafeModeEntries: st.safeModeEntries,
-		JobsShed:        st.jobsShed,
+		FaultEvents:     st.ins.faults.Value(),
+		SafeModeEntries: st.ins.safeEntries.Value(),
+		JobsShed:        st.ins.shed.Value(),
 		AbortCycles:     st.abortCycles,
 	}
 	return res, nil
@@ -392,13 +412,13 @@ func (st *state) loop() error {
 			break
 		}
 		now := ev.Time
-		st.events++
+		st.ins.noteEvent(ev)
 		if ierr := st.wd.checkEvent(st.lastTime, ev); ierr != nil {
-			return ierr
+			return st.ins.noteInvariant(ierr)
 		}
 		st.advance(now)
 		if ierr := st.wd.checkEnergy(now, st.meter.Total()); ierr != nil {
-			return ierr
+			return st.ins.noteInvariant(ierr)
 		}
 		if err := st.handle(now, ev); err != nil {
 			return err
@@ -410,7 +430,7 @@ func (st *state) loop() error {
 			if !ok {
 				break
 			}
-			st.events++
+			st.ins.noteEvent(e)
 			if err := st.handle(now, e); err != nil {
 				return err
 			}
@@ -489,7 +509,7 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 	case sim.Arrival:
 		p := ev.Payload.(arrivalPayload)
 		if ierr := st.wd.checkArrival(now, p.task); ierr != nil {
-			return ierr
+			return st.ins.noteInvariant(ierr)
 		}
 		j := task.NewJob(p.task, p.index, now, st.demandSrc[p.task.ID])
 		// Fault injection: an execution-time overrun inflates the realized
@@ -499,7 +519,7 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 		// on the same jobs.
 		if fac, ok := st.cfg.Faults.Overrun(p.task.ID, p.index); ok {
 			j.ActualCycles *= fac
-			st.faultEvents++
+			st.ins.faults.Inc()
 		}
 		st.all = append(st.all, j)
 		if st.depleted {
@@ -507,6 +527,7 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 			j.State = task.Aborted
 			j.FinishedAt = now
 			j.AbortReason = "energy budget depleted"
+			st.ins.noteAbort(now, j.Task.ID, j.Index, j.AbortReason)
 			return nil
 		}
 		st.pending = append(st.pending, j)
@@ -528,7 +549,7 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 		j.FinishedAt = now
 		j.Utility = j.UtilityAt(now)
 		if ierr := st.wd.checkResolved(j); ierr != nil {
-			return ierr
+			return st.ins.noteInvariant(ierr)
 		}
 		st.wd.noteCompletion()
 		st.releaseAll(j)
@@ -590,6 +611,7 @@ func (st *state) abort(now float64, j *task.Job, reason string) {
 	if j.AbortReason == "" {
 		j.AbortReason = reason
 	}
+	st.ins.noteAbort(now, j.Task.ID, j.Index, j.AbortReason)
 	if j.Task.Profiler != nil && j.Executed > 0 {
 		// The aborted job consumed at least this many cycles: a censored
 		// demand observation.
@@ -604,7 +626,7 @@ func (st *state) abort(now float64, j *task.Job, reason string) {
 	if cost := st.cfg.AbortCost; cost > 0 && !st.depleted {
 		if fac, ok := st.cfg.Faults.AbortSpike(j.Task.ID, j.Index); ok {
 			cost *= fac
-			st.faultEvents++
+			st.ins.faults.Inc()
 		}
 		f := st.proc.Frequency()
 		st.meter.Charge(cost, f, cost/f)
@@ -642,7 +664,7 @@ func (st *state) decide(now float64) {
 	// on every decision.
 	st.readyBuf = append(st.readyBuf[:0], st.pending...)
 	d := st.cfg.Scheduler.Decide(now, st.readyBuf)
-	st.decision++
+	st.ins.noteDecision(now, len(st.pending))
 	for _, j := range d.Abort {
 		st.abort(now, j, "scheduler abort")
 	}
@@ -670,10 +692,16 @@ func (st *state) decide(now float64) {
 		return
 	}
 	if eff != d.Run {
-		st.inheritances++
+		st.ins.inherits.Inc()
 	}
 	if eff == st.running && d.Freq == st.proc.Frequency() {
 		return // nothing changes; the queued progress event stands
+	}
+	// Everything that reaches stopRunning here with a different pending
+	// job still installed is a preemption: the running job loses the
+	// processor to eff while it could have kept executing.
+	if st.running != nil && st.running != eff {
+		st.ins.preemptions.Inc()
 	}
 	st.stopRunning()
 	target := d.Freq
@@ -691,15 +719,16 @@ func (st *state) decide(now float64) {
 			}
 			if f := st.cfg.Freqs[idx]; f != target {
 				target = f
-				st.faultEvents++
+				st.ins.faults.Inc()
 			}
 		}
 		stall, stalled := st.cfg.Faults.StallFor(st.switchSeq)
 		st.switchSeq++
+		st.ins.switches.Inc()
 		cost = st.proc.SetFrequency(target)
 		if stalled {
 			cost += stall
-			st.faultEvents++
+			st.ins.faults.Inc()
 		}
 	}
 	// From here on the effective frequency is the processor's, which a

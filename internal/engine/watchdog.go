@@ -143,7 +143,7 @@ func (st *state) maybeShed(now float64) int {
 		return 0
 	}
 	st.wd.missStreak = 0
-	st.safeModeEntries++
+	st.ins.safeEntries.Inc()
 	frac := st.cfg.SafeModeShed
 	if frac == 0 {
 		frac = defaultShedFraction
@@ -176,6 +176,6 @@ func (st *state) maybeShed(now float64) int {
 	for _, j := range victims[:n] {
 		st.abort(now, j, shedReason)
 	}
-	st.jobsShed += n
+	st.ins.shed.Add(uint64(n))
 	return n
 }

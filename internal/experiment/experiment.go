@@ -26,6 +26,7 @@ import (
 	"github.com/euastar/euastar/internal/sched/laedf"
 	"github.com/euastar/euastar/internal/stats"
 	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/telemetry"
 	"github.com/euastar/euastar/internal/uam"
 	"github.com/euastar/euastar/internal/workload"
 )
@@ -105,6 +106,17 @@ type Config struct {
 	// checkpoint written by the other implementation produces the same
 	// rows.
 	FastPath bool
+
+	// Telemetry, when non-nil, accumulates engine and scheduler metrics
+	// from every run of the sweep into one shared registry: per-cell
+	// counts sum across cells (the metric primitives are atomic, so the
+	// worker pool needs no extra coordination) and Snapshot() yields the
+	// JSON-safe sweep summary euasim -stats renders. Telemetry never
+	// changes simulation results, so — like FastPath — it is excluded
+	// from Describe() and hence from checkpoint fingerprints; cells
+	// restored from a checkpoint were not re-run and contribute no
+	// counts.
+	Telemetry *telemetry.Registry
 
 	// Faults is an optional deterministic fault-injection plan applied to
 	// every run of the sweep (every scheme sees the identical faults, so
@@ -224,6 +236,7 @@ func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 		SafeModeMisses:     cfg.SafeModeMisses,
 		SafeModeShed:       cfg.SafeModeShed,
 		Interrupt:          opts.interrupt,
+		Telemetry:          cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err

@@ -283,7 +283,7 @@ func Contention(cfg Config, fracs []float64) ([]ContentionRow, error) {
 				Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
 				Faults: cfg.Faults, AbortCost: cfg.AbortCost,
 				SafeModeMisses: cfg.SafeModeMisses, SafeModeShed: cfg.SafeModeShed,
-				Interrupt: interrupt,
+				Interrupt: interrupt, Telemetry: cfg.Telemetry,
 			})
 			if err != nil {
 				return u, &schemeError{"EUA*", err}

@@ -94,7 +94,7 @@ func FaultSweep(cfg Config, intensities []float64) ([]FaultRow, error) {
 					Horizon: cfg.Horizon, Seed: seed, AbortAtTermination: true,
 					AbortCost: cfg.AbortCost, Faults: plan,
 					SafeModeMisses: cfg.SafeModeMisses, SafeModeShed: cfg.SafeModeShed,
-					Interrupt: interrupt,
+					Interrupt: interrupt, Telemetry: cfg.Telemetry,
 				}
 			}
 			clean, err := engine.Run(mk(nil))

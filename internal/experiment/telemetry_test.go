@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/telemetry"
+)
+
+// TestTelemetryWorkerInvariance: a sweep's telemetry aggregate must not
+// depend on worker count. Counters and histogram observation counts are
+// driven by the (deterministic) simulations alone; only wall-clock
+// quantities — the *_seconds histograms' sums and bucket spreads — may
+// differ between parallel and sequential runs.
+func TestTelemetryWorkerInvariance(t *testing.T) {
+	run := func(workers int) telemetry.Snapshot {
+		cfg := quickCfg(0.5, 1.0)
+		cfg.Workers = workers
+		cfg.Telemetry = telemetry.NewRegistry()
+		if _, err := Figure2(cfg); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return cfg.Telemetry.Snapshot()
+	}
+	seq, par := run(1), run(4)
+
+	index := func(snap telemetry.Snapshot) map[string]*telemetry.Metric {
+		m := make(map[string]*telemetry.Metric)
+		for i := range snap.Metrics {
+			mm := &snap.Metrics[i]
+			m[fmt.Sprintf("%s%v", mm.Name, mm.Labels)] = mm
+		}
+		return m
+	}
+	a, b := index(seq), index(par)
+	if len(a) != len(b) {
+		t.Fatalf("series sets differ: %d vs %d", len(a), len(b))
+	}
+	checked := 0
+	for key, ma := range a {
+		mb := b[key]
+		if mb == nil {
+			t.Fatalf("series %s missing from parallel run", key)
+		}
+		switch ma.Kind {
+		case "counter":
+			if ma.Value != mb.Value {
+				t.Errorf("%s: %g (workers=1) vs %g (workers=4)", key, ma.Value, mb.Value)
+			}
+			checked++
+		case "histogram":
+			if ma.Count != mb.Count {
+				t.Errorf("%s: count %d vs %d", key, ma.Count, mb.Count)
+			}
+			// Non-time histograms (queue depth, ready jobs) observe
+			// deterministic values, so the full distribution must match.
+			if !strings.Contains(ma.Name, "_seconds") && !reflect.DeepEqual(ma.Buckets, mb.Buckets) {
+				t.Errorf("%s: bucket distributions differ:\n%v\nvs\n%v", key, ma.Buckets, mb.Buckets)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d series compared; sweep registered too little telemetry", checked)
+	}
+}

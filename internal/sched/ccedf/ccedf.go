@@ -21,6 +21,7 @@ import (
 // Scheduler is cycle-conserving EDF with DVS.
 type Scheduler struct {
 	ctx   *sched.Context
+	ins   *sched.Instruments
 	util  map[int]float64 // task ID → current utilization contribution (cycles/sec)
 	abort bool
 }
@@ -51,6 +52,7 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 	for _, t := range ctx.Tasks {
 		s.util[t.ID] = t.MinFrequency()
 	}
+	s.ins = ctx.Instruments(s.Name())
 	return nil
 }
 
@@ -69,6 +71,13 @@ func (s *Scheduler) OnComplete(now float64, j *task.Job) {
 
 // Decide implements sched.Scheduler.
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	d := s.decide(now, ready)
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+func (s *Scheduler) decide(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 	var live []*task.Job
 	var aborts []*task.Job

@@ -20,6 +20,7 @@ import (
 // Scheduler is independent-task DASA at fixed f_m.
 type Scheduler struct {
 	ctx *sched.Context
+	ins *sched.Instruments
 }
 
 // New returns a DASA scheduler.
@@ -34,11 +35,19 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		return fmt.Errorf("dasa: %w", err)
 	}
 	s.ctx = ctx
+	s.ins = ctx.Instruments(s.Name())
 	return nil
 }
 
 // Decide implements sched.Scheduler.
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	d := s.decide(now, ready)
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+func (s *Scheduler) decide(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 	var live []*task.Job
 	var aborts []*task.Job
@@ -69,15 +78,18 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 		live[k+1] = j
 	}
 	var order []*task.Job
+	iters := 0
 	for _, j := range live {
 		if density[j] <= 0 {
 			break
 		}
+		iters++
 		tent := sched.InsertByCritical(append([]*task.Job(nil), order...), j)
 		if sched.Feasible(tent, now, fm) {
 			order = tent
 		}
 	}
+	s.ins.FeasibilityIterations(iters)
 	if len(order) == 0 {
 		return sched.Decision{Abort: aborts}
 	}

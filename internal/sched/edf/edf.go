@@ -17,6 +17,7 @@ import (
 // Scheduler is EDF at fixed f_m.
 type Scheduler struct {
 	ctx   *sched.Context
+	ins   *sched.Instruments
 	abort bool
 }
 
@@ -41,11 +42,19 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		return fmt.Errorf("edf: %w", err)
 	}
 	s.ctx = ctx
+	s.ins = ctx.Instruments(s.Name())
 	return nil
 }
 
 // Decide implements sched.Scheduler.
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	d := s.decide(now, ready)
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+func (s *Scheduler) decide(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 	var live []*task.Job
 	var aborts []*task.Job

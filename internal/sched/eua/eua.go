@@ -96,6 +96,7 @@ func WithoutPhantomReservation() Option { return func(s *Scheduler) { s.noPhanto
 // per simulation run.
 type Scheduler struct {
 	ctx *sched.Context
+	ins *sched.Instruments
 	fo  map[int]float64 // task ID → offline UER-optimal frequency f^o
 
 	// arrivals records, per task, the last a_i release times. Under UAM
@@ -176,6 +177,7 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		return fmt.Errorf("eua: %w", err)
 	}
 	s.ctx = ctx
+	s.ins = ctx.Instruments(s.Name())
 	s.fo = make(map[int]float64, len(ctx.Tasks))
 	s.arrivals = make(map[int][]float64, len(ctx.Tasks))
 	for _, t := range ctx.Tasks {
@@ -305,9 +307,19 @@ func (s *Scheduler) UER(now float64, j *task.Job) float64 {
 
 // Decide implements sched.Scheduler (Algorithm 1).
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	var d sched.Decision
 	if s.fast {
-		return s.decideFast(now, ready)
+		d = s.decideFast(now, ready)
+	} else {
+		d = s.decideRef(now, ready)
 	}
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+// decideRef is the reference (non-fast-path) Algorithm 1.
+func (s *Scheduler) decideRef(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 
 	// Line 9–11: abort infeasible jobs, keep the rest.
@@ -349,6 +361,7 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 			budgetLeft = s.energyBudget - s.spentEnergy
 			constrained = s.energyConstrained(budgetLeft)
 		}
+		iters := 0
 		for i, j := range live {
 			if uer[i] <= 0 {
 				break // sorted: no later job has positive UER
@@ -371,6 +384,7 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 					continue
 				}
 			}
+			iters++
 			tent := sched.InsertByCritical(append([]*task.Job(nil), order...), j)
 			if sched.Feasible(tent, now, fm) {
 				order = tent
@@ -379,6 +393,7 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 				break
 			}
 		}
+		s.ins.FeasibilityIterations(iters)
 	}
 	if len(order) == 0 {
 		return sched.Decision{Abort: aborts}

@@ -350,6 +350,7 @@ func (s *Scheduler) greedyHeadFast(now, fm float64) *task.Job {
 		budgetLeft = s.energyBudget - s.spentEnergy
 		constrained = s.fastEnergyConstrained(budgetLeft)
 	}
+	iters := 0
 	for len(fp.heap) > 0 {
 		idx := s.heapPop()
 		if uer[idx] <= 0 {
@@ -366,6 +367,7 @@ func (s *Scheduler) greedyHeadFast(now, fm float64) *task.Job {
 				continue
 			}
 		}
+		iters++
 		// Insertion position: first slot whose job follows j in the
 		// critical-time total order (sort.Search semantics of
 		// InsertByCritical).
@@ -418,6 +420,7 @@ func (s *Scheduler) greedyHeadFast(now, fm float64) *task.Job {
 		}
 	}
 	fp.order, fp.orderRem, fp.fin = order, orderRem, fin
+	s.ins.FeasibilityIterations(iters)
 	if len(order) == 0 {
 		return nil
 	}

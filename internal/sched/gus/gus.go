@@ -20,6 +20,7 @@ import (
 // Scheduler is dependency-aware GUS at fixed f_m.
 type Scheduler struct {
 	ctx *sched.Context
+	ins *sched.Instruments
 }
 
 // New returns a GUS scheduler.
@@ -34,6 +35,7 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		return fmt.Errorf("gus: %w", err)
 	}
 	s.ctx = ctx
+	s.ins = ctx.Instruments(s.Name())
 	return nil
 }
 
@@ -77,6 +79,13 @@ func (s *Scheduler) pud(now float64, j *task.Job) float64 {
 // schedule (the GUS construction mirrors DASA's with the chain-aware
 // metric).
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	d := s.decide(now, ready)
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+func (s *Scheduler) decide(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 	var live []*task.Job
 	var aborts []*task.Job
@@ -104,15 +113,18 @@ func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
 		live[k+1] = j
 	}
 	var order []*task.Job
+	iters := 0
 	for _, j := range live {
 		if density[j] <= 0 {
 			break
 		}
+		iters++
 		tent := sched.InsertByCritical(append([]*task.Job(nil), order...), j)
 		if sched.Feasible(tent, now, fm) {
 			order = tent
 		}
 	}
+	s.ins.FeasibilityIterations(iters)
 	if len(order) == 0 {
 		return sched.Decision{Abort: aborts}
 	}

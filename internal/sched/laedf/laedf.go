@@ -24,6 +24,7 @@ import (
 // Scheduler is look-ahead EDF with DVS.
 type Scheduler struct {
 	ctx   *sched.Context
+	ins   *sched.Instruments
 	abort bool
 }
 
@@ -48,11 +49,19 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		return fmt.Errorf("laedf: %w", err)
 	}
 	s.ctx = ctx
+	s.ins = ctx.Instruments(s.Name())
 	return nil
 }
 
 // Decide implements sched.Scheduler.
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	d := s.decide(now, ready)
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+func (s *Scheduler) decide(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 	var live []*task.Job
 	var aborts []*task.Job

@@ -19,6 +19,7 @@ import (
 // Scheduler is EDF at one statically chosen frequency.
 type Scheduler struct {
 	ctx   *sched.Context
+	ins   *sched.Instruments
 	freq  float64
 	abort bool
 }
@@ -50,6 +51,7 @@ func (s *Scheduler) Init(ctx *sched.Context) error {
 		util += t.MinFrequency()
 	}
 	s.freq = ctx.Freqs.ClampSelect(util)
+	s.ins = ctx.Instruments(s.Name())
 	return nil
 }
 
@@ -58,6 +60,13 @@ func (s *Scheduler) Frequency() float64 { return s.freq }
 
 // Decide implements sched.Scheduler.
 func (s *Scheduler) Decide(now float64, ready []*task.Job) sched.Decision {
+	start := s.ins.Begin()
+	d := s.decide(now, ready)
+	s.ins.End(start, len(ready), d.Freq)
+	return d
+}
+
+func (s *Scheduler) decide(now float64, ready []*task.Job) sched.Decision {
 	fm := s.ctx.Freqs.Max()
 	var live []*task.Job
 	var aborts []*task.Job

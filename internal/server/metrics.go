@@ -1,0 +1,143 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/euastar/euastar/internal/telemetry"
+)
+
+// Daemon-level metric families exported on GET /metrics, alongside the
+// euastar_engine_* and euastar_sched_* families that executed jobs
+// accumulate into the same registry (see DESIGN.md §10).
+const (
+	// MetricJobsAdmitted counts submissions accepted with 202.
+	MetricJobsAdmitted = "euad_jobs_admitted_total"
+	// MetricJobsReplayed counts idempotent resubmissions answered from
+	// existing job state (200).
+	MetricJobsReplayed = "euad_jobs_replayed_total"
+	// MetricJobsRejected counts refused submissions by reason: invalid
+	// (400/413), conflict (409), draining (503), overloaded (429).
+	MetricJobsRejected = "euad_jobs_rejected_total"
+	// MetricJobsRecovered counts unfinished jobs re-enqueued from the
+	// journal at startup.
+	MetricJobsRecovered = "euad_jobs_recovered_total"
+	// MetricJobsFinished counts terminal jobs by outcome: done, or the
+	// failure code (failed, panic, timeout, interrupted, invalid).
+	MetricJobsFinished = "euad_jobs_finished_total"
+	// MetricJobPhase times job phases: queue_wait (admission to worker
+	// pickup), run (execution), render (result marshalling).
+	MetricJobPhase = "euad_job_phase_seconds"
+	// MetricJobsQueued / MetricJobsRunning gauge the pool at scrape time.
+	MetricJobsQueued  = "euad_jobs_queued"
+	MetricJobsRunning = "euad_jobs_running"
+	// MetricUptime gauges seconds since the server started.
+	MetricUptime = "euad_uptime_seconds"
+)
+
+// Rejection reasons (label values on MetricJobsRejected).
+const (
+	rejectInvalid    = "invalid"
+	rejectConflict   = "conflict"
+	rejectDraining   = "draining"
+	rejectOverloaded = "overloaded"
+)
+
+// Job phases (label values on MetricJobPhase).
+const (
+	phaseQueueWait = "queue_wait"
+	phaseRun       = "run"
+	phaseRender    = "render"
+)
+
+// phaseBuckets spans 1µs to ~1000s: job phases range from microsecond
+// renders to multi-minute sweeps.
+func phaseBuckets() []float64 { return telemetry.ExpBuckets(1e-6, 4, 16) }
+
+// serverInstruments holds the daemon's own metric handles. The registry
+// is always live on a server (it is cheap and feeds /metrics), so unlike
+// engine/sched instruments there is no no-op configuration here.
+type serverInstruments struct {
+	admitted  *telemetry.Counter
+	replayed  *telemetry.Counter
+	rejected  map[string]*telemetry.Counter
+	recovered *telemetry.Counter
+	finished  func(outcome string) *telemetry.Counter
+	phase     map[string]*telemetry.Histogram
+	queued    *telemetry.Gauge
+	running   *telemetry.Gauge
+	uptime    *telemetry.Gauge
+}
+
+func (ins *serverInstruments) init(reg *telemetry.Registry) {
+	ins.admitted = reg.Counter(MetricJobsAdmitted, "Jobs accepted for execution (202).")
+	ins.replayed = reg.Counter(MetricJobsReplayed, "Idempotent resubmissions answered from existing state (200).")
+	ins.rejected = make(map[string]*telemetry.Counter)
+	for _, reason := range []string{rejectInvalid, rejectConflict, rejectDraining, rejectOverloaded} {
+		ins.rejected[reason] = reg.Counter(MetricJobsRejected, "Refused submissions by reason.", telemetry.L("reason", reason))
+	}
+	ins.recovered = reg.Counter(MetricJobsRecovered, "Unfinished jobs re-enqueued from the journal at startup.")
+	ins.finished = func(outcome string) *telemetry.Counter {
+		return reg.Counter(MetricJobsFinished, "Terminal jobs by outcome.", telemetry.L("outcome", outcome))
+	}
+	ins.finished(StateDone) // pre-register the common outcome so it scrapes as 0
+	ins.phase = make(map[string]*telemetry.Histogram)
+	for _, ph := range []string{phaseQueueWait, phaseRun, phaseRender} {
+		ins.phase[ph] = reg.Histogram(MetricJobPhase, "Job phase durations in seconds.", phaseBuckets(), telemetry.L("phase", ph))
+	}
+	ins.queued = reg.Gauge(MetricJobsQueued, "Jobs admitted but not yet picked up by a worker.")
+	ins.running = reg.Gauge(MetricJobsRunning, "Jobs currently executing.")
+	ins.uptime = reg.Gauge(MetricUptime, "Seconds since the server started.")
+}
+
+// reject counts one refused submission; unknown reasons are programming
+// errors but must not crash the admission path.
+func (ins *serverInstruments) reject(reason string) {
+	if c := ins.rejected[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+// notePhase records one phase duration on both the job's status timings
+// and the exported histogram. Callers must hold s.mu.
+func (s *Server) notePhaseLocked(j *job, phase string, d time.Duration) {
+	secs := d.Seconds()
+	switch phase {
+	case phaseQueueWait:
+		j.timings.QueueWaitSeconds = secs
+	case phaseRun:
+		j.timings.RunSeconds = secs
+	case phaseRender:
+		j.timings.RenderSeconds = secs
+	}
+	s.ins.phase[phase].Observe(secs)
+}
+
+// notePhase is notePhaseLocked for callers not holding s.mu.
+func (s *Server) notePhase(j *job, phase string, d time.Duration) {
+	s.mu.Lock()
+	s.notePhaseLocked(j, phase, d)
+	s.mu.Unlock()
+}
+
+// handleMetrics serves the Prometheus text exposition. Pool gauges are
+// refreshed at scrape time so they are exact, not eventually consistent.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h, _ := s.health()
+	s.ins.queued.Set(float64(h.Queued))
+	s.ins.running.Set(float64(h.Running))
+	s.ins.uptime.Set(float64(h.UptimeSeconds))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// pprofRoutes wires net/http/pprof onto the daemon's own mux (the
+// default-mux side effects of importing the package do not apply here).
+func pprofRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/sched"
+)
+
+// TestMetricsEndpoint: after a real simulate job, /metrics serves the
+// Prometheus text format covering the daemon's own job counters, the
+// per-job phase histograms, and the engine/scheduler families the job
+// accumulated into the shared registry.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	defer s.Close()
+
+	spec := fmt.Sprintf(`{"id":"met-1","kind":"simulate","scheme":"EUA*","load":0.5,"horizon":0.2,"tasks":%s}`, tasksDoc)
+	if resp, data := post(t, ts.URL, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	if st := waitJob(t, ts.URL, "met-1"); st.State != StateDone {
+		t.Fatalf("job state %s, error %v", st.State, st.Error)
+	}
+
+	// Exercise the replay, conflict and invalid admission counters.
+	if resp, data := post(t, ts.URL, spec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: %d %s", resp.StatusCode, data)
+	}
+	conflicting := fmt.Sprintf(`{"id":"met-1","kind":"simulate","scheme":"EUA*","load":0.6,"horizon":0.2,"tasks":%s}`, tasksDoc)
+	if resp, _ := post(t, ts.URL, conflicting); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflict: %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL, `{"id":"met-bad","kind":"nope"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid: %d", resp.StatusCode)
+	}
+
+	resp, data := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := string(data)
+	for _, want := range []string{
+		MetricJobsAdmitted + " 1",
+		MetricJobsReplayed + " 1",
+		MetricJobsRejected + `{reason="conflict"} 1`,
+		MetricJobsRejected + `{reason="invalid"} 1`,
+		MetricJobsRejected + `{reason="overloaded"} 0`,
+		MetricJobsFinished + `{outcome="done"} 1`,
+		"# TYPE " + MetricJobPhase + " histogram",
+		MetricJobPhase + `_count{phase="run"} 1`,
+		MetricJobPhase + `_count{phase="render"} 1`,
+		MetricJobsRunning + " 0",
+		// Families accumulated from the executed engine run.
+		"# TYPE " + engine.MetricEvents + " counter",
+		engine.MetricEvents + `{kind="arrival"}`,
+		engine.MetricDecisions,
+		sched.MetricDecideSeconds + `_count{scheme="EUA*"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", body)
+	}
+}
+
+// TestJobTimings: a finished job reports its phase breakdown, and the
+// same phases land in the euad_job_phase_seconds histograms.
+func TestJobTimings(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	defer s.Close()
+	if resp, data := post(t, ts.URL, `{"id":"tm-1","kind":"test","payload":{"sleep_ms":30}}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	st := waitJob(t, ts.URL, "tm-1")
+	if st.State != StateDone {
+		t.Fatalf("job state %s, error %v", st.State, st.Error)
+	}
+	if st.Timings == nil {
+		t.Fatal("done job has no timings")
+	}
+	if st.Timings.RunSeconds < 0.03 {
+		t.Errorf("run phase %.4fs, want >= 0.03s (the injected sleep)", st.Timings.RunSeconds)
+	}
+	if st.Timings.QueueWaitSeconds < 0 || st.Timings.RenderSeconds < 0 {
+		t.Errorf("negative phase timing: %+v", st.Timings)
+	}
+	snap := s.reg.Snapshot()
+	for _, phase := range []string{"queue_wait", "run", "render"} {
+		m := snap.Find(MetricJobPhase)
+		if m == nil {
+			t.Fatalf("no %s histogram", MetricJobPhase)
+		}
+		found := false
+		for i := range snap.Metrics {
+			mm := &snap.Metrics[i]
+			if mm.Name == MetricJobPhase && len(mm.Labels) == 1 && mm.Labels[0].Value == phase && mm.Count == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("phase %q histogram does not have exactly one observation", phase)
+		}
+	}
+}
+
+// TestPprofEndpoints: the profiling index and a non-blocking profile are
+// served from the daemon's own mux.
+func TestPprofEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	defer s.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap"} {
+		resp, data := get(t, ts.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d %s", path, resp.StatusCode, data)
+		}
+		if len(data) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+}

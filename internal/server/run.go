@@ -98,7 +98,7 @@ type simulateTask struct {
 	Satisfied bool    `json:"satisfied"`
 }
 
-func runSimulate(spec JobSpec, interrupt <-chan struct{}) (any, error) {
+func (s *Server) runSimulate(spec JobSpec, interrupt <-chan struct{}) (any, error) {
 	ts, err := loadTasks(spec)
 	if err != nil {
 		return nil, err
@@ -134,6 +134,7 @@ func runSimulate(spec JobSpec, interrupt <-chan struct{}) (any, error) {
 		AbortAtTermination: scheme.Abort,
 		Faults:             plan,
 		Interrupt:          interrupt,
+		Telemetry:          s.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -204,6 +205,7 @@ func (s *Server) sweepConfig(spec JobSpec, interrupt <-chan struct{}) (experimen
 		Workers:   s.cfg.SimWorkers,
 		FastPath:  spec.FastPath,
 		Interrupt: interrupt,
+		Telemetry: s.reg,
 	}
 	seeds := spec.Seeds
 	if seeds == 0 {

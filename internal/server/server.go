@@ -19,6 +19,7 @@ import (
 	"github.com/euastar/euastar/internal/engine"
 	"github.com/euastar/euastar/internal/experiment"
 	"github.com/euastar/euastar/internal/jobstore"
+	"github.com/euastar/euastar/internal/telemetry"
 )
 
 // Config parameterizes the daemon.
@@ -83,12 +84,14 @@ func (c Config) withDefaults() Config {
 
 // job is the server-side state of one submission.
 type job struct {
-	spec     JobSpec
-	specRaw  []byte // canonical spec JSON (idempotency comparison, journal)
-	state    string
-	result   json.RawMessage
-	jerr     *JobError
-	done     chan struct{} // closed on terminal state
+	spec       JobSpec
+	specRaw    []byte // canonical spec JSON (idempotency comparison, journal)
+	state      string
+	result     json.RawMessage
+	jerr       *JobError
+	done       chan struct{} // closed on terminal state
+	admittedAt time.Time     // when the job entered the queue (or was recovered)
+	timings    JobTimings    // phase durations, filled in as phases complete
 }
 
 // Server is the euad daemon core: admission, queueing, execution,
@@ -109,6 +112,12 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	started time.Time
+
+	// reg collects the daemon's own euad_* metrics and accumulates the
+	// euastar_engine_* / euastar_sched_* families from every job it runs;
+	// /metrics renders it in the Prometheus text format.
+	reg *telemetry.Registry
+	ins serverInstruments
 }
 
 // New builds a Server: recovers the journal (repairing any torn tail and
@@ -120,7 +129,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:    make(map[string]*job),
 		stopC:   make(chan struct{}),
 		started: time.Now(),
+		reg:     telemetry.NewRegistry(),
 	}
+	s.ins.init(s.reg)
 
 	var pending []*job
 	if cfg.DataDir != "" {
@@ -159,6 +170,8 @@ func New(cfg Config) (*Server, error) {
 	// the externally visible depth.
 	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
 	for _, j := range pending {
+		j.admittedAt = time.Now()
+		s.ins.recovered.Inc()
 		s.queued++
 		s.queue <- j
 	}
@@ -226,9 +239,11 @@ func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		now := time.Now()
 		s.mu.Lock()
 		s.queued--
 		j.state = StateRunning
+		s.notePhaseLocked(j, phaseQueueWait, now.Sub(j.admittedAt))
 		s.mu.Unlock()
 		result, jerr := s.execute(j)
 		s.finish(j, result, jerr)
@@ -240,8 +255,10 @@ func (s *Server) worker() {
 // simulation fails that job with a structured error; the process and the
 // other jobs are untouched.
 func (s *Server) execute(j *job) (result json.RawMessage, jerr *JobError) {
+	runStart := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
+			s.notePhase(j, phaseRun, time.Since(runStart))
 			jerr = &JobError{Code: CodePanic, Message: fmt.Sprintf("job panicked: %v", r)}
 			s.logf("euad: job %s panicked: %v\n%s", j.spec.ID, r, debug.Stack())
 		}
@@ -258,7 +275,7 @@ func (s *Server) execute(j *job) (result json.RawMessage, jerr *JobError) {
 	case KindAnalyze:
 		out, err = runAnalyze(j.spec)
 	case KindSimulate:
-		out, err = runSimulate(j.spec, interrupt)
+		out, err = s.runSimulate(j.spec, interrupt)
 	case KindSweep:
 		out, err = s.runSweep(j.spec, interrupt)
 	case KindTest:
@@ -266,10 +283,13 @@ func (s *Server) execute(j *job) (result json.RawMessage, jerr *JobError) {
 	default:
 		err = invalidf("unknown job kind %q", j.spec.Kind)
 	}
+	s.notePhase(j, phaseRun, time.Since(runStart))
 	if err != nil {
 		return nil, s.classify(err, timedOut())
 	}
+	renderStart := time.Now()
 	raw, merr := json.Marshal(out)
+	s.notePhase(j, phaseRender, time.Since(renderStart))
 	if merr != nil {
 		return nil, &JobError{Code: CodeFailed, Message: fmt.Sprintf("marshal result: %v", merr)}
 	}
@@ -355,6 +375,11 @@ func (s *Server) finish(j *job, result json.RawMessage, jerr *JobError) {
 			}
 		}
 	}
+	outcome := StateDone
+	if jerr != nil {
+		outcome = jerr.Code
+	}
+	s.ins.finished(outcome).Inc()
 	s.mu.Lock()
 	if jerr == nil {
 		j.state = StateDone
@@ -415,6 +440,8 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	pprofRoutes(mux)
 	s.mux = mux
 }
 
@@ -453,24 +480,29 @@ func (s *Server) retryAfterSeconds() string {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
 	if err != nil {
+		s.ins.reject(rejectInvalid)
 		writeError(w, http.StatusBadRequest, CodeInvalid, "read body: %v", err)
 		return
 	}
 	if int64(len(body)) > s.cfg.MaxBody {
+		s.ins.reject(rejectInvalid)
 		writeError(w, http.StatusRequestEntityTooLarge, CodeInvalid, "body exceeds %d bytes", s.cfg.MaxBody)
 		return
 	}
 	var spec JobSpec
 	if err := json.Unmarshal(body, &spec); err != nil {
+		s.ins.reject(rejectInvalid)
 		writeError(w, http.StatusBadRequest, CodeInvalid, "parse job spec: %v", err)
 		return
 	}
 	if err := spec.Validate(s.cfg.testExec != nil); err != nil {
+		s.ins.reject(rejectInvalid)
 		writeError(w, http.StatusBadRequest, CodeInvalid, "%v", err)
 		return
 	}
 	canonical, err := spec.canonical()
 	if err != nil {
+		s.ins.reject(rejectInvalid)
 		writeError(w, http.StatusBadRequest, CodeInvalid, "encode job spec: %v", err)
 		return
 	}
@@ -483,25 +515,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status := s.statusLocked(existing)
 		s.mu.Unlock()
 		if !same {
+			s.ins.reject(rejectConflict)
 			writeError(w, http.StatusConflict, CodeInvalid, "job %s already exists with a different spec", spec.ID)
 			return
 		}
+		s.ins.replayed.Inc()
 		writeJSON(w, http.StatusOK, status)
 		return
 	}
 	if s.draining {
 		s.mu.Unlock()
+		s.ins.reject(rejectDraining)
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not admitting jobs")
 		return
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.mu.Unlock()
+		s.ins.reject(rejectOverloaded)
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests, "overloaded", "admission queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
-	j := &job{spec: spec, specRaw: canonical, state: StateQueued, done: make(chan struct{})}
+	j := &job{spec: spec, specRaw: canonical, state: StateQueued, done: make(chan struct{}), admittedAt: time.Now()}
 	if s.journal != nil {
 		// Durability before acknowledgment: the fsynced submission record
 		// is what lets a kill -9 after the 202 still run the job.
@@ -518,18 +554,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.queue <- j // capacity guaranteed by the depth check above
 	status := s.statusLocked(j)
 	s.mu.Unlock()
+	s.ins.admitted.Inc()
 	writeJSON(w, http.StatusAccepted, status)
 }
 
-// statusLocked snapshots a job's API status; callers hold s.mu.
+// statusLocked snapshots a job's API status; callers hold s.mu. Timings
+// appear once the job has been picked up (queue wait is unknown before).
 func (s *Server) statusLocked(j *job) JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID:     j.spec.ID,
 		Kind:   j.spec.Kind,
 		State:  j.state,
 		Result: j.result,
 		Error:  j.jerr,
 	}
+	if j.state != StateQueued {
+		t := j.timings
+		st.Timings = &t
+	}
+	return st
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

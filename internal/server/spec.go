@@ -186,13 +186,23 @@ const (
 	StateFailed  = "failed"
 )
 
+// JobTimings is the per-job phase breakdown reported once a worker has
+// picked the job up: time spent queued, executing, and rendering the
+// result. The same durations feed the euad_job_phase_seconds histograms.
+type JobTimings struct {
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	RunSeconds       float64 `json:"run_seconds"`
+	RenderSeconds    float64 `json:"render_seconds"`
+}
+
 // JobStatus is the API view of one job.
 type JobStatus struct {
-	ID     string          `json:"id"`
-	Kind   string          `json:"kind"`
-	State  string          `json:"state"`
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  *JobError       `json:"error,omitempty"`
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	State   string          `json:"state"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *JobError       `json:"error,omitempty"`
+	Timings *JobTimings     `json:"timings,omitempty"`
 }
 
 // Terminal reports whether the status is final.

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteStats renders a snapshot as a fixed-width human-readable table:
+// counters and gauges as name/value rows, histograms as count/mean/
+// p50/p90/p99 rows. Values are deterministic functions of the snapshot,
+// so the renderer itself is golden-testable even though live latency
+// observations are not. Empty histograms are skipped to keep end-of-run
+// summaries short.
+func WriteStats(w io.Writer, snap Snapshot) error {
+	var scalar, hist []Metric
+	for _, m := range snap.Metrics {
+		switch m.Kind {
+		case "histogram":
+			if m.Count > 0 {
+				hist = append(hist, m)
+			}
+		default:
+			if m.Value != 0 {
+				scalar = append(scalar, m)
+			}
+		}
+	}
+	if len(scalar) == 0 && len(hist) == 0 {
+		_, err := fmt.Fprintln(w, "telemetry: no observations")
+		return err
+	}
+	if len(scalar) > 0 {
+		rows := make([][]string, 0, len(scalar)+1)
+		rows = append(rows, []string{"METRIC", "VALUE"})
+		for _, m := range scalar {
+			rows = append(rows, []string{displayName(m), formatValue(m.Value)})
+		}
+		if err := writeAligned(w, rows); err != nil {
+			return err
+		}
+	}
+	if len(hist) > 0 {
+		if len(scalar) > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		rows := make([][]string, 0, len(hist)+1)
+		rows = append(rows, []string{"HISTOGRAM", "COUNT", "MEAN", "P50", "P90", "P99"})
+		for _, m := range hist {
+			rows = append(rows, []string{
+				displayName(m),
+				fmt.Sprintf("%d", m.Count),
+				formatStat(m.Mean()),
+				formatStat(m.Quantile(0.50)),
+				formatStat(m.Quantile(0.90)),
+				formatStat(m.Quantile(0.99)),
+			})
+		}
+		if err := writeAligned(w, rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// displayName renders "name{k=v,...}" matching the exposition format.
+func displayName(m Metric) string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	return m.Name + "{" + seriesKey(m.Labels) + "}"
+}
+
+// formatStat renders a statistic with enough precision to distinguish
+// nanosecond-scale latencies without drowning integer counts in zeros.
+func formatStat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// writeAligned pads each column to its widest cell, two spaces between.
+func writeAligned(w io.Writer, rows [][]string) error {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

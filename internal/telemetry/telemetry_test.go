@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d", c.Value())
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge Value = %g", g.Value())
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not a no-op")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", DepthBuckets()) != nil {
+		t.Fatal("nil registry returned non-nil metric")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if got := r.Snapshot(); len(got.Metrics) != 0 {
+		t.Fatalf("nil registry snapshot has %d metrics", len(got.Metrics))
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106.5 {
+		t.Fatalf("sum = %g, want 106.5", h.Sum())
+	}
+	want := []uint64{1, 2, 1, 0, 1}
+	got := h.Buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	// Median lands in the (1,2] bucket; interpolation keeps it inside.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", q)
+	}
+	// The overflow observation clamps to the largest finite bound.
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %g, want 8 (overflow clamp)", q)
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("out-of-range quantiles not clamped")
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound → that bucket (le semantics)
+	if b := h.Buckets(); b[0] != 1 {
+		t.Fatalf("observation at bound landed in %v", b)
+	}
+}
+
+func TestCheckBoundsPanics(t *testing.T) {
+	for _, bounds := range [][]float64{{}, {1, 1}, {2, 1}, {math.Inf(1)}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	checkBounds(LatencyBuckets())
+	checkBounds(DepthBuckets())
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("jobs_total", "jobs", L("state", "done"))
+	b := r.Counter("jobs_total", "jobs", L("state", "done"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("jobs_total", "jobs", L("state", "failed"))
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("lat", "", []float64{1, 2})
+	h2 := r.Histogram("lat", "", []float64{99}) // first registration's bounds win
+	if h1 != h2 {
+		t.Fatal("histogram re-registration returned a new instance")
+	}
+	if got := h1.Bounds(); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("bounds = %v, want [1 2]", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad name", "")
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("euad_jobs_total", "Jobs by outcome.", L("outcome", "admitted")).Add(3)
+	r.Counter("euad_jobs_total", "Jobs by outcome.", L("outcome", "rejected")).Add(1)
+	r.Gauge("euad_queue_depth", "Queued jobs.").Set(2)
+	h := r.Histogram("sched_decide_seconds", "Decision latency.", []float64{0.5, 1}, L("scheme", "euastar"))
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP euad_jobs_total Jobs by outcome.
+# TYPE euad_jobs_total counter
+euad_jobs_total{outcome="admitted"} 3
+euad_jobs_total{outcome="rejected"} 1
+# HELP euad_queue_depth Queued jobs.
+# TYPE euad_queue_depth gauge
+euad_queue_depth 2
+# HELP sched_decide_seconds Decision latency.
+# TYPE sched_decide_seconds histogram
+sched_decide_seconds_bucket{scheme="euastar",le="0.5"} 1
+sched_decide_seconds_bucket{scheme="euastar",le="1"} 2
+sched_decide_seconds_bucket{scheme="euastar",le="+Inf"} 3
+sched_decide_seconds_sum{scheme="euastar"} 10
+sched_decide_seconds_count{scheme="euastar"} 3
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", L("reason", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `m{reason="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestSnapshotRoundTripAndFind(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help", L("k", "v")).Add(2)
+	r.Histogram("h", "", []float64{1, 2}).Observe(1.5)
+	snap := r.Snapshot()
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	m := back.Find("c", L("k", "v"))
+	if m == nil || m.Value != 2 {
+		t.Fatalf("Find after round-trip = %+v", m)
+	}
+	hm := back.Find("h")
+	if hm == nil || hm.Count != 1 || hm.Sum != 1.5 {
+		t.Fatalf("histogram after round-trip = %+v", hm)
+	}
+	if q := hm.Quantile(0.5); q <= 1 || q > 2 {
+		t.Fatalf("round-trip quantile = %g", q)
+	}
+	if back.Find("c", L("k", "other")) != nil || back.Find("absent") != nil {
+		t.Fatal("Find matched a metric it should not")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	mk := func(ctr float64, gauge float64, obs float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("c", "").Add(uint64(ctr))
+		r.Gauge("g", "").Set(gauge)
+		r.Histogram("h", "", []float64{1, 2}).Observe(obs)
+		return r.Snapshot()
+	}
+	a := mk(2, 10, 0.5)
+	b := mk(3, 20, 1.5)
+	a.Merge(b)
+	if m := a.Find("c"); m.Value != 5 {
+		t.Fatalf("merged counter = %g, want 5", m.Value)
+	}
+	if m := a.Find("g"); m.Value != 20 {
+		t.Fatalf("merged gauge = %g, want 20 (later wins)", m.Value)
+	}
+	hm := a.Find("h")
+	if hm.Count != 2 || hm.Sum != 2 {
+		t.Fatalf("merged histogram count=%d sum=%g", hm.Count, hm.Sum)
+	}
+	if hm.Buckets[0] != 1 || hm.Buckets[1] != 1 {
+		t.Fatalf("merged buckets = %v", hm.Buckets)
+	}
+
+	// Merging into an empty snapshot deep-copies — mutating the result
+	// must not write through to the source.
+	var empty Snapshot
+	empty.Merge(b)
+	empty.Metrics[len(empty.Metrics)-1].Buckets[0] = 99
+	if b.Find("h").Buckets[0] == 99 {
+		t.Fatal("Merge aliased source buckets")
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", []float64{1, 2}).Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c", "").Value(); v != workers*per {
+		t.Fatalf("counter = %d, want %d", v, workers*per)
+	}
+	if v := r.Gauge("g", "").Value(); v != workers*per {
+		t.Fatalf("gauge = %g, want %d", v, workers*per)
+	}
+	if v := r.Histogram("h", "", nil).Count(); v != workers*per {
+		t.Fatalf("histogram count = %d, want %d", v, workers*per)
+	}
+}
+
+func TestWriteStatsGolden(t *testing.T) {
+	// Deterministic fixture: the renderer is golden-testable even though
+	// live latency observations are not.
+	r := NewRegistry()
+	r.Counter("engine_events_total", "", L("kind", "arrival")).Add(120)
+	r.Counter("engine_preemptions_total", "").Add(7)
+	r.Counter("engine_aborts_total", "", L("reason", "termination")).Add(3)
+	r.Gauge("engine_pending_jobs", "").Set(4)
+	r.Counter("unobserved_total", "") // zero → omitted
+	h := r.Histogram("sched_decide_seconds", "", []float64{1e-6, 2e-6, 4e-6}, L("scheme", "euastar"))
+	for i := 0; i < 8; i++ {
+		h.Observe(1.5e-6)
+	}
+	h.Observe(3e-6)
+	h.Observe(1e-3) // overflow
+	r.Histogram("sched_empty_seconds", "", []float64{1}) // empty → omitted
+
+	var b strings.Builder
+	if err := WriteStats(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `METRIC                                     VALUE
+engine_aborts_total{reason="termination"}  3
+engine_events_total{kind="arrival"}        120
+engine_pending_jobs                        4
+engine_preemptions_total                   7
+
+HISTOGRAM                               COUNT  MEAN       P50        P90    P99
+sched_decide_seconds{scheme="euastar"}  10     0.0001015  1.625e-06  4e-06  4e-06
+`
+	if b.String() != want {
+		t.Errorf("stats table mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestWriteStatsEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteStats(&b, Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no observations") {
+		t.Fatalf("empty snapshot output = %q", b.String())
+	}
+}
