@@ -243,7 +243,11 @@ func TestSignalFlushesPartialResults(t *testing.T) {
 func TestTimeoutReportedAndPartialFlushed(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	var out bytes.Buffer
-	err := run([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "1.0",
+	// The horizon is deliberately huge: the 1ns timeout fires via a
+	// watcher goroutine, and on a loaded machine a short cell could finish
+	// before the watcher is ever scheduled. A long cell cannot, and it
+	// still exits almost immediately once the interrupt lands.
+	err := run([]string{"-exp", "fig2", "-seeds", "1", "-horizon", "500",
 		"-loads", "0.5", "-timeout", "1ns", "-json", path}, &out, io.Discard)
 	if err == nil {
 		t.Fatal("timed-out sweep reported success")

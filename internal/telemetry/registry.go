@@ -78,8 +78,10 @@ func NewRegistry() *Registry {
 var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 // lookup finds or creates the (name, labels) series, enforcing one kind
-// and help string per name. Metric names are compile-time constants in
-// this repo, so a mismatch is a programming error and panics.
+// per name. Metric names are compile-time constants in this repo, so a
+// kind mismatch is a programming error and panics. Help text and
+// histogram bounds are fixed by the first registration of a name; later
+// registrations' help/bounds are ignored.
 func (r *Registry) lookup(name, help string, k kind, bounds []float64, labels []Label) *series {
 	if !nameRe.MatchString(name) {
 		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
@@ -181,6 +183,42 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// familyView is a render-safe copy of one family: the ordered series
+// pointers are copied out under r.mu so rendering can proceed while
+// lookup keeps registering new series in the live maps. The series
+// values themselves are atomic, so reading them unlocked is safe, and
+// labels/bounds are immutable after creation.
+type familyView struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64
+	series []*series
+}
+
+// view captures every family sorted by name, each family's series in
+// registration order, all copied under the lock.
+func (r *Registry) view() []familyView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	views := make([]familyView, len(names))
+	for i, n := range names {
+		f := r.families[n]
+		v := familyView{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds}
+		v.series = make([]*series, len(f.order))
+		for j, key := range f.order {
+			v.series[j] = f.series[key]
+		}
+		views[i] = v
+	}
+	return views
+}
+
 // WritePrometheus renders every family in the Prometheus text exposition
 // format (version 0.0.4): HELP and TYPE headers, then one line per
 // sample. Families are sorted by name and series by registration order,
@@ -189,19 +227,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for n := range r.families {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
-	}
-	r.mu.Unlock()
-
-	for _, f := range fams {
+	for _, f := range r.view() {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
 				return err
@@ -210,9 +236,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		for _, key := range f.order {
-			s := f.series[key]
-			if err := writeSeries(w, f, key, s); err != nil {
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
 				return err
 			}
 		}
@@ -220,7 +245,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, key string, s *series) error {
+func writeSeries(w io.Writer, f familyView, s *series) error {
+	key := seriesKey(s.labels)
 	wrap := func(extra string) string {
 		switch {
 		case key == "" && extra == "":
@@ -255,7 +281,10 @@ func writeSeries(w io.Writer, f *family, key string, s *series) error {
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, wrap(""), formatValue(s.hist.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, wrap(""), s.hist.Count())
+		// _count comes from the bucket counts already read, not a fresh
+		// atomic load, so it can never exceed the cumulative +Inf bucket
+		// within one scrape.
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, wrap(""), cum)
 		return err
 	}
 	return nil
@@ -309,20 +338,8 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return snap
 	}
-	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for n := range r.families {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.families[n]
-	}
-	r.mu.Unlock()
-	for _, f := range fams {
-		for _, key := range f.order {
-			s := f.series[key]
+	for _, f := range r.view() {
+		for _, s := range f.series {
 			m := Metric{Name: f.name, Kind: f.kind.String(), Labels: s.labels, Help: f.help}
 			switch f.kind {
 			case kindCounter:
@@ -332,7 +349,12 @@ func (r *Registry) Snapshot() Snapshot {
 			case kindHistogram:
 				m.Bounds = append([]float64(nil), f.bounds...)
 				m.Buckets = s.hist.Buckets()
-				m.Count = s.hist.Count()
+				// Count derives from the bucket counts just read so the
+				// snapshot is internally consistent even if observations
+				// land mid-capture.
+				for _, c := range m.Buckets {
+					m.Count += c
+				}
 				m.Sum = s.hist.Sum()
 			}
 			snap.Metrics = append(snap.Metrics, m)
@@ -372,8 +394,11 @@ func (s *Snapshot) Find(name string, labels ...Label) *Metric {
 
 // Merge folds other into s: counters and histogram buckets add, gauges
 // take other's (later) value, and series unknown to s are appended. Two
-// histograms of the same series must share bucket bounds.
-func (s *Snapshot) Merge(other Snapshot) {
+// histograms of the same series merge only when their bucket bounds
+// match element-wise; a mismatched series is skipped and counted in the
+// returned dropped total, so callers can surface the loss instead of
+// silently aggregating incomparable data.
+func (s *Snapshot) Merge(other Snapshot) (dropped int) {
 	index := make(map[string]int, len(s.Metrics))
 	for i, m := range s.Metrics {
 		index[m.Name+"\x00"+seriesKey(m.Labels)] = i
@@ -397,13 +422,29 @@ func (s *Snapshot) Merge(other Snapshot) {
 		case "gauge":
 			m.Value = om.Value
 		case "histogram":
-			if len(m.Buckets) == len(om.Buckets) {
-				for b := range m.Buckets {
-					m.Buckets[b] += om.Buckets[b]
-				}
-				m.Count += om.Count
-				m.Sum += om.Sum
+			if !boundsEqual(m.Bounds, om.Bounds) || len(m.Buckets) != len(om.Buckets) {
+				dropped++
+				continue
 			}
+			for b := range m.Buckets {
+				m.Buckets[b] += om.Buckets[b]
+			}
+			m.Count += om.Count
+			m.Sum += om.Sum
 		}
 	}
+	return dropped
+}
+
+// boundsEqual reports whether two bucket-bound slices match element-wise.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -267,6 +268,61 @@ func TestSnapshotMerge(t *testing.T) {
 	empty.Metrics[len(empty.Metrics)-1].Buckets[0] = 99
 	if b.Find("h").Buckets[0] == 99 {
 		t.Fatal("Merge aliased source buckets")
+	}
+}
+
+func TestSnapshotMergeBoundsMismatch(t *testing.T) {
+	mk := func(bounds []float64) Snapshot {
+		r := NewRegistry()
+		r.Histogram("h", "", bounds).Observe(0.5)
+		return r.Snapshot()
+	}
+	a := mk([]float64{1, 2})
+	sameLen := mk([]float64{10, 20}) // equal bucket count, different bounds
+	if dropped := a.Merge(sameLen); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	diffLen := mk([]float64{1})
+	if dropped := a.Merge(diffLen); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	hm := a.Find("h")
+	if hm.Count != 1 || hm.Buckets[0] != 1 {
+		t.Fatalf("mismatched merge mutated series: %+v", hm)
+	}
+	ok := mk([]float64{1, 2})
+	if dropped := a.Merge(ok); dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if hm := a.Find("h"); hm.Count != 2 {
+		t.Fatalf("matching merge failed: %+v", hm)
+	}
+}
+
+// TestConcurrentScrapeAndRegister exercises the race the registry must
+// not have: rendering /metrics (or capturing a snapshot) while another
+// goroutine is still registering new series. Run under -race.
+func TestConcurrentScrapeAndRegister(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			r.Counter(fmt.Sprintf("c_%d", i), "help").Inc()
+			r.Histogram(fmt.Sprintf("h_%d", i), "", []float64{1, 2}).Observe(1)
+		}
+	}()
+	for {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.Snapshot()
+		select {
+		case <-done:
+			return
+		default:
+		}
 	}
 }
 
