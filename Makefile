@@ -55,25 +55,31 @@ telemetry-overhead:
 telemetry-smoke:
 	$(GO) test -count=1 -run 'TestTelemetrySmoke' -v ./cmd/euad/
 
-# cover runs the tests with coverage and enforces the floor on the
-# scheduler core: internal/sched/eua (reference + fast path + oracle
-# suite) must stay at or above 80% statement coverage.
+# cover runs the tests with coverage and enforces the floors: the
+# scheduler core internal/sched/eua (reference + fast path + oracle
+# suite) and the admission analyzer internal/admission (unit +
+# differential + golden threshold suites) must each stay at or above 80%
+# statement coverage.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 	$(GO) test -coverprofile=coverage-eua.out ./internal/sched/eua/
 	@$(GO) tool cover -func=coverage-eua.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/sched/eua coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/sched/eua below the 80% coverage floor"; exit 1 } }'
+	$(GO) test -coverprofile=coverage-admission.out ./internal/admission/
+	@$(GO) tool cover -func=coverage-admission.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/admission coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/admission below the 80% coverage floor"; exit 1 } }'
 
 fuzz:
 	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/
 	$(GO) test -fuzz=FuzzGenerators -fuzztime=30s ./internal/uam/
 	$(GO) test -fuzz=FuzzConfig -fuzztime=30s ./internal/config/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/experiment/
+	$(GO) test -fuzz=FuzzAdmission -fuzztime=30s -run='^$$' ./internal/admission/
 
 # fuzz-smoke is the short CI-friendly fuzz pass wired into check.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzConfig -fuzztime=5s -run='^$$' ./internal/config/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=5s -run='^$$' ./internal/experiment/
+	$(GO) test -fuzz=FuzzAdmission -fuzztime=5s -run='^$$' ./internal/admission/
 
 # check is the full local gate: build, vet, tests, race tests, coverage
 # floor, fuzz smoke.

@@ -10,6 +10,14 @@
 //	euasim -exp fig2 -energy E3 -seeds 5 -horizon 2
 //	euasim -exp fig3 -loads 0.2,0.5,0.9,1.4
 //	euasim -exp fig2 -workers 8
+//	euasim -exp threshold -admission-bench BENCH_admission.json
+//	euasim -admit tasks.json -scheme EUA* -load 1.2
+//
+// -exp threshold bisects each scheduler's empirical sharp load threshold
+// and compares it against the analytical admission bounds (see
+// internal/admission); -admit runs the same O(n) analytical triage on a
+// task-set document offline and prints the accept / must-simulate /
+// reject verdict.
 //
 // Simulations fan out across -workers goroutines (default: all cores).
 // Stdout is bit-identical for every worker count; wall-clock and progress
@@ -70,7 +78,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	fs := flag.NewFlagSet("euasim", flag.ContinueOnError)
 	fs.SetOutput(diag)
 	var (
-		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|all")
+		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|threshold|all")
 		chart      = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
 		preset     = fs.String("energy", "E1", "energy setting for fig2/ablation: E1|E2|E3")
 		loads      = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
@@ -87,6 +95,10 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		stats      = fs.Bool("stats", false, "print an end-of-run telemetry snapshot (decision latencies, preemptions, frequency switches) to stderr")
 		remote     = fs.String("remote", "", "submit sweeps to a euad daemon at this base URL instead of running locally (fig2|fig3|assurance|ablation)")
 		jobID      = fs.String("job-id", "", "idempotency-key prefix for -remote submissions (default: random per invocation)")
+		admit      = fs.String("admit", "", "print the analytical admission verdict for this task-set JSON document and exit (offline triage; see -scheme and -load)")
+		admScheme  = fs.String("scheme", "EUA*", "with -admit: scheduling scheme to triage for")
+		admLoad    = fs.Float64("load", 0, "with -admit: scale the set to this system load first (0 = as given)")
+		admBench   = fs.String("admission-bench", "", "with -exp threshold: additionally write the BENCH_admission.json baseline to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +117,9 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *admit != "" {
+		return runAdmit(*admit, *admScheme, *admLoad, *jsonPath, out)
 	}
 
 	if *remote != "" {
@@ -217,7 +232,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	var docs []experiment.JSONDocument
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
-		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults"}
+		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults", "threshold"}
 	}
 	// A sweep with failed cells returns its completed rows alongside a
 	// *experiment.SweepError. Those partial results are still written (and
@@ -340,6 +355,31 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 			if rows != nil {
 				if err := experiment.WriteFaults(out, rows); err != nil {
 					return err
+				}
+			}
+		case "threshold":
+			rows, err := experiment.Threshold(cfg, nil)
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteThreshold(out, rows); err != nil {
+					return err
+				}
+				docs = append(docs, experiment.JSONDocument{
+					Experiment: "threshold", Config: experiment.Describe(cfg), Threshold: rows,
+				})
+				if *admBench != "" {
+					f, err := os.Create(*admBench)
+					if err != nil {
+						return err
+					}
+					werr := experiment.WriteAdmissionBench(f, cfg, rows)
+					if cerr := f.Close(); werr == nil {
+						werr = cerr
+					}
+					if werr != nil {
+						return werr
+					}
+					fmt.Fprintf(out, "admission baseline written to %s\n", *admBench)
 				}
 			}
 		default:

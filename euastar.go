@@ -42,6 +42,7 @@ package euastar
 import (
 	"fmt"
 
+	"github.com/euastar/euastar/internal/admission"
 	"github.com/euastar/euastar/internal/analysis"
 	"github.com/euastar/euastar/internal/cpu"
 	"github.com/euastar/euastar/internal/energy"
@@ -287,4 +288,26 @@ func MinimumFrequency(tasks TaskSet, table FrequencyTable) (float64, bool) {
 // times.
 func TheoremOneFrequency(tasks TaskSet) float64 {
 	return analysis.TheoremOneFrequency(tasks)
+}
+
+// AdmissionResult is the verdict of the O(n) analytical admission triage
+// (internal/admission): Accept, Reject, or MustSimulate, with the
+// quantitative facts it was derived from.
+type AdmissionResult = admission.Result
+
+// Admission verdict values.
+const (
+	AdmissionAccept       = admission.Accept
+	AdmissionReject       = admission.Reject
+	AdmissionMustSimulate = admission.MustSimulate
+)
+
+// Admit triages the task set for the named scheduling scheme (experiment
+// names, e.g. "EUA*", "EDF-fm", "GUS") on the given frequency ladder:
+// Accept when a sufficient schedulability test passes with the
+// Cantelli-allocated demand, Reject when a necessary condition is
+// violated, MustSimulate in between. This is the same test euad's
+// fast-reject path and euasim -admit run.
+func Admit(tasks TaskSet, table FrequencyTable, scheme string) (AdmissionResult, error) {
+	return admission.Analyze(tasks, table, scheme)
 }

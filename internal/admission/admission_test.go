@@ -1,0 +1,230 @@
+package admission
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+	"github.com/euastar/euastar/internal/workload"
+)
+
+// table1Set synthesizes the combined Table 1 task set at the given load.
+func table1Set(t *testing.T, seed uint64, load float64) task.Set {
+	t.Helper()
+	src := rng.New(seed * 0x9e3779b9)
+	var ts task.Set
+	id := 1
+	for _, app := range workload.Table1() {
+		set, err := app.Synthesize(src, workload.Options{Shape: workload.Step, FirstID: id})
+		if err != nil {
+			t.Fatalf("synthesize: %v", err)
+		}
+		ts = append(ts, set...)
+		id += len(set)
+	}
+	return ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+}
+
+func analyze(t *testing.T, ts task.Set, scheme string) Result {
+	t.Helper()
+	res, err := Analyze(ts, cpu.PowerNowK6(), scheme)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func TestAcceptAtSubUnitLoad(t *testing.T) {
+	for _, scheme := range []string{"EDF-fm", "EUA*", "ccEDF", "laEDF", "laEDF-NA", "DASA", "EUA*-noUER"} {
+		ts := table1Set(t, 1, 0.6)
+		res := analyze(t, ts, scheme)
+		if res.Verdict != Accept {
+			t.Errorf("%s at load 0.6: got %s (%s), want accept", scheme, res.Verdict, res.Reason)
+		}
+		if math.Abs(res.Utilization-0.6) > 1e-9 {
+			t.Errorf("%s: utilization %g, want the system load 0.6", scheme, res.Utilization)
+		}
+	}
+}
+
+func TestAcceptThresholdIsLoadOne(t *testing.T) {
+	// Section 5 defines load as Theorem 1's utilization, so the analytic
+	// accept boundary of a deadline-ordered scheme sits exactly at 1.0.
+	if res := analyze(t, table1Set(t, 2, 1.0), "EDF-fm"); res.Verdict != Accept {
+		t.Errorf("load 1.0: got %s (%s), want accept", res.Verdict, res.Reason)
+	}
+	if res := analyze(t, table1Set(t, 2, 1.001), "EDF-fm"); res.Verdict == Accept {
+		t.Errorf("load 1.001: got accept (%s), want must-simulate or reject", res.Reason)
+	}
+}
+
+func TestMustSimulateBand(t *testing.T) {
+	res := analyze(t, table1Set(t, 3, 1.2), "EUA*")
+	if res.Verdict != MustSimulate {
+		t.Errorf("load 1.2: got %s (%s), want must-simulate", res.Verdict, res.Reason)
+	}
+}
+
+func TestRejectAtExtremeLoad(t *testing.T) {
+	// Demands are near-deterministic after scaling (Var = k²·E before
+	// scaling keeps σ/E ≈ 1e-3), so the ρ-weighted guaranteed density
+	// crosses 1+slack a little above load (1+slack)/ρ̄.
+	res := analyze(t, table1Set(t, 4, 2.5), "EUA*")
+	if res.Verdict != Reject {
+		t.Errorf("load 2.5: got %s (%s), want reject", res.Verdict, res.Reason)
+	}
+	if res.FloorDensity <= 1+aggregateSlack {
+		t.Errorf("floor density %g should exceed %g", res.FloorDensity, 1+aggregateSlack)
+	}
+}
+
+func TestRejectSingleInfeasibleTask(t *testing.T) {
+	ft := cpu.PowerNowK6()
+	p := 0.010
+	ts := task.Set{&task.Task{
+		ID:      7,
+		Name:    "hog",
+		Arrival: uam.Spec{A: 1, P: p},
+		TUF:     tuf.NewStep(10, p),
+		// Needs 3× more cycles than the window affords at f_max.
+		Demand: task.Demand{Mean: 3 * p * ft.Max(), Variance: 1},
+		Req:    task.Requirement{Nu: 1, Rho: 0.9},
+	}}
+	res := analyze(t, ts, "EDF-fm")
+	if res.Verdict != Reject {
+		t.Fatalf("got %s (%s), want reject", res.Verdict, res.Reason)
+	}
+	if res.InfeasibleTask != 7 {
+		t.Errorf("infeasible task = %d, want 7", res.InfeasibleTask)
+	}
+	if !strings.Contains(res.Reason, "hog") {
+		t.Errorf("reason %q should name the task", res.Reason)
+	}
+}
+
+func TestRhoZeroTaskNeverSingleTaskRejects(t *testing.T) {
+	// A task with ρ = 0 is satisfied by a met-ratio of 0, so even an
+	// impossible demand must not trigger the single-task reject.
+	ft := cpu.PowerNowK6()
+	p := 0.010
+	ts := task.Set{&task.Task{
+		ID:      1,
+		Arrival: uam.Spec{A: 1, P: p},
+		TUF:     tuf.NewStep(10, p),
+		Demand:  task.Demand{Mean: 3 * p * ft.Max(), Variance: 1},
+		Req:     task.Requirement{Nu: 1, Rho: 0},
+	}}
+	res := analyze(t, ts, "EDF-fm")
+	if res.InfeasibleTask != 0 {
+		t.Errorf("ρ=0 task flagged infeasible: %s", res.Reason)
+	}
+	if res.Verdict == Reject {
+		t.Errorf("got reject (%s); ρ=0 requirements are vacuously satisfiable", res.Reason)
+	}
+}
+
+func TestGUSBusyPeriodPolicy(t *testing.T) {
+	// GUS gives no deadline-order guarantee: at a load where EDF-family
+	// schemes accept, GUS accepts only if the busy-period bound clears
+	// the shortest critical time.
+	ts := table1Set(t, 5, 0.9)
+	res := analyze(t, ts, "GUS")
+	if res.Policy != UtilityGreedy.String() {
+		t.Fatalf("GUS policy = %s, want %s", res.Policy, UtilityGreedy)
+	}
+	if res.Verdict == Accept && res.BusyPeriod > res.MinCritical {
+		t.Errorf("GUS accepted with busy period %g > min critical %g", res.BusyPeriod, res.MinCritical)
+	}
+	// At a very low load the busy period shrinks below the shortest
+	// window and GUS becomes analytically acceptable too.
+	low := analyze(t, table1Set(t, 5, 0.02), "GUS")
+	if low.Verdict != Accept {
+		t.Errorf("GUS at load 0.02: got %s (%s), want accept", low.Verdict, low.Reason)
+	}
+}
+
+func TestUnknownSchemeNeverAccepts(t *testing.T) {
+	for _, load := range []float64{0.1, 0.8, 1.5} {
+		res := analyze(t, table1Set(t, 6, load), "mystery-sched")
+		if res.Verdict == Accept {
+			t.Errorf("unknown scheme accepted at load %g (%s)", load, res.Reason)
+		}
+	}
+	if res := analyze(t, table1Set(t, 6, 3.0), "mystery-sched"); res.Verdict != Reject {
+		t.Errorf("unknown scheme at load 3.0: got %s, want reject (necessary conditions are scheme-independent)", res.Verdict)
+	}
+}
+
+func TestPolicyFor(t *testing.T) {
+	cases := map[string]Policy{
+		"EDF-fm":        DeadlineOrdered,
+		"EUA*":          DeadlineOrdered,
+		"EUA*-noDVS":    DeadlineOrdered,
+		"ccEDF":         DeadlineOrdered,
+		"laEDF":         DeadlineOrdered,
+		"laEDF-NA":      DeadlineOrdered,
+		"staticEDF":     DeadlineOrdered,
+		"DASA":          DeadlineOrdered,
+		"GUS":           UtilityGreedy,
+		"somethingelse": Unknown,
+	}
+	for name, want := range cases {
+		if got := PolicyFor(name); got != want {
+			t.Errorf("PolicyFor(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestAnalyzeValidatesInputs(t *testing.T) {
+	if _, err := Analyze(nil, cpu.PowerNowK6(), "EUA*"); err == nil {
+		t.Error("empty set: want error")
+	}
+	ts := table1Set(t, 1, 0.5)
+	if _, err := Analyze(ts, nil, "EUA*"); err == nil {
+		t.Error("empty frequency table: want error")
+	}
+	bad := task.Set{&task.Task{ID: 1, Arrival: uam.Spec{A: 0, P: 0.01}}}
+	if _, err := Analyze(bad, cpu.PowerNowK6(), "EUA*"); err == nil {
+		t.Error("invalid task: want error")
+	}
+}
+
+func TestVerdictRankAndJSON(t *testing.T) {
+	if !(Accept.Rank() < MustSimulate.Rank() && MustSimulate.Rank() < Reject.Rank()) {
+		t.Fatal("verdict ranks are not ordered accept < must-simulate < reject")
+	}
+	res := analyze(t, table1Set(t, 1, 0.6), "EUA*")
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Verdict != Accept || back.Scheme != "EUA*" || back.Utilization != res.Utilization {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
+	}
+	if s := res.String(); !strings.Contains(s, "accept") || !strings.Contains(s, "EUA*") {
+		t.Errorf("String() = %q missing verdict or scheme", s)
+	}
+}
+
+func TestDemandFloor(t *testing.T) {
+	// Tight distribution: the 6σ bound governs.
+	d := task.Demand{Mean: 1e6, Variance: 1e6} // σ = 1e3
+	if got, want := demandFloor(d), 1e6-6e3; math.Abs(got-want) > 1 {
+		t.Errorf("demandFloor tight = %g, want %g", got, want)
+	}
+	// Wild distribution: the hard truncation floor governs.
+	d = task.Demand{Mean: 1e6, Variance: 1e12} // σ = mean
+	if got, want := demandFloor(d), task.DemandFloorFrac*1e6; got != want {
+		t.Errorf("demandFloor wild = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,67 @@
+package admission_test
+
+// FuzzAdmission checks the analyzer's contract on arbitrary generated
+// task sets: it never panics, it is deterministic, and its verdict is
+// monotone under demand scaling — multiplying every demand by k >= 1 can
+// only move the verdict toward Reject (Verdict.Rank never decreases).
+// Monotonicity is what makes the verdict trustworthy as a triage: a set
+// that was rejected cannot become acceptable by asking for more work.
+
+import (
+	"testing"
+
+	"github.com/euastar/euastar/internal/admission"
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/task"
+)
+
+var fuzzSchemes = []string{
+	"EDF-fm", "EUA*", "EUA*-noDVS", "ccEDF", "laEDF", "laEDF-NA",
+	"staticEDF", "DASA", "GUS", "mystery-sched",
+}
+
+func FuzzAdmission(f *testing.F) {
+	f.Add(uint64(1), uint16(60), uint16(150), uint8(0))
+	f.Add(uint64(7), uint16(300), uint16(100), uint8(8))
+	f.Add(uint64(42), uint16(98), uint16(700), uint8(3))
+	f.Add(uint64(1000), uint16(450), uint16(120), uint8(9))
+	f.Fuzz(func(t *testing.T, seed uint64, loadCenti, scaleCenti uint16, schemeIdx uint8) {
+		load := 0.01 + float64(loadCenti%800)/100 // 0.01 .. 8.0
+		k := 1 + float64(scaleCenti%700)/100      // 1.0 .. 8.0
+		scheme := fuzzSchemes[int(schemeIdx)%len(fuzzSchemes)]
+		ts := randomSet(seed, load)
+		ft := cpu.PowerNowK6()
+
+		res, err := admission.Analyze(ts, ft, scheme)
+		if err != nil {
+			t.Fatalf("generated set failed validation (seed=%d load=%g): %v", seed, load, err)
+		}
+		if res.Verdict != admission.Accept && res.Verdict != admission.MustSimulate && res.Verdict != admission.Reject {
+			t.Fatalf("unknown verdict %q (seed=%d load=%g scheme=%s)", res.Verdict, seed, load, scheme)
+		}
+		if res.Reason == "" {
+			t.Errorf("empty reason for %s (seed=%d load=%g scheme=%s)", res.Verdict, seed, load, scheme)
+		}
+
+		again, err := admission.Analyze(ts, ft, scheme)
+		if err != nil || again != res {
+			t.Errorf("non-deterministic analysis (seed=%d load=%g scheme=%s): %+v vs %+v (err=%v)",
+				seed, load, scheme, res, again, err)
+		}
+
+		scaled := make(task.Set, len(ts))
+		for i, tk := range ts {
+			cp := *tk
+			cp.Demand = tk.Demand.Scale(k)
+			scaled[i] = &cp
+		}
+		sres, err := admission.Analyze(scaled, ft, scheme)
+		if err != nil {
+			t.Fatalf("scaled set failed validation (seed=%d load=%g k=%g): %v", seed, load, k, err)
+		}
+		if sres.Verdict.Rank() < res.Verdict.Rank() {
+			t.Errorf("monotonicity violated (seed=%d load=%g k=%g scheme=%s): %s scaled x%g improved to %s",
+				seed, load, k, scheme, res.Verdict, k, sres.Verdict)
+		}
+	})
+}

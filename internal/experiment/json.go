@@ -15,6 +15,7 @@ type JSONDocument struct {
 	Rows       []Row          `json:"rows,omitempty"`
 	Fig3Rows   []Fig3Row      `json:"fig3_rows,omitempty"`
 	Assurance  []AssuranceRow `json:"assurance_rows,omitempty"`
+	Threshold  []ThresholdRow `json:"threshold_rows,omitempty"`
 }
 
 // WriteJSON encodes a document with stable indentation.

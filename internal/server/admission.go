@@ -1,0 +1,33 @@
+package server
+
+import (
+	"github.com/euastar/euastar/internal/admission"
+	"github.com/euastar/euastar/internal/cpu"
+)
+
+// triage runs the O(n) analytical admission test on a simulate
+// submission before it is queued. Every verdict is counted in
+// euad_admission_verdicts_total{scheme,verdict}; only a Reject returns a
+// non-nil error — the submission then terminates as a failed job with
+// 422 in microseconds, without ever occupying a worker slot. Any problem
+// with the analysis itself (unparseable tasks document, unknown scheme)
+// yields nil: the worker path reports those with its usual precise
+// errors.
+func (s *Server) triage(spec JobSpec) *JobError {
+	if spec.Kind != KindSimulate {
+		return nil
+	}
+	ts, err := loadTasks(spec)
+	if err != nil {
+		return nil
+	}
+	res, aerr := admission.Analyze(ts, cpu.PowerNowK6(), spec.Scheme)
+	if aerr != nil {
+		return nil
+	}
+	s.ins.verdicts(string(res.Verdict), spec.Scheme).Inc()
+	if res.Verdict != admission.Reject {
+		return nil
+	}
+	return &JobError{Code: CodeRejected, Message: res.Reason, Verdict: string(res.Verdict)}
+}

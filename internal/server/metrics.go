@@ -18,8 +18,14 @@ const (
 	// existing job state (200).
 	MetricJobsReplayed = "euad_jobs_replayed_total"
 	// MetricJobsRejected counts refused submissions by reason: invalid
-	// (400/413), conflict (409), draining (503), overloaded (429).
+	// (400/413), conflict (409), draining (503), overloaded (429),
+	// infeasible (422, analytical admission reject).
 	MetricJobsRejected = "euad_jobs_rejected_total"
+	// MetricAdmissionVerdicts counts the analytical admission verdicts
+	// issued for simulate submissions, by verdict and scheme. Rejects
+	// short-circuit with 422 before touching the queue; accepts and
+	// must-simulates proceed to a worker.
+	MetricAdmissionVerdicts = "euad_admission_verdicts_total"
 	// MetricJobsRecovered counts unfinished jobs re-enqueued from the
 	// journal at startup.
 	MetricJobsRecovered = "euad_jobs_recovered_total"
@@ -42,6 +48,7 @@ const (
 	rejectConflict   = "conflict"
 	rejectDraining   = "draining"
 	rejectOverloaded = "overloaded"
+	rejectInfeasible = "infeasible"
 )
 
 // Job phases (label values on MetricJobPhase).
@@ -64,6 +71,7 @@ type serverInstruments struct {
 	rejected  map[string]*telemetry.Counter
 	recovered *telemetry.Counter
 	finished  func(outcome string) *telemetry.Counter
+	verdicts  func(verdict, scheme string) *telemetry.Counter
 	phase     map[string]*telemetry.Histogram
 	queued    *telemetry.Gauge
 	running   *telemetry.Gauge
@@ -74,7 +82,7 @@ func (ins *serverInstruments) init(reg *telemetry.Registry) {
 	ins.admitted = reg.Counter(MetricJobsAdmitted, "Jobs accepted for execution (202).")
 	ins.replayed = reg.Counter(MetricJobsReplayed, "Idempotent resubmissions answered from existing state (200).")
 	ins.rejected = make(map[string]*telemetry.Counter)
-	for _, reason := range []string{rejectInvalid, rejectConflict, rejectDraining, rejectOverloaded} {
+	for _, reason := range []string{rejectInvalid, rejectConflict, rejectDraining, rejectOverloaded, rejectInfeasible} {
 		ins.rejected[reason] = reg.Counter(MetricJobsRejected, "Refused submissions by reason.", telemetry.L("reason", reason))
 	}
 	ins.recovered = reg.Counter(MetricJobsRecovered, "Unfinished jobs re-enqueued from the journal at startup.")
@@ -82,6 +90,10 @@ func (ins *serverInstruments) init(reg *telemetry.Registry) {
 		return reg.Counter(MetricJobsFinished, "Terminal jobs by outcome.", telemetry.L("outcome", outcome))
 	}
 	ins.finished(StateDone) // pre-register the common outcome so it scrapes as 0
+	ins.verdicts = func(verdict, scheme string) *telemetry.Counter {
+		return reg.Counter(MetricAdmissionVerdicts, "Analytical admission verdicts for simulate submissions.",
+			telemetry.L("scheme", scheme), telemetry.L("verdict", verdict))
+	}
 	ins.phase = make(map[string]*telemetry.Histogram)
 	for _, ph := range []string{phaseQueueWait, phaseRun, phaseRender} {
 		ins.phase[ph] = reg.Histogram(MetricJobPhase, "Job phase durations in seconds.", phaseBuckets(), telemetry.L("phase", ph))

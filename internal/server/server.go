@@ -520,6 +520,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.ins.replayed.Inc()
+		if status.Error != nil && status.Error.Code == CodeRejected {
+			// An analytically rejected job replays as the same 422, so a
+			// retrying client converges on the rejection instead of a 200.
+			writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: *status.Error})
+			return
+		}
 		writeJSON(w, http.StatusOK, status)
 		return
 	}
@@ -528,6 +534,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.ins.reject(rejectDraining)
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not admitting jobs")
+		return
+	}
+	// Analytical admission triage: a provably infeasible simulate job is
+	// terminated here — journaled as a failed job so the rejection
+	// replays across restarts, but never queued. It runs before the
+	// queue-depth check because it needs no slot.
+	if jerr := s.triage(spec); jerr != nil {
+		j := &job{spec: spec, specRaw: canonical, state: StateFailed, jerr: jerr, done: make(chan struct{})}
+		if s.journal != nil {
+			if err := s.journal.Append(jobstore.Record{
+				Kind: jobstore.KindSubmitted, JobID: spec.ID, Spec: canonical,
+			}); err != nil {
+				s.mu.Unlock()
+				writeError(w, http.StatusInternalServerError, CodeFailed, "journal submission: %v", err)
+				return
+			}
+			if raw, merr := json.Marshal(jerr); merr == nil {
+				if err := s.journal.Append(jobstore.Record{
+					Kind: jobstore.KindFailed, JobID: spec.ID, Error: raw,
+				}); err != nil {
+					s.logf("euad: job %s: journal rejection: %v", spec.ID, err)
+				}
+			}
+		}
+		close(j.done)
+		s.jobs[spec.ID] = j
+		s.mu.Unlock()
+		s.ins.reject(rejectInfeasible)
+		s.ins.finished(CodeRejected).Inc()
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: *jerr})
 		return
 	}
 	if s.queued >= s.cfg.QueueDepth {

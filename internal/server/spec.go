@@ -168,12 +168,20 @@ const (
 	// did not finish here but is journaled as unfinished and will be
 	// re-run (sweeps: resumed from checkpoint) on the next start.
 	CodeInterrupted = "interrupted"
+	// CodeRejected: the analytical admission test proved the simulate
+	// spec infeasible, so the job was refused with 422 before touching
+	// the queue — it never runs, and resubmitting it replays the same
+	// rejection. The Verdict field carries the analyzer's verdict.
+	CodeRejected = "rejected"
 )
 
 // JobError is the structured failure a job terminates with.
 type JobError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Verdict is the admission analyzer's verdict when Code is
+	// CodeRejected (see internal/admission); empty otherwise.
+	Verdict string `json:"verdict,omitempty"`
 }
 
 func (e *JobError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }

@@ -63,15 +63,18 @@ func (d Demand) Scale(k float64) Demand {
 	return Demand{Mean: k * d.Mean, Variance: k * k * d.Variance}
 }
 
-// demandFloorFrac bounds sampled demands away from zero: a job cannot
-// require fewer than this fraction of the mean demand.
-const demandFloorFrac = 0.01
+// DemandFloorFrac bounds sampled demands away from zero: a job cannot
+// require fewer than this fraction of the mean demand. Exported because
+// it is a hard property of the realized demand process that analyses may
+// rely on (internal/admission's necessary-condition tests build their
+// guaranteed per-job minimum from it).
+const DemandFloorFrac = 0.01
 
 // Sample draws one actual cycle demand: normally distributed (Section 5,
 // "generate normally-distributed demands") and truncated at a small
 // positive floor since a job cannot require non-positive work.
 func (d Demand) Sample(src *rng.Source) float64 {
-	return src.TruncNormal(d.Mean, math.Sqrt(d.Variance), demandFloorFrac*d.Mean)
+	return src.TruncNormal(d.Mean, math.Sqrt(d.Variance), DemandFloorFrac*d.Mean)
 }
 
 // Task is one application activity T_i.
