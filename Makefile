@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-service vet bench bench-sched bench-check telemetry-overhead telemetry-smoke cover fuzz fuzz-smoke check experiments examples euad clean
+.PHONY: all build test test-race test-service test-cluster vet bench bench-sched bench-check telemetry-overhead telemetry-smoke cover fuzz fuzz-smoke check experiments examples euad clean
 
 all: build vet test
 
@@ -25,6 +25,16 @@ test-race:
 test-service:
 	$(GO) test -race -count=1 ./internal/server/ ./internal/jobstore/ ./internal/client/
 	$(GO) test -race -count=1 -run 'TestChaos' ./cmd/euad/ ./cmd/euasim/
+
+# test-cluster runs the multi-node coordination suite under the race
+# detector: the coordinator's lease/fencing unit tests, the in-process
+# cluster merge tests, and the 4-process chaos soak (coordinator + 3
+# worker daemons, one SIGKILLed and one SIGSTOPped mid-sweep; merged
+# result must be byte-identical to a single-node run). The timeout is
+# the wall-clock budget — the soak normally finishes in under a minute.
+test-cluster:
+	$(GO) test -race -count=1 ./internal/coordinator/
+	$(GO) test -race -count=1 -run 'TestCluster|TestCoordinator' -timeout 5m ./internal/server/ ./cmd/euad/
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -75,11 +85,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/experiment/
 	$(GO) test -fuzz=FuzzAdmission -fuzztime=30s -run='^$$' ./internal/admission/
 
+	$(GO) test -fuzz=FuzzLeaseManifest -fuzztime=30s -run='^$$' ./internal/coordinator/
+
 # fuzz-smoke is the short CI-friendly fuzz pass wired into check.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzConfig -fuzztime=5s -run='^$$' ./internal/config/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=5s -run='^$$' ./internal/experiment/
 	$(GO) test -fuzz=FuzzAdmission -fuzztime=5s -run='^$$' ./internal/admission/
+	$(GO) test -fuzz=FuzzLeaseManifest -fuzztime=5s -run='^$$' ./internal/coordinator/
 
 # check is the full local gate: build, vet, tests, race tests, coverage
 # floor, fuzz smoke.

@@ -25,6 +25,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/euastar/euastar/internal/client"
+	"github.com/euastar/euastar/internal/coordinator"
 	"github.com/euastar/euastar/internal/server"
 )
 
@@ -42,12 +44,18 @@ func run(args []string) int {
 	defTimeout := fs.Duration("timeout", 2*time.Minute, "default per-job wall-clock budget")
 	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "ceiling on any job's wall-clock budget")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
+	coordMode := fs.Bool("coordinator", false, "serve as a sweep coordinator: shard sweep jobs across joined worker daemons")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "coordinator cell lease TTL (heartbeats renew; silence past it reassigns the cell)")
+	heartbeat := fs.Duration("heartbeat", 0, "coordinator heartbeat interval for workers (0 = lease-ttl/4)")
+	join := fs.String("join", "", "coordinator URL to join as a worker (e.g. http://127.0.0.1:9176)")
+	workerID := fs.String("worker-id", "", "stable worker identity when joining (default host-pid)")
+	cells := fs.Int("cells", 0, "concurrent sweep cells when joining as a worker (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", a...)
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		DataDir:        *data,
 		Workers:        *workers,
 		SimWorkers:     *simWorkers,
@@ -55,7 +63,11 @@ func run(args []string) int {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Logf:           logf,
-	})
+	}
+	if *coordMode {
+		scfg.Cluster = &coordinator.Config{LeaseTTL: *leaseTTL, Heartbeat: *heartbeat}
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		logf("euad: %v", err)
 		return 1
@@ -74,11 +86,36 @@ func run(args []string) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Joining a cluster runs the worker lease loop alongside the local
+	// service: this daemon keeps serving its own API while computing
+	// sweep cells for the coordinator.
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	close(workerDone)
+	if *join != "" {
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		w := &client.Worker{Client: client.New(*join), ID: id, Slots: *cells, Logf: logf}
+		workerDone = make(chan struct{})
+		go func() {
+			defer close(workerDone)
+			if err := w.Run(workerCtx); err != nil && workerCtx.Err() == nil {
+				logf("euad: worker: %v", err)
+			}
+		}()
+	}
+	defer stopWorker()
+
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 
 	select {
 	case sig := <-sigC:
+		stopWorker()
+		<-workerDone
 		logf("euad: %v: draining (budget %s)", sig, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()

@@ -1,0 +1,127 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicSeed: with a seeded jitter source the whole
+// retry schedule is reproducible — the property that makes worker lease
+// loops predictable under coordinator restarts and debuggable after the
+// fact.
+func TestBackoffDeterministicSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		c := New("http://unused")
+		c.SeedJitter(seed)
+		var out []time.Duration
+		for attempt := 1; attempt <= 12; attempt++ {
+			out = append(out, c.backoff(attempt, 0))
+		}
+		for attempt := 1; attempt <= 12; attempt++ {
+			out = append(out, c.backoff(attempt, 300*time.Millisecond))
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffJitterCap: jitter can never push a delay past
+// max(MaxDelay, Retry-After floor), and never below the floor.
+func TestBackoffJitterCap(t *testing.T) {
+	c := New("http://unused")
+	c.BaseDelay = 100 * time.Millisecond
+	c.MaxDelay = 2 * time.Second
+	c.jitter = func() float64 { return 1 } // worst case: top of the window
+	for _, floor := range []time.Duration{0, 500 * time.Millisecond, 3 * time.Second} {
+		cap := c.MaxDelay
+		if floor > cap {
+			cap = floor
+		}
+		for attempt := 1; attempt <= 20; attempt++ {
+			d := c.backoff(attempt, floor)
+			if d > cap {
+				t.Fatalf("attempt %d floor %v: delay %v exceeds cap %v", attempt, floor, d, cap)
+			}
+			if d < floor {
+				t.Fatalf("attempt %d floor %v: delay %v below the server's floor", attempt, floor, d)
+			}
+		}
+	}
+}
+
+// TestBackoffFloorShiftsJitterWindow: a Retry-After floor must not
+// collapse the jitter (which would march synchronized clients back in
+// lockstep); the window becomes [floor, d].
+func TestBackoffFloorShiftsJitterWindow(t *testing.T) {
+	c := New("http://unused")
+	c.BaseDelay = 1 * time.Second
+	c.MaxDelay = 8 * time.Second
+	floor := 900 * time.Millisecond // above d/2 for attempt 1 (d=1s)
+
+	c.jitter = func() float64 { return 0 }
+	if got := c.backoff(1, floor); got != floor {
+		t.Fatalf("bottom of window: %v, want the floor %v", got, floor)
+	}
+	c.jitter = func() float64 { return 1 }
+	if got := c.backoff(1, floor); got != time.Second {
+		t.Fatalf("top of window: %v, want the full delay 1s", got)
+	}
+	// Without a floor the window is the classic [d/2, d].
+	c.jitter = func() float64 { return 0 }
+	if got := c.backoff(1, 0); got != 500*time.Millisecond {
+		t.Fatalf("floorless bottom: %v, want 500ms", got)
+	}
+}
+
+// TestRetryOn503HonorsRetryAfter: a 503 (draining or restarting
+// coordinator) with a Retry-After hint must delay the retry at least
+// that long — not just 429s.
+func TestRetryOn503HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"draining","message":"restarting"}}`))
+			return
+		}
+		w.Write([]byte(`{"id":"j1","state":"done"}`))
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL) // millisecond backoff: any real delay is the floor
+	start := time.Now()
+	st, err := c.Get(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "j1" {
+		t.Fatalf("status: %+v", st)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2 (one 503, one success)", calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, before the server's 1s Retry-After floor", elapsed)
+	}
+}

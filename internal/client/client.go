@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/euastar/euastar/internal/server"
@@ -70,8 +71,28 @@ func (e *APIError) Temporary() bool {
 	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
 }
 
-// backoff returns the jittered delay for attempt (1-based), at least
-// floor (the server's Retry-After hint, when present).
+// SeedJitter replaces the backoff's randomness with a deterministic
+// seeded source (safe for concurrent use), so a retry schedule can be
+// reproduced exactly — worker lease loops use this to stay predictable
+// in tests and debuggable under coordinator restarts.
+func (c *Client) SeedJitter(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	var mu sync.Mutex
+	c.jitter = func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}
+
+// backoff returns the delay before attempt (1-based): exponential from
+// BaseDelay, jittered over [d/2, d], then bounded by the server's
+// Retry-After hint when present — the floor is a promise ("don't come
+// back sooner"), so the jitter window shifts to [floor, d] rather than
+// collapsing onto the floor, which would march synchronized clients back
+// in lockstep. The result never exceeds max(MaxDelay, floor): a server
+// asking for a longer wait than MaxDelay is honored exactly, but jitter
+// alone can never push past the cap.
 func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 	d := c.BaseDelay
 	if d <= 0 {
@@ -87,15 +108,29 @@ func (c *Client) backoff(attempt int, floor time.Duration) time.Duration {
 	if d > max {
 		d = max
 	}
+	if d < floor {
+		d = floor
+	}
+	lo := d / 2
+	if lo < floor {
+		lo = floor
+	}
 	rnd := c.jitter
 	if rnd == nil {
 		rnd = rand.Float64
 	}
-	d = d/2 + time.Duration(rnd()*float64(d/2))
-	if d < floor {
-		d = floor
+	d = lo + time.Duration(rnd()*float64(d-lo))
+	if cap := maxDur(max, floor); d > cap {
+		d = cap
 	}
 	return d
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 func (c *Client) sleep(ctx context.Context, d time.Duration) error {
@@ -109,28 +144,29 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do performs one request and decodes either a JobStatus or the error
-// envelope. Transport errors come back as-is (and are retryable).
-func (c *Client) do(ctx context.Context, method, url string, body []byte) (*server.JobStatus, error) {
+// doJSON performs one request, decoding the error envelope (with its
+// Retry-After hint) on ≥400 and the response body into out otherwise.
+// Transport errors come back as-is (and are retryable).
+func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if resp.StatusCode >= 400 {
 		apiErr := &APIError{StatusCode: resp.StatusCode, Code: "http_error", Message: strings.TrimSpace(string(data))}
@@ -145,17 +181,27 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*serv
 				apiErr.RetryAfter = time.Duration(secs) * time.Second
 			}
 		}
-		return nil, apiErr
+		return apiErr
 	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("euad: decode response: %w", err)
+	}
+	return nil
+}
+
+// do performs one request and decodes a JobStatus.
+func (c *Client) do(ctx context.Context, method, url string, body []byte) (*server.JobStatus, error) {
 	var st server.JobStatus
-	if err := json.Unmarshal(data, &st); err != nil {
-		return nil, fmt.Errorf("euad: decode response: %w", err)
+	if err := c.doJSON(ctx, method, url, body, &st); err != nil {
+		return nil, err
 	}
 	return &st, nil
 }
 
-// retrying runs one request attempt function under the retry policy.
-func (c *Client) retrying(ctx context.Context, attempt func() (*server.JobStatus, error)) (*server.JobStatus, error) {
+// retryLoop runs one request attempt function under the retry policy:
+// jittered exponential backoff floored by Retry-After, permanent API
+// errors returned immediately.
+func (c *Client) retryLoop(ctx context.Context, attempt func() error) error {
 	var lastErr error
 	for try := 0; ; try++ {
 		if try > 0 {
@@ -165,25 +211,63 @@ func (c *Client) retrying(ctx context.Context, attempt func() (*server.JobStatus
 				floor = apiErr.RetryAfter
 			}
 			if err := c.sleep(ctx, c.backoff(try, floor)); err != nil {
-				return nil, fmt.Errorf("%w (last error: %v)", err, lastErr)
+				return fmt.Errorf("%w (last error: %v)", err, lastErr)
 			}
 		}
-		st, err := attempt()
+		err := attempt()
 		if err == nil {
-			return st, nil
+			return nil
 		}
 		lastErr = err
 		var apiErr *APIError
 		if asAPIError(err, &apiErr) && !apiErr.Temporary() {
-			return nil, err // permanent: retrying cannot help
+			return err // permanent: retrying cannot help
 		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+			return fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
 		}
 		if try >= c.Retries {
-			return nil, fmt.Errorf("euad: giving up after %d attempts: %w", try+1, lastErr)
+			return fmt.Errorf("euad: giving up after %d attempts: %w", try+1, lastErr)
 		}
 	}
+}
+
+// retrying runs one JobStatus-returning attempt under the retry policy.
+func (c *Client) retrying(ctx context.Context, attempt func() (*server.JobStatus, error)) (*server.JobStatus, error) {
+	var st *server.JobStatus
+	err := c.retryLoop(ctx, func() error {
+		s, err := attempt()
+		if err == nil {
+			st = s
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// postJSON posts req to path and decodes the response into a fresh T,
+// under the client's full retry discipline.
+func postJSON[T any](ctx context.Context, c *Client, path string, req any) (*T, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out *T
+	err = c.retryLoop(ctx, func() error {
+		var v T
+		if err := c.doJSON(ctx, http.MethodPost, c.Base+path, body, &v); err != nil {
+			return err
+		}
+		out = &v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 func asAPIError(err error, out **APIError) bool {

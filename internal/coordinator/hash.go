@@ -1,0 +1,77 @@
+package coordinator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker IDs. Cells prefer the
+// worker owning their key's ring position, so the cell→worker mapping is
+// stable while membership holds, and membership churn only remaps the
+// cells near the changed node's points instead of reshuffling the whole
+// sweep. Preference is advisory — a cell is never blocked waiting for
+// its preferred worker — so the ring buys assignment stability (helpful
+// for cache locality and debuggability) without costing progress.
+type ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+const defaultVnodes = 64
+
+// add inserts a node's virtual points. Adding an existing node is a
+// no-op at the caller (the coordinator tracks membership separately).
+func (r *ring) add(node string) {
+	v := r.vnodes
+	if v == 0 {
+		v = defaultVnodes
+	}
+	for i := 0; i < v; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Duplicate hashes are broken by node ID so ownership stays
+		// deterministic regardless of insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// remove deletes all of a node's points.
+func (r *ring) remove(node string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// owner returns the node owning key's position: the first point at or
+// after the key's hash, wrapping around. Empty ring → "".
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

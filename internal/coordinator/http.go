@@ -1,0 +1,118 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxClusterBody bounds cluster request bodies. Commits carry one cell's
+// JSON unit — a few KB even for the richest experiment — so 4 MiB is
+// generous without letting a confused client exhaust memory.
+const maxClusterBody = 4 << 20
+
+// Routes mounts the cluster protocol on mux, using the same
+// {"error":{"code","message"}} envelope as the job API so the client
+// package's error handling applies unchanged.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/cluster/commit", c.handleCommit)
+}
+
+// decode reads and parses a bounded JSON body.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxClusterBody+1))
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, "invalid", "read body: %v", err)
+		return false
+	}
+	if len(body) > maxClusterBody {
+		clusterError(w, http.StatusRequestEntityTooLarge, "invalid", "body exceeds %d bytes", maxClusterBody)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		clusterError(w, http.StatusBadRequest, "invalid", "parse request: %v", err)
+		return false
+	}
+	return true
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	clusterJSON(w, status, map[string]any{"error": map[string]string{
+		"code":    code,
+		"message": fmt.Sprintf(format, args...),
+	}})
+}
+
+// protocolError maps coordinator errors onto HTTP. An unknown worker is
+// 409 Conflict with CodeUnknownWorker — a state the worker repairs by
+// re-registering, not a malformed request and not a server fault, so
+// the client's retry discipline correctly treats it as non-temporary.
+func protocolError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrUnknownWorker) {
+		clusterError(w, http.StatusConflict, CodeUnknownWorker, "%v", err)
+		return
+	}
+	clusterError(w, http.StatusBadRequest, "invalid", "%v", err)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		clusterError(w, http.StatusBadRequest, "invalid", "worker ID is required")
+		return
+	}
+	clusterJSON(w, http.StatusOK, c.Register(req.Worker))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := c.Heartbeat(req.Worker)
+	if err != nil {
+		protocolError(w, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := c.Lease(req.Worker)
+	if err != nil {
+		protocolError(w, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	resp, err := c.Commit(req)
+	if err != nil {
+		protocolError(w, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,173 @@
+package coordinator
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// The lease manifest persists the coordinator's epoch watermark (and the
+// current assignments, for observability) across restarts. Its one hard
+// job is epoch monotonicity: a coordinator that restarts must never
+// reissue an epoch a previous incarnation already granted, because epoch
+// comparison is the only thing fencing a zombie worker that computed a
+// cell under the old incarnation. The file is CRC-framed like the job
+// journal: a torn write surfaces as ErrManifestCorrupt, never as a
+// silently wrong watermark.
+
+// manifestMagic identifies a lease manifest file (8 bytes).
+const manifestMagic = "EUACMAN1"
+
+// maxManifestSize bounds how much a decoder will accept; a manifest
+// holds a watermark and at most a few thousand lease rows.
+const maxManifestSize = 1 << 22
+
+// ErrManifestCorrupt reports a manifest that failed framing, checksum,
+// or semantic validation. A corrupt manifest cannot prove any epoch
+// watermark, so callers must treat it as absent AND re-fence by other
+// means (euad removes the file and relies on per-job fingerprints).
+var ErrManifestCorrupt = errors.New("coordinator: lease manifest corrupt")
+
+// Manifest is the persisted lease state.
+type Manifest struct {
+	// MaxEpoch is the highest epoch ever granted. Successor coordinators
+	// start granting strictly above it.
+	MaxEpoch uint64 `json:"max_epoch"`
+	// Leases snapshots the outstanding assignments at save time.
+	Leases []LeaseRecord `json:"leases,omitempty"`
+}
+
+// LeaseRecord is one outstanding assignment.
+type LeaseRecord struct {
+	Sweep       string `json:"sweep"`
+	Fingerprint string `json:"fingerprint"`
+	Cell        int    `json:"cell"`
+	Epoch       uint64 `json:"epoch"`
+	Worker      string `json:"worker"`
+}
+
+// EncodeManifest frames a manifest: magic, length, CRC-32C, JSON. The
+// encoding is deterministic — identical manifests produce identical
+// bytes — so round-tripping is byte-stable.
+func EncodeManifest(m Manifest) ([]byte, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(manifestMagic)+8+len(payload))
+	buf = append(buf, manifestMagic...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return buf, nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DecodeManifest parses and validates a framed manifest. Any framing,
+// checksum, or semantic violation returns ErrManifestCorrupt (wrapped
+// with detail); it never panics, whatever the input.
+func DecodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if len(data) < len(manifestMagic)+8 {
+		return m, fmt.Errorf("%w: %d bytes is shorter than the header", ErrManifestCorrupt, len(data))
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		return m, fmt.Errorf("%w: bad magic", ErrManifestCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(data[len(manifestMagic) : len(manifestMagic)+4])
+	sum := binary.LittleEndian.Uint32(data[len(manifestMagic)+4 : len(manifestMagic)+8])
+	if n > maxManifestSize {
+		return m, fmt.Errorf("%w: payload length %d exceeds limit", ErrManifestCorrupt, n)
+	}
+	payload := data[len(manifestMagic)+8:]
+	if uint32(len(payload)) != n {
+		return m, fmt.Errorf("%w: payload is %d bytes, header says %d", ErrManifestCorrupt, len(payload), n)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return m, fmt.Errorf("%w: checksum mismatch", ErrManifestCorrupt)
+	}
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return m, fmt.Errorf("%w: %v", ErrManifestCorrupt, err)
+	}
+	if err := m.validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// validate enforces the manifest's semantic invariants: every lease
+// epoch is positive and at or below the watermark (an epoch above
+// MaxEpoch means the watermark cannot fence, which defeats the file's
+// purpose), cells are non-negative, and no (sweep, cell) appears twice
+// (a cell has at most one valid lease at a time).
+func (m Manifest) validate() error {
+	seen := make(map[string]struct{}, len(m.Leases))
+	for _, l := range m.Leases {
+		if l.Epoch == 0 {
+			return fmt.Errorf("%w: lease for %s cell %d has epoch 0", ErrManifestCorrupt, l.Sweep, l.Cell)
+		}
+		if l.Epoch > m.MaxEpoch {
+			return fmt.Errorf("%w: lease epoch %d exceeds watermark %d", ErrManifestCorrupt, l.Epoch, m.MaxEpoch)
+		}
+		if l.Cell < 0 {
+			return fmt.Errorf("%w: negative cell %d", ErrManifestCorrupt, l.Cell)
+		}
+		key := l.Sweep + "\x00" + fmt.Sprint(l.Cell)
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("%w: duplicate lease for %s cell %d", ErrManifestCorrupt, l.Sweep, l.Cell)
+		}
+		seen[key] = struct{}{}
+	}
+	return nil
+}
+
+// SaveManifest atomically writes the manifest (write temp, fsync,
+// rename), so a crash mid-save leaves either the old file or the new
+// one, never a torn frame.
+func SaveManifest(path string, m Manifest) error {
+	data, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadManifest reads a manifest. A missing file is a clean cold start
+// (zero manifest, nil error); a present-but-invalid file returns
+// ErrManifestCorrupt so the caller decides how to re-fence.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return Manifest{}, nil
+	}
+	if err != nil {
+		return Manifest{}, err
+	}
+	return DecodeManifest(data)
+}

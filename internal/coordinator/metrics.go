@@ -1,0 +1,41 @@
+package coordinator
+
+import "github.com/euastar/euastar/internal/telemetry"
+
+// instruments is the coordinator's euad_coord_* series. The lease
+// counters obey an exact accounting identity the chaos soak asserts:
+//
+//	granted = completed + expired + stolen    (at sweep quiescence)
+//
+// Every granted lease resolves exactly once — by an accepted commit
+// (completed, success or failure report), by TTL expiry, or by being
+// stolen for another worker. Stale commits are fenced results arriving
+// after their lease already resolved; they are counted separately and
+// never double-resolve a lease.
+type instruments struct {
+	workersLive       *telemetry.Gauge
+	workersRegistered *telemetry.Counter
+	sweepsActive      *telemetry.Gauge
+	granted           *telemetry.Counter
+	completed         *telemetry.Counter
+	expired           *telemetry.Counter
+	stolen            *telemetry.Counter
+	stale             *telemetry.Counter
+	reassigned        *telemetry.Counter
+	cellFailures      *telemetry.Counter
+}
+
+func newInstruments(r *telemetry.Registry) *instruments {
+	return &instruments{
+		workersLive:       r.Gauge("euad_coord_workers_live", "Registered workers not yet declared dead."),
+		workersRegistered: r.Counter("euad_coord_workers_registered_total", "Worker registrations accepted (re-registrations included)."),
+		sweepsActive:      r.Gauge("euad_coord_sweeps_active", "Sweeps currently being distributed."),
+		granted:           r.Counter("euad_coord_leases_granted_total", "Cell leases granted to workers."),
+		completed:         r.Counter("euad_coord_leases_completed_total", "Leases resolved by an accepted commit (including failure reports)."),
+		expired:           r.Counter("euad_coord_leases_expired_total", "Leases revoked by TTL expiry or worker death."),
+		stolen:            r.Counter("euad_coord_leases_stolen_total", "Leases stolen from suspect workers and regranted."),
+		stale:             r.Counter("euad_coord_commits_stale_total", "Commits rejected by epoch fencing (lease already resolved)."),
+		reassigned:        r.Counter("euad_coord_cells_reassigned_total", "Cells returned to the pending pool after a revoked lease or failed commit."),
+		cellFailures:      r.Counter("euad_coord_cell_failures_total", "Cell failure reports committed by workers."),
+	}
+}

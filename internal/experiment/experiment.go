@@ -141,8 +141,13 @@ type Config struct {
 	// *SweepError with Interrupted set.
 	Interrupt <-chan struct{}
 	// Store, when non-nil, persists every completed cell so an
-	// interrupted sweep can resume without recomputation.
-	Store *CheckpointStore
+	// interrupted sweep can resume without recomputation. It is also the
+	// shard handoff surface of distributed sweeps: a cluster coordinator
+	// saves remotely computed cells here, and the subsequent run finds
+	// them "checkpointed" and reduces to the deterministic ordered merge.
+	// CheckpointStore is the durable implementation; MemStore the
+	// in-memory one.
+	Store CellStore
 
 	// testCellFault, when set, is invoked before each attempt of each
 	// cell; a non-nil return fails that attempt. Test-only hook for
@@ -280,18 +285,13 @@ type sweepUnit struct {
 	Energy  map[string]float64 `json:"energy"`
 }
 
-func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burstOverride int) ([]Row, error) {
+// sweepCell builds the (load, seed) cell function of the Figure 2 family
+// of sweeps. The same constructor backs both the local runner and the
+// distributed cell plan (PlanCells), so a cell computed on a remote
+// worker is the identical pure function of its coordinates.
+func sweepCell(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride int, g unitGrid) func(i int, interrupt <-chan struct{}) (sweepUnit, error) {
 	base := BaselineScheme()
-	// Fan the (load, seed) cells out across the worker pool. Each cell is
-	// self-contained: the workload is synthesized from the seed alone and
-	// engine.Run derives every stochastic input from the seed, so cells
-	// share no mutable state and their results do not depend on execution
-	// order.
-	g := grid(len(cfg.Loads), len(cfg.Seeds))
-	coords := func(c []int) Coords {
-		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[1]]}
-	}
-	units, done, err := runCells(cfg, exp, "", g, coords, func(i int, interrupt <-chan struct{}) (sweepUnit, error) {
+	return func(i int, interrupt <-chan struct{}) (sweepUnit, error) {
 		var u sweepUnit
 		c := g.coords(i)
 		load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
@@ -316,7 +316,20 @@ func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burst
 			u.Energy[sc.Name] = n.Energy
 		}
 		return u, nil
-	})
+	}
+}
+
+func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burstOverride int) ([]Row, error) {
+	// Fan the (load, seed) cells out across the worker pool. Each cell is
+	// self-contained: the workload is synthesized from the seed alone and
+	// engine.Run derives every stochastic input from the seed, so cells
+	// share no mutable state and their results do not depend on execution
+	// order.
+	g := grid(len(cfg.Loads), len(cfg.Seeds))
+	coords := func(c []int) Coords {
+		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[1]]}
+	}
+	units, done, err := runCells(cfg, exp, "", g, coords, sweepCell(cfg, schemes, shape, burstOverride, g))
 	if units == nil {
 		return nil, err
 	}
@@ -386,6 +399,31 @@ func Fig3App() workload.App {
 	}
 }
 
+// fig3Cell builds the (load, bound, seed) cell function of the Figure 3
+// sweep; shared between the local runner and the distributed cell plan.
+func fig3Cell(cfg Config, bounds []int, g unitGrid) func(i int, interrupt <-chan struct{}) (float64, error) {
+	noDVS := Scheme{Name: "EUA*-noDVS", New: func() sched.Scheduler { return eua.New(eua.WithoutDVS()) }, Abort: true}
+	dvs := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
+	return func(i int, interrupt <-chan struct{}) (float64, error) {
+		c := g.coords(i)
+		load, a, seed := cfg.Loads[c[0]], bounds[c[1]], cfg.Seeds[c[2]]
+		ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
+		if err != nil {
+			return 0, err
+		}
+		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+		baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals, interrupt: interrupt})
+		if err != nil {
+			return 0, &schemeError{noDVS.Name, err}
+		}
+		rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals, interrupt: interrupt})
+		if err != nil {
+			return 0, &schemeError{dvs.Name, err}
+		}
+		return metrics.Normalize(rep, baseRep).Energy, nil
+	}
+}
+
 // Figure3 regenerates Figure 3: linear TUFs with {ν=0.3, ρ=0.9}, energy
 // setting E1, the UAM bound a swept over Bounds (default 1..3) with
 // random-phase burst arrivals, at equal system load (demands rescale with
@@ -398,32 +436,12 @@ func Figure3(cfg Config, bounds []int) ([]Fig3Row, error) {
 	if len(bounds) == 0 {
 		bounds = []int{1, 2, 3}
 	}
-	noDVS := Scheme{Name: "EUA*-noDVS", New: func() sched.Scheduler { return eua.New(eua.WithoutDVS()) }, Abort: true}
-	dvs := Scheme{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true}
 	// Fan out the (load, bound, seed) cells; merge in sequential order.
 	g := grid(len(cfg.Loads), len(bounds), len(cfg.Seeds))
 	coords := func(c []int) Coords {
 		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[2]], Extra: fmt.Sprintf("a=%d", bounds[c[1]])}
 	}
-	units, done, err := runCells(cfg, "fig3", fmt.Sprintf("bounds=%v", bounds), g, coords,
-		func(i int, interrupt <-chan struct{}) (float64, error) {
-			c := g.coords(i)
-			load, a, seed := cfg.Loads[c[0]], bounds[c[1]], cfg.Seeds[c[2]]
-			ts, err := synthesize(cfg, seed, workload.LinearDecay, a)
-			if err != nil {
-				return 0, err
-			}
-			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-			baseRep, err := runOne(cfg, noDVS, ts, seed, runOptions{arrivals: Fig3Arrivals, interrupt: interrupt})
-			if err != nil {
-				return 0, &schemeError{noDVS.Name, err}
-			}
-			rep, err := runOne(cfg, dvs, ts, seed, runOptions{arrivals: Fig3Arrivals, interrupt: interrupt})
-			if err != nil {
-				return 0, &schemeError{dvs.Name, err}
-			}
-			return metrics.Normalize(rep, baseRep).Energy, nil
-		})
+	units, done, err := runCells(cfg, "fig3", fmt.Sprintf("bounds=%v", bounds), g, coords, fig3Cell(cfg, bounds, g))
 	if units == nil {
 		return nil, err
 	}
@@ -458,46 +476,60 @@ type AssuranceRow struct {
 	UtilityRatio map[string]float64
 }
 
+// assuranceUnit is one (load, seed) cell of the assurance sweep.
+// Exported fields: units are checkpointed (and shipped between cluster
+// nodes) as JSON.
+type assuranceUnit struct {
+	Satisfied map[string]bool    `json:"satisfied"`
+	Ratio     map[string]float64 `json:"ratio"`
+}
+
+// assuranceSchemes are the schemes the Section 4 verification compares.
+func assuranceSchemes() []Scheme {
+	return []Scheme{
+		{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true},
+		BaselineScheme(),
+	}
+}
+
+// assuranceCell builds the (load, seed) cell function of the assurance
+// sweep; shared between the local runner and the distributed cell plan.
+func assuranceCell(cfg Config, schemes []Scheme, g unitGrid) func(i int, interrupt <-chan struct{}) (assuranceUnit, error) {
+	return func(i int, interrupt <-chan struct{}) (assuranceUnit, error) {
+		var u assuranceUnit
+		c := g.coords(i)
+		load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
+		ts, err := synthesize(cfg, seed, workload.Step, 1)
+		if err != nil {
+			return u, err
+		}
+		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
+		u.Satisfied = make(map[string]bool, len(schemes))
+		u.Ratio = make(map[string]float64, len(schemes))
+		for _, sc := range schemes {
+			rep, err := runOne(cfg, sc, ts, seed, runOptions{interrupt: interrupt})
+			if err != nil {
+				return assuranceUnit{}, &schemeError{sc.Name, err}
+			}
+			u.Satisfied[sc.Name] = rep.AssuranceSatisfied()
+			u.Ratio[sc.Name] = rep.UtilityRatio()
+		}
+		return u, nil
+	}
+}
+
 // Assurance verifies Theorems 2–6 empirically: at each load it runs EUA*
 // and EDF-f_m on step-TUF periodic workloads and reports how often the
 // statistical requirements held.
 func Assurance(cfg Config) ([]AssuranceRow, error) {
 	cfg = cfg.withDefaults()
-	schemes := []Scheme{
-		{Name: "EUA*", New: func() sched.Scheduler { return eua.New() }, Abort: true},
-		BaselineScheme(),
-	}
+	schemes := assuranceSchemes()
 	// Fan out the (load, seed) cells; merge in sequential order.
-	type assuranceUnit struct {
-		Satisfied map[string]bool    `json:"satisfied"`
-		Ratio     map[string]float64 `json:"ratio"`
-	}
 	g := grid(len(cfg.Loads), len(cfg.Seeds))
 	coords := func(c []int) Coords {
 		return Coords{Load: cfg.Loads[c[0]], Seed: cfg.Seeds[c[1]]}
 	}
-	units, done, err := runCells(cfg, "assurance", "", g, coords,
-		func(i int, interrupt <-chan struct{}) (assuranceUnit, error) {
-			var u assuranceUnit
-			c := g.coords(i)
-			load, seed := cfg.Loads[c[0]], cfg.Seeds[c[1]]
-			ts, err := synthesize(cfg, seed, workload.Step, 1)
-			if err != nil {
-				return u, err
-			}
-			ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-			u.Satisfied = make(map[string]bool, len(schemes))
-			u.Ratio = make(map[string]float64, len(schemes))
-			for _, sc := range schemes {
-				rep, err := runOne(cfg, sc, ts, seed, runOptions{interrupt: interrupt})
-				if err != nil {
-					return assuranceUnit{}, &schemeError{sc.Name, err}
-				}
-				u.Satisfied[sc.Name] = rep.AssuranceSatisfied()
-				u.Ratio[sc.Name] = rep.UtilityRatio()
-			}
-			return u, nil
-		})
+	units, done, err := runCells(cfg, "assurance", "", g, coords, assuranceCell(cfg, schemes, g))
 	if units == nil {
 		return nil, err
 	}

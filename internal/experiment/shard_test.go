@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// shardCfg is a small but non-trivial sweep configuration, with faults
+// enabled so the distributed path is exercised on the degraded regime the
+// chaos soak uses.
+func shardCfg(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Loads:   []float64{0.4, 1.0, 1.6},
+		Seeds:   []uint64{1, 2},
+		Horizon: 0.3,
+	}
+}
+
+// TestPlanCellsMatchesLocalRun: computing every cell through the cell
+// plan (the distributed execution surface), storing the raw units in a
+// CellStore, and then running the sweep against that store must produce
+// rows bit-identical to a plain local run — the property that makes a
+// multi-node merge byte-identical to a single-node one.
+func TestPlanCellsMatchesLocalRun(t *testing.T) {
+	for _, exp := range []string{"fig2", "fig3", "assurance"} {
+		exp := exp
+		t.Run(exp, func(t *testing.T) {
+			t.Parallel()
+			cfg := shardCfg(t)
+
+			plan, err := PlanCells(cfg, exp, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Experiment() != exp {
+				t.Fatalf("plan experiment %q, want %q", plan.Experiment(), exp)
+			}
+			if plan.N() <= 0 {
+				t.Fatalf("plan has %d cells", plan.N())
+			}
+			store := NewMemStore()
+			for i := 0; i < plan.N(); i++ {
+				raw, err := plan.Run(i, nil)
+				if err != nil {
+					t.Fatalf("cell %d (%+v): %v", i, plan.Coords(i), err)
+				}
+				if err := store.Save(plan.Experiment(), plan.Fingerprint(), i, raw); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			run := func(cfg Config) any {
+				t.Helper()
+				var (
+					out any
+					err error
+				)
+				switch exp {
+				case "fig2":
+					out, err = Figure2(cfg)
+				case "fig3":
+					out, err = Figure3(cfg, nil)
+				case "assurance":
+					out, err = Assurance(cfg)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+
+			local := run(cfg)
+			merged := cfg
+			merged.Store = store
+			mergedOut := run(merged)
+			if !reflect.DeepEqual(local, mergedOut) {
+				t.Fatalf("merge from stored cells differs from local run:\nlocal:  %+v\nmerged: %+v", local, mergedOut)
+			}
+			// The merge run must not have recomputed (and re-saved) any cell.
+			if store.Saves() != plan.N() {
+				t.Fatalf("merge run recomputed cells: %d saves for %d cells", store.Saves(), plan.N())
+			}
+		})
+	}
+}
+
+// TestPlanCellsFingerprintFencesStaleCells: a unit stored under a
+// different fingerprint (changed loads) must not be resurrected.
+func TestPlanCellsFingerprintFencesStaleCells(t *testing.T) {
+	cfg := shardCfg(t)
+	plan, err := PlanCells(cfg, "fig2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	if err := store.Save(plan.Experiment(), plan.Fingerprint(), 0, json.RawMessage(`{"utility":{},"energy":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	changed := cfg
+	changed.Loads = []float64{0.2}
+	plan2, err := PlanCells(changed, "fig2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.Fingerprint() == plan.Fingerprint() {
+		t.Fatal("changed loads did not change the fingerprint")
+	}
+	if _, ok := store.Lookup(plan2.Experiment(), plan2.Fingerprint(), 0); ok {
+		t.Fatal("stale cell visible under a different fingerprint")
+	}
+}
+
+// TestPlanCellsRange: out-of-range cells are rejected, never a panic.
+func TestPlanCellsRange(t *testing.T) {
+	plan, err := PlanCells(shardCfg(t), "fig2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Run(-1, nil); err == nil {
+		t.Fatal("negative cell index accepted")
+	}
+	if _, err := plan.Run(plan.N(), nil); err == nil {
+		t.Fatal("past-the-end cell index accepted")
+	}
+	if _, err := PlanCells(shardCfg(t), "threshold", nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -236,9 +236,25 @@ func (j *Journal) Append(r Record) error {
 
 // Compact rewrites the journal to the minimal equivalent history: per
 // job, the submitted record plus the terminal record (if any), in the
-// original sequence order. The rewrite is atomic; the append handle is
-// reopened on the new file.
-func (j *Journal) Compact(records []Record) error {
+// original sequence order. The surviving history is re-read from the
+// file under the journal's lock — never taken from the caller — so a
+// record appended concurrently with compaction cannot be dropped by a
+// rewrite built from a stale snapshot. The rewrite is atomic; the
+// append handle is reopened on the new file.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("jobstore: journal closed")
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return fmt.Errorf("jobstore: read journal: %w", err)
+	}
+	records, _, err := scan(data)
+	if err != nil {
+		return err
+	}
 	states := Rebuild(records)
 	keep := make([]Record, 0, len(records))
 	for _, r := range records {
@@ -270,12 +286,6 @@ func (j *Journal) Compact(records []Record) error {
 		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 		copy(frame[8:], payload)
 		body = append(body, frame...)
-	}
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return errors.New("jobstore: journal closed")
 	}
 	if err := rewrite(j.path, body); err != nil {
 		return err

@@ -1,0 +1,188 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/client"
+	"github.com/euastar/euastar/internal/coordinator"
+	"github.com/euastar/euastar/internal/server"
+)
+
+// clusterSpec is a small faults-enabled sweep: 2 loads × 2 seeds.
+func clusterSpec(id string) server.JobSpec {
+	return server.JobSpec{
+		ID:         id,
+		Kind:       server.KindSweep,
+		Experiment: "fig2",
+		Loads:      []float64{0.4, 1.0},
+		Seeds:      2,
+		Horizon:    0.3,
+		Faults:     "seed=7,overrun=0.1,sticky=0.05",
+	}
+}
+
+// runSweepOn submits the spec and returns the terminal status.
+func runSweepOn(t *testing.T, url string, spec server.JobSpec) *server.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := client.New(url).Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("job %s: state %s, error %v", spec.ID, st.State, st.Error)
+	}
+	return st
+}
+
+// metric scrapes one un-labeled series from /metrics.
+func metric(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+	m := re.FindSubmatch(data)
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return v
+}
+
+// TestClusterSweepMatchesLocal runs the same faults-enabled sweep on a
+// plain daemon and on a coordinator whose cells are computed by an
+// in-process worker, and requires byte-identical results — the
+// distributed merge must be indistinguishable from a single-node run.
+func TestClusterSweepMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep is seconds long")
+	}
+	// Golden: a plain single daemon.
+	golden, err := server.New(server.Config{Workers: 2, SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer golden.Close()
+	goldenTS := httptest.NewServer(golden)
+	defer goldenTS.Close()
+	want := runSweepOn(t, goldenTS.URL, clusterSpec("golden"))
+
+	// Cluster: a coordinator daemon plus one joined worker.
+	coord, err := server.New(server.Config{
+		Workers:    2,
+		SimWorkers: 2,
+		Logf:       t.Logf,
+		Cluster:    &coordinator.Config{LeaseTTL: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coordTS := httptest.NewServer(coord)
+	defer coordTS.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &client.Worker{Client: client.New(coordTS.URL), ID: "w1", Slots: 2, Logf: t.Logf}
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		w.Run(ctx)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for metric(t, coordTS.URL, "euad_coord_workers_live") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	got := runSweepOn(t, coordTS.URL, clusterSpec("clustered"))
+	if !bytes.Equal(got.Result, want.Result) {
+		t.Fatalf("clustered result differs from single-node golden:\ngolden: %s\ncluster: %s", want.Result, got.Result)
+	}
+	var res server.SweepResult
+	if err := json.Unmarshal(got.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "Figure 2") {
+		t.Fatalf("rendered text missing: %q", res.Text)
+	}
+
+	// The cells must actually have traveled through the cluster, and the
+	// lease accounting must balance: every grant resolved exactly once.
+	granted := metric(t, coordTS.URL, "euad_coord_leases_granted_total")
+	completed := metric(t, coordTS.URL, "euad_coord_leases_completed_total")
+	expired := metric(t, coordTS.URL, "euad_coord_leases_expired_total")
+	stolen := metric(t, coordTS.URL, "euad_coord_leases_stolen_total")
+	if granted < 4 {
+		t.Fatalf("only %v leases granted; the sweep did not distribute", granted)
+	}
+	if granted != completed+expired+stolen {
+		t.Fatalf("lease accounting broken: granted=%v completed=%v expired=%v stolen=%v",
+			granted, completed, expired, stolen)
+	}
+	cancel()
+	<-workerDone
+}
+
+// TestCoordinatorWithoutWorkersCompletesLocally: coordinator mode with
+// an empty cluster degrades to a plain daemon, bit-identically.
+func TestCoordinatorWithoutWorkersCompletesLocally(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds long")
+	}
+	golden, err := server.New(server.Config{Workers: 2, SimWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer golden.Close()
+	goldenTS := httptest.NewServer(golden)
+	defer goldenTS.Close()
+	want := runSweepOn(t, goldenTS.URL, clusterSpec("golden"))
+
+	coord, err := server.New(server.Config{
+		Workers:    2,
+		SimWorkers: 2,
+		Cluster:    &coordinator.Config{LeaseTTL: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	coordTS := httptest.NewServer(coord)
+	defer coordTS.Close()
+
+	start := time.Now()
+	got := runSweepOn(t, coordTS.URL, clusterSpec("lonely"))
+	if !bytes.Equal(got.Result, want.Result) {
+		t.Fatalf("workerless coordinator result differs from golden")
+	}
+	if d := time.Since(start); d > time.Minute {
+		t.Fatalf("workerless coordinator took %v", d)
+	}
+	if granted := metric(t, coordTS.URL, "euad_coord_leases_granted_total"); granted != 0 {
+		t.Fatalf("%v leases granted with no workers", granted)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/euastar/euastar"
 	"github.com/euastar/euastar/internal/config"
+	"github.com/euastar/euastar/internal/coordinator"
 	"github.com/euastar/euastar/internal/cpu"
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/engine"
@@ -196,32 +197,31 @@ func faultPlan(spec JobSpec) (*faults.Plan, *JobError) {
 	return plan, nil
 }
 
+// sweepSpecOf projects a job spec onto the distributable sweep spec —
+// the shared conversion both the coordinator and its workers derive
+// their cell plans from, so their fingerprints agree by construction.
+func sweepSpecOf(spec JobSpec) coordinator.SweepSpec {
+	return coordinator.SweepSpec{
+		Experiment: spec.Experiment,
+		Energy:     spec.Energy,
+		Loads:      spec.Loads,
+		Seeds:      spec.Seeds,
+		Horizon:    spec.Horizon,
+		Bounds:     spec.Bounds,
+		Faults:     spec.Faults,
+		FastPath:   spec.FastPath,
+	}
+}
+
 // sweepConfig materializes a sweep spec into an experiment configuration.
 func (s *Server) sweepConfig(spec JobSpec, interrupt <-chan struct{}) (experiment.Config, *JobError) {
-	cfg := experiment.Config{
-		Energy:    energyPreset(spec),
-		Loads:     spec.Loads,
-		Horizon:   spec.Horizon,
-		Workers:   s.cfg.SimWorkers,
-		FastPath:  spec.FastPath,
-		Interrupt: interrupt,
-		Telemetry: s.reg,
-	}
-	seeds := spec.Seeds
-	if seeds == 0 {
-		seeds = 3
-	}
-	for i := 1; i <= seeds; i++ {
-		cfg.Seeds = append(cfg.Seeds, uint64(i))
-	}
-	plan, jerr := faultPlan(spec)
-	if jerr != nil {
-		return cfg, jerr
-	}
-	cfg.Faults = plan
-	if _, err := energy.NewPreset(cfg.Energy, cpu.PowerNowK6().Max()); err != nil {
+	cfg, err := sweepSpecOf(spec).Config()
+	if err != nil {
 		return cfg, invalidf("%v", err)
 	}
+	cfg.Workers = s.cfg.SimWorkers
+	cfg.Interrupt = interrupt
+	cfg.Telemetry = s.reg
 	return cfg, nil
 }
 
@@ -242,6 +242,7 @@ func (s *Server) runSweep(spec JobSpec, interrupt <-chan struct{}) (any, error) 
 	if jerr != nil {
 		return nil, jerr
 	}
+	var ckpt *experiment.CheckpointStore
 	if s.ckptDir != "" {
 		path := s.checkpointPath(spec.ID)
 		store, err := experiment.OpenCheckpoint(path, true)
@@ -254,7 +255,23 @@ func (s *Server) runSweep(spec JobSpec, interrupt <-chan struct{}) (any, error) 
 		if err != nil {
 			return nil, fmt.Errorf("open sweep checkpoint: %w", err)
 		}
+		ckpt = store
 		cfg.Store = store
+	}
+
+	if s.coord != nil {
+		// Distribute the sweep's cells across the cluster first. Remote
+		// workers commit into the sweep's cell store, so the local run
+		// below finds them "checkpointed" and reduces to the ordered
+		// merge; any cells the cluster didn't finish (no workers, deaths,
+		// abandoned failures) are computed locally. Either way the output
+		// is byte-identical to a single-node run.
+		if cfg.Store == nil {
+			cfg.Store = experiment.NewMemStore()
+		}
+		if err := s.coord.Distribute(spec.ID, sweepSpecOf(spec), cfg.Store, interrupt); err != nil {
+			s.logf("euad: job %s: distribute: %v; completing locally", spec.ID, err)
+		}
 	}
 
 	res := SweepResult{}
@@ -298,9 +315,9 @@ func (s *Server) runSweep(spec JobSpec, interrupt <-chan struct{}) (any, error) 
 		return nil, err
 	}
 	res.Text = text.String()
-	if cfg.Store != nil {
+	if ckpt != nil {
 		// The sweep is complete; its cells will never be resumed again.
-		os.Remove(cfg.Store.Path())
+		os.Remove(ckpt.Path())
 	}
 	return res, nil
 }

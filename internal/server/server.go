@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/euastar/euastar/internal/coordinator"
 	"github.com/euastar/euastar/internal/engine"
 	"github.com/euastar/euastar/internal/experiment"
 	"github.com/euastar/euastar/internal/jobstore"
@@ -50,6 +51,14 @@ type Config struct {
 	MaxWait time.Duration
 	// Logf receives diagnostics (default: silent).
 	Logf func(format string, args ...any)
+
+	// Cluster, when non-nil, runs this daemon as a sweep coordinator:
+	// the cluster endpoints are mounted, sweep jobs are distributed
+	// across registered workers, and the local run merges the committed
+	// cells (computing any gaps itself). The coordinator's Registry and
+	// Logf are wired to the server's; its lease manifest defaults to
+	// DataDir/leases.manifest when DataDir is set.
+	Cluster *coordinator.Config
 
 	// testExec, when set, admits the hidden "test" job kind and executes
 	// it. In-package tests use it to inject sleeps, failures and panics
@@ -118,6 +127,10 @@ type Server struct {
 	// /metrics renders it in the Prometheus text format.
 	reg *telemetry.Registry
 	ins serverInstruments
+
+	// coord distributes sweep cells across registered worker daemons
+	// (nil unless Config.Cluster is set).
+	coord *coordinator.Coordinator
 }
 
 // New builds a Server: recovers the journal (repairing any torn tail and
@@ -163,6 +176,16 @@ func New(cfg Config) (*Server, error) {
 			s.cfg.Logf("euad: journal recovery dropped %d bytes of torn tail", recovery.TruncatedBytes)
 		}
 		pending = s.recover(recovery)
+	}
+
+	if cfg.Cluster != nil {
+		cc := *cfg.Cluster
+		cc.Registry = s.reg
+		cc.Logf = cfg.Logf
+		if cc.ManifestPath == "" && cfg.DataDir != "" {
+			cc.ManifestPath = filepath.Join(cfg.DataDir, "leases.manifest")
+		}
+		s.coord = coordinator.New(cc)
 	}
 
 	// Recovered pending jobs bypass admission (they were admitted in a
@@ -441,6 +464,9 @@ func (s *Server) routes() {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.coord != nil {
+		s.coord.Routes(mux)
+	}
 	pprofRoutes(mux)
 	s.mux = mux
 }
