@@ -67,9 +67,10 @@ telemetry-smoke:
 
 # cover runs the tests with coverage and enforces the floors: the
 # scheduler core internal/sched/eua (reference + fast path + oracle
-# suite) and the admission analyzer internal/admission (unit +
-# differential + golden threshold suites) must each stay at or above 80%
-# statement coverage.
+# suite), the admission analyzer internal/admission (unit +
+# differential + golden threshold suites) and the optimality oracles
+# internal/oracle (unit + soundness + cross-oracle suites) must each
+# stay at or above 80% statement coverage.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
@@ -77,6 +78,8 @@ cover:
 	@$(GO) tool cover -func=coverage-eua.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/sched/eua coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/sched/eua below the 80% coverage floor"; exit 1 } }'
 	$(GO) test -coverprofile=coverage-admission.out ./internal/admission/
 	@$(GO) tool cover -func=coverage-admission.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/admission coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/admission below the 80% coverage floor"; exit 1 } }'
+	$(GO) test -coverprofile=coverage-oracle.out ./internal/oracle/
+	@$(GO) tool cover -func=coverage-oracle.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/oracle coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/oracle below the 80% coverage floor"; exit 1 } }'
 
 fuzz:
 	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/
@@ -86,6 +89,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzAdmission -fuzztime=30s -run='^$$' ./internal/admission/
 
 	$(GO) test -fuzz=FuzzLeaseManifest -fuzztime=30s -run='^$$' ./internal/coordinator/
+	$(GO) test -fuzz=FuzzOracle -fuzztime=30s -run='^$$' ./internal/oracle/
 
 # fuzz-smoke is the short CI-friendly fuzz pass wired into check.
 fuzz-smoke:
@@ -93,6 +97,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=5s -run='^$$' ./internal/experiment/
 	$(GO) test -fuzz=FuzzAdmission -fuzztime=5s -run='^$$' ./internal/admission/
 	$(GO) test -fuzz=FuzzLeaseManifest -fuzztime=5s -run='^$$' ./internal/coordinator/
+	$(GO) test -fuzz=FuzzOracle -fuzztime=5s -run='^$$' ./internal/oracle/
 
 # check is the full local gate: build, vet, tests, race tests, coverage
 # floor, fuzz smoke.

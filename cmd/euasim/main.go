@@ -11,13 +11,18 @@
 //	euasim -exp fig3 -loads 0.2,0.5,0.9,1.4
 //	euasim -exp fig2 -workers 8
 //	euasim -exp threshold -admission-bench BENCH_admission.json
+//	euasim -exp gaps -gaps-bench BENCH_gaps.json
+//	euasim -exp fig2 -oracles
 //	euasim -admit tasks.json -scheme EUA* -load 1.2
 //
 // -exp threshold bisects each scheduler's empirical sharp load threshold
 // and compares it against the analytical admission bounds (see
 // internal/admission); -admit runs the same O(n) analytical triage on a
 // task-set document offline and prints the accept / must-simulate /
-// reject verdict.
+// reject verdict. -exp gaps measures each scheduler's distance from
+// provable optimality against the offline oracles of internal/oracle
+// (YDS energy lower bound, branch-and-bound utility upper bound);
+// -oracles adds the same gap columns to the fig2/ablation sweeps.
 //
 // Simulations fan out across -workers goroutines (default: all cores).
 // Stdout is bit-identical for every worker count; wall-clock and progress
@@ -78,7 +83,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	fs := flag.NewFlagSet("euasim", flag.ContinueOnError)
 	fs.SetOutput(diag)
 	var (
-		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|threshold|all")
+		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|threshold|gaps|all")
 		chart      = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
 		preset     = fs.String("energy", "E1", "energy setting for fig2/ablation: E1|E2|E3")
 		loads      = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
@@ -99,6 +104,8 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		admScheme  = fs.String("scheme", "EUA*", "with -admit: scheduling scheme to triage for")
 		admLoad    = fs.Float64("load", 0, "with -admit: scale the set to this system load first (0 = as given)")
 		admBench   = fs.String("admission-bench", "", "with -exp threshold: additionally write the BENCH_admission.json baseline to this file")
+		oracles    = fs.Bool("oracles", false, "annotate fig2/ablation rows with optimality-gap columns (YDS energy lower bound, branch-and-bound utility upper bound; see DESIGN.md §13)")
+		gapsBench  = fs.String("gaps-bench", "", "with -exp gaps: additionally write the BENCH_gaps.json baseline to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,6 +171,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		Timeout:  *timeout,
 		Retries:  *retries,
 		FastPath: *fastpath,
+		Oracles:  *oracles,
 	}
 	if *loads != "" {
 		parsed, err := parseLoads(*loads)
@@ -232,7 +240,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	var docs []experiment.JSONDocument
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
-		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults", "threshold"}
+		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults", "threshold", "gaps"}
 	}
 	// A sweep with failed cells returns its completed rows alongside a
 	// *experiment.SweepError. Those partial results are still written (and
@@ -380,6 +388,33 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 						return werr
 					}
 					fmt.Fprintf(out, "admission baseline written to %s\n", *admBench)
+				}
+			}
+		case "gaps":
+			rows, err := experiment.Gaps(cfg)
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteGaps(out, rows); err != nil {
+					return err
+				}
+				docs = append(docs, experiment.JSONDocument{
+					// Gaps normalizes its config (workload, horizon cap), so
+					// record the effective description, not the CLI one.
+					Experiment: "gaps", Config: experiment.Describe(experiment.GapsConfig(cfg)), Gaps: rows,
+				})
+				if *gapsBench != "" {
+					f, err := os.Create(*gapsBench)
+					if err != nil {
+						return err
+					}
+					werr := experiment.WriteGapsBench(f, cfg, rows)
+					if cerr := f.Close(); werr == nil {
+						werr = cerr
+					}
+					if werr != nil {
+						return werr
+					}
+					fmt.Fprintf(out, "gaps baseline written to %s\n", *gapsBench)
 				}
 			}
 		default:

@@ -118,6 +118,18 @@ type Config struct {
 	// counts.
 	Telemetry *telemetry.Registry
 
+	// Oracles adds the optional per-cell optimality-gap columns to the
+	// Figure 2 family of sweeps (fig2, ablation, gaps): per scheme,
+	// energy_gap = simulated energy / the YDS lower bound on the work
+	// that run actually executed, and — when the cell's released jobs
+	// fit the exact branch-and-bound solver — utility_gap = accrued
+	// utility / the clairvoyant utility optimum (see internal/oracle).
+	// The columns annotate results without changing any simulation, so
+	// like FastPath and Telemetry the flag is excluded from Describe()
+	// and hence from checkpoint fingerprints; cells restored from a
+	// checkpoint written without the flag simply lack the columns.
+	Oracles bool
+
 	// Faults is an optional deterministic fault-injection plan applied to
 	// every run of the sweep (every scheme sees the identical faults, so
 	// the normalization against the baseline stays meaningful).
@@ -205,8 +217,20 @@ type runOptions struct {
 	faults        *faults.Plan // overrides cfg.Faults when non-nil
 }
 
-// runOne executes one scheme on one scaled task set.
+// runOne executes one scheme on one scaled task set and reduces the run
+// to its aggregate report.
 func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions) (*metrics.Report, error) {
+	res, err := runRaw(cfg, scheme, ts, seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.Analyze(res), nil
+}
+
+// runRaw executes one scheme on one scaled task set and returns the raw
+// engine result — the oracle gap columns need the resolved per-job
+// outcomes, not just the aggregate report.
+func runRaw(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions) (*engine.Result, error) {
 	ft := opts.freqs
 	if ft == nil {
 		ft = cpu.PowerNowK6()
@@ -246,7 +270,7 @@ func runOne(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 	if err != nil {
 		return nil, err
 	}
-	return metrics.Analyze(res), nil
+	return res, nil
 }
 
 // Row is one load point of a normalized comparison: per scheme, the mean
@@ -259,6 +283,17 @@ type Row struct {
 	Energy     map[string]float64
 	UtilityErr map[string]float64
 	EnergyErr  map[string]float64
+
+	// EnergyGap and UtilityGap are the optional oracle columns
+	// (Config.Oracles): per scheme — the baseline included under its own
+	// name — the mean ratio of simulated energy to the YDS lower bound
+	// (>= 1) and of accrued utility to the branch-and-bound clairvoyant
+	// optimum (<= 1; only present when the cells' instances fit the
+	// exact solver). Nil when the sweep ran without the flag.
+	EnergyGap     map[string]float64 `json:",omitempty"`
+	UtilityGap    map[string]float64 `json:",omitempty"`
+	EnergyGapErr  map[string]float64 `json:",omitempty"`
+	UtilityGapErr map[string]float64 `json:",omitempty"`
 }
 
 // Figure2 regenerates the four panels of Figure 2 for one energy setting:
@@ -283,6 +318,17 @@ func Ablation(cfg Config) ([]Row, error) {
 type sweepUnit struct {
 	Utility map[string]float64 `json:"utility"`
 	Energy  map[string]float64 `json:"energy"`
+
+	// The optional oracle columns (Config.Oracles): per scheme,
+	// simulated energy / YDS lower bound and accrued utility /
+	// branch-and-bound optimum. BnBExact records whether the cell's
+	// utility bound was proven exact, OracleJobs how many released jobs
+	// the bound covered; both are zero-valued when the utility oracle
+	// was skipped (instance too large for the exact solver).
+	EnergyGap  map[string]float64 `json:"energy_gap,omitempty"`
+	UtilityGap map[string]float64 `json:"utility_gap,omitempty"`
+	BnBExact   bool               `json:"bnb_exact,omitempty"`
+	OracleJobs int                `json:"oracle_jobs,omitempty"`
 }
 
 // sweepCell builds the (load, seed) cell function of the Figure 2 family
@@ -300,20 +346,35 @@ func sweepCell(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride
 			return u, err
 		}
 		ts = ts.ScaleToLoad(load, cpu.PowerNowK6().Max())
-		baseRep, err := runOne(cfg, base, ts, seed, runOptions{interrupt: interrupt})
+		baseRes, err := runRaw(cfg, base, ts, seed, runOptions{interrupt: interrupt})
 		if err != nil {
 			return u, &schemeError{base.Name, err}
 		}
+		baseRep := metrics.Analyze(baseRes)
 		u.Utility = make(map[string]float64, len(schemes))
 		u.Energy = make(map[string]float64, len(schemes))
+		var oracles *cellOracle
+		if cfg.Oracles {
+			if oracles, err = newCellOracle(cfg, baseRes); err != nil {
+				return sweepUnit{}, err
+			}
+			u.EnergyGap = make(map[string]float64, len(schemes)+1)
+			u.UtilityGap = make(map[string]float64, len(schemes)+1)
+			u.BnBExact, u.OracleJobs = oracles.exact, oracles.jobs
+			oracles.observe(&u, base.Name, baseRes, baseRep)
+		}
 		for _, sc := range schemes {
-			rep, err := runOne(cfg, sc, ts, seed, runOptions{interrupt: interrupt})
+			res, err := runRaw(cfg, sc, ts, seed, runOptions{interrupt: interrupt})
 			if err != nil {
 				return sweepUnit{}, &schemeError{sc.Name, err}
 			}
+			rep := metrics.Analyze(res)
 			n := metrics.Normalize(rep, baseRep)
 			u.Utility[sc.Name] = n.Utility
 			u.Energy[sc.Name] = n.Energy
+			if oracles != nil {
+				oracles.observe(&u, sc.Name, res, rep)
+			}
 		}
 		return u, nil
 	}
@@ -354,6 +415,12 @@ func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burst
 			accU[sc.Name] = &stats.Welford{}
 			accE[sc.Name] = &stats.Welford{}
 		}
+		// The oracle gap columns carry their own key set (the baseline
+		// appears under its own name, and a cell may omit a key when the
+		// bound degenerated), so they get name-keyed accumulators on
+		// demand. Per name the seeds still merge in sequential order.
+		accEG := map[string]*stats.Welford{}
+		accUG := map[string]*stats.Welford{}
 		for si := range cfg.Seeds {
 			idx := li*len(cfg.Seeds) + si
 			if !done[idx] {
@@ -364,6 +431,8 @@ func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burst
 				accU[sc.Name].Add(u.Utility[sc.Name])
 				accE[sc.Name].Add(u.Energy[sc.Name])
 			}
+			mergeGaps(accEG, u.EnergyGap)
+			mergeGaps(accUG, u.UtilityGap)
 		}
 		for _, sc := range schemes {
 			row.Utility[sc.Name] = accU[sc.Name].Mean()
@@ -373,6 +442,8 @@ func sweep(cfg Config, exp string, schemes []Scheme, shape workload.Shape, burst
 				row.EnergyErr[sc.Name] = accE[sc.Name].StdDev() / math.Sqrt(float64(n))
 			}
 		}
+		row.EnergyGap, row.EnergyGapErr = gapColumns(accEG)
+		row.UtilityGap, row.UtilityGapErr = gapColumns(accUG)
 		rows = append(rows, row)
 	}
 	return rows, err

@@ -63,8 +63,44 @@ func WriteRows(w io.Writer, title string, rows []Row) error {
 	if _, err := fmt.Fprintf(w, "%s — normalized energy (baseline EDF-fm)\n", title); err != nil {
 		return err
 	}
-	return writeMetric(w, rows, names,
-		func(r Row, n string) (float64, float64) { return r.Energy[n], r.EnergyErr[n] })
+	if err := writeMetric(w, rows, names,
+		func(r Row, n string) (float64, float64) { return r.Energy[n], r.EnergyErr[n] }); err != nil {
+		return err
+	}
+	// The oracle gap columns print only when the sweep computed them
+	// (Config.Oracles), keeping the default output unchanged.
+	if names := gapColumnNames(rows, func(r Row) map[string]float64 { return r.EnergyGap }); len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "%s — energy optimality gap (simulated / YDS lower bound, >= 1)\n", title); err != nil {
+			return err
+		}
+		if err := writeMetric(w, rows, names,
+			func(r Row, n string) (float64, float64) { return r.EnergyGap[n], r.EnergyGapErr[n] }); err != nil {
+			return err
+		}
+	}
+	if names := gapColumnNames(rows, func(r Row) map[string]float64 { return r.UtilityGap }); len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "%s — utility optimality gap (accrued / clairvoyant optimum, <= 1)\n", title); err != nil {
+			return err
+		}
+		if err := writeMetric(w, rows, names,
+			func(r Row, n string) (float64, float64) { return r.UtilityGap[n], r.UtilityGapErr[n] }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gapColumnNames collects the sorted scheme names present in one of the
+// optional gap columns across rows; empty when the sweep ran without
+// oracles.
+func gapColumnNames(rows []Row, get func(Row) map[string]float64) []string {
+	set := map[string]bool{}
+	for _, r := range rows {
+		for n := range get(r) {
+			set[n] = true
+		}
+	}
+	return sortedNames(set)
 }
 
 // writeMetric prints one metric table; cells carry a ±stderr suffix when

@@ -16,6 +16,7 @@ type JSONDocument struct {
 	Fig3Rows   []Fig3Row      `json:"fig3_rows,omitempty"`
 	Assurance  []AssuranceRow `json:"assurance_rows,omitempty"`
 	Threshold  []ThresholdRow `json:"threshold_rows,omitempty"`
+	Gaps       []GapRow       `json:"gap_rows,omitempty"`
 }
 
 // WriteJSON encodes a document with stable indentation.

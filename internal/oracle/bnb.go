@@ -1,0 +1,323 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+)
+
+// The branch-and-bound solver computes the exact clairvoyant
+// utility-accrual optimum of a small instance: the maximum summed
+// utility any preemptive uniprocessor schedule running at the top
+// frequency f_m can accrue. TUFs are non-increasing, so running slower
+// or idling mid-job never helps, and any preemptive schedule is
+// dominated by the priority list schedule of its completion order (the
+// list schedule is work-conserving on every priority prefix, hence
+// completes each job no later). The search therefore enumerates
+// priority orders: a DFS chooses which undecided job gets the next
+// priority level, with
+//
+//   - admissible upper-bound pruning: an undecided job's utility is
+//     bounded by its TUF at the earliest completion it could still
+//     achieve (only the already-prioritized jobs above it), so the sum
+//     over undecided jobs bounds the value-to-go and prunes branches
+//     that cannot beat the incumbent;
+//   - memoized dominance cuts: the value-to-go depends only on the SET
+//     of prioritized jobs, so a path reaching a set with no more
+//     accrued utility than a previously explored path is dominated and
+//     cut;
+//   - a cooperative node/time budget: when it runs out the search
+//     stops, Best keeps the incumbent (still an achievable lower bound
+//     on the optimum) and Upper folds in the admissible bounds of the
+//     abandoned frontier (still a sound upper bound); Status reports
+//     BoundOnly instead of Exact.
+
+// UAMaxJobs is the hard instance-size limit of SolveUA. The memoized
+// search is exponential in the job count; up to ~12 jobs it completes
+// exhaustively well inside the default budget, beyond UAMaxJobs the
+// state space outgrows the memo table.
+const UAMaxJobs = 16
+
+// UADefaultNodes is the default node budget: comfortably exhaustive
+// for <= 12 jobs, a hard stop for adversarial larger instances.
+const UADefaultNodes = 1 << 21
+
+// UAJob is one job of a utility-accrual instance: Cycles of work
+// released at Release, accruing TUF.Utility(t − Release) when its last
+// cycle retires at t.
+type UAJob struct {
+	Release float64
+	Cycles  float64
+	TUF     tuf.TUF
+
+	// Task and Index identify the originating job in diagnostics.
+	Task, Index int
+}
+
+// UAInstance builds the clairvoyant instance of a simulation's released
+// jobs: realized demands (ActualCycles) with the tasks' TUFs.
+func UAInstance(jobs []*task.Job) []UAJob {
+	out := make([]UAJob, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, UAJob{
+			Release: j.Arrival,
+			Cycles:  j.ActualCycles,
+			TUF:     j.Task.TUF,
+			Task:    j.Task.ID,
+			Index:   j.Index,
+		})
+	}
+	return out
+}
+
+// UAStatus reports whether the search was exhaustive.
+type UAStatus int
+
+const (
+	// Exact: the search completed; Best == Upper is the optimum.
+	Exact UAStatus = iota
+	// BoundOnly: the budget ran out; Best is achievable, Upper is a
+	// sound upper bound, and the optimum lies in [Best, Upper].
+	BoundOnly
+)
+
+func (s UAStatus) String() string {
+	if s == Exact {
+		return "Exact"
+	}
+	return "BoundOnly"
+}
+
+// UABudget caps the search cooperatively. Zero values select
+// UADefaultNodes and no time limit. A time limit makes results depend
+// on wall-clock; leave it zero where determinism matters (the fuzz
+// harness does).
+type UABudget struct {
+	MaxNodes    int
+	MaxDuration time.Duration
+}
+
+// UAResult is the solver's bracket on the clairvoyant optimum.
+type UAResult struct {
+	// Best is the utility of the best schedule found — achievable, so a
+	// lower bound on the optimum. Upper is a sound upper bound; the two
+	// coincide when Status is Exact.
+	Best, Upper float64
+	Status      UAStatus
+	// Nodes is how many search nodes were expanded.
+	Nodes int
+	// Order is the priority order of the best schedule (indices into
+	// the input slice, highest priority first) and Completions its
+	// per-job completion times under that priority assignment.
+	Order       []int
+	Completions []float64
+}
+
+// SolveUA computes the exact clairvoyant utility optimum of the
+// instance at frequency fmax, or a [Best, Upper] bracket when the
+// budget runs out first.
+func SolveUA(jobs []UAJob, fmax float64, budget UABudget) (UAResult, error) {
+	if len(jobs) > UAMaxJobs {
+		return UAResult{}, fmt.Errorf("oracle: %d jobs exceed the %d-job branch-and-bound limit", len(jobs), UAMaxJobs)
+	}
+	if fmax <= 0 || math.IsNaN(fmax) || math.IsInf(fmax, 0) {
+		return UAResult{}, fmt.Errorf("oracle: fmax must be positive and finite, got %g", fmax)
+	}
+	for i, j := range jobs {
+		if j.TUF == nil {
+			return UAResult{}, fmt.Errorf("oracle: job %d has no TUF", i)
+		}
+		if j.Cycles < 0 || math.IsNaN(j.Cycles) || math.IsInf(j.Cycles, 0) {
+			return UAResult{}, fmt.Errorf("oracle: job %d has invalid cycle count %g", i, j.Cycles)
+		}
+		if math.IsNaN(j.Release) || math.IsInf(j.Release, 0) {
+			return UAResult{}, fmt.Errorf("oracle: job %d has non-finite release %g", i, j.Release)
+		}
+	}
+	if budget.MaxNodes <= 0 {
+		budget.MaxNodes = UADefaultNodes
+	}
+
+	s := &uaSolver{
+		jobs:     jobs,
+		fmax:     fmax,
+		maxNodes: budget.MaxNodes,
+		all:      uint32(1)<<len(jobs) - 1,
+		best:     0, // utilities are non-negative, so 0 is always achievable
+		open:     math.Inf(-1),
+		dom:      make(map[uint32]float64),
+	}
+	if budget.MaxDuration > 0 {
+		s.deadline = time.Now().Add(budget.MaxDuration)
+	}
+	s.byRelease = make([]int, len(jobs))
+	for i := range jobs {
+		s.byRelease[i] = i
+	}
+	sort.Slice(s.byRelease, func(a, b int) bool {
+		ja, jb := jobs[s.byRelease[a]], jobs[s.byRelease[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		return s.byRelease[a] < s.byRelease[b]
+	})
+
+	s.dfs(0, 0, make([]int, 0, len(jobs)))
+
+	res := UAResult{Best: s.best, Upper: s.best, Status: Exact, Nodes: s.nodes, Order: s.bestOrder}
+	if s.cut {
+		res.Status = BoundOnly
+		res.Upper = math.Max(s.best, s.open)
+	}
+	res.Completions = make([]float64, len(res.Order))
+	var done uint32
+	for k, j := range res.Order {
+		res.Completions[k] = s.completion(done, j)
+		done |= 1 << j
+	}
+	return res, nil
+}
+
+type uaSolver struct {
+	jobs      []UAJob
+	fmax      float64
+	byRelease []int // job indices sorted by release
+
+	maxNodes int
+	deadline time.Time
+	nodes    int
+	cut      bool // budget ran out somewhere
+
+	all       uint32
+	best      float64
+	bestOrder []int
+	open      float64 // max admissible bound over abandoned frontier nodes
+	dom       map[uint32]float64
+}
+
+// exhausted reports (and latches) whether the budget is spent. The
+// wall-clock check piggybacks on the node counter to stay cheap.
+func (s *uaSolver) exhausted() bool {
+	if s.nodes >= s.maxNodes {
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
+		s.maxNodes = s.nodes // latch so later nodes stop immediately
+		return true
+	}
+	return false
+}
+
+func (s *uaSolver) dfs(done uint32, accrued float64, order []int) {
+	if s.exhausted() {
+		s.cut = true
+		s.open = math.Max(s.open, accrued+s.bound(done))
+		return
+	}
+	s.nodes++
+
+	if done == s.all {
+		if accrued > s.best {
+			s.best = accrued
+			s.bestOrder = append([]int(nil), order...)
+		}
+		return
+	}
+
+	// Dominance cut: value-to-go is a function of the prioritized set
+	// alone, so a path arriving with no more accrued utility than a
+	// previous one cannot improve on whatever that path achieved (or
+	// had folded into the open-frontier bound).
+	if prev, ok := s.dom[done]; ok && accrued <= prev {
+		return
+	}
+	s.dom[done] = accrued
+
+	// Admissible bound: each undecided job at the earliest completion
+	// it could still reach (delayed only by the already-prioritized
+	// set; any real extension adds more interference, and TUFs are
+	// non-increasing).
+	if accrued+s.bound(done) <= s.best {
+		return
+	}
+
+	// Expand children best-utility-first so strong incumbents appear
+	// early; the order is deterministic (utility, then index).
+	type child struct {
+		j int
+		u float64
+	}
+	children := make([]child, 0, len(s.jobs))
+	for j := range s.jobs {
+		if done&(1<<j) != 0 {
+			continue
+		}
+		c := s.completion(done, j)
+		children = append(children, child{j, s.jobs[j].TUF.Utility(c - s.jobs[j].Release)})
+	}
+	sort.Slice(children, func(a, b int) bool {
+		if children[a].u != children[b].u {
+			return children[a].u > children[b].u
+		}
+		return children[a].j < children[b].j
+	})
+	for _, c := range children {
+		s.dfs(done|1<<c.j, accrued+c.u, append(order, c.j))
+	}
+}
+
+// bound sums each undecided job's utility at its earliest achievable
+// completion given the prioritized set.
+func (s *uaSolver) bound(done uint32) float64 {
+	var b float64
+	for j := range s.jobs {
+		if done&(1<<j) != 0 {
+			continue
+		}
+		c := s.completion(done, j)
+		b += s.jobs[j].TUF.Utility(c - s.jobs[j].Release)
+	}
+	return b
+}
+
+// completion simulates the preemptive fixed-priority schedule in which
+// every job of the done set outranks j, and returns j's completion
+// time. Only the aggregate higher-priority work matters, so the sweep
+// tracks one backlog: between releases the machine drains
+// higher-priority work first, then j.
+func (s *uaSolver) completion(done uint32, j int) float64 {
+	cur := math.Inf(-1)
+	hp := 0.0                         // pending higher-priority work, seconds
+	jrem := s.jobs[j].Cycles / s.fmax // j's remaining work, seconds
+	jrel := false
+	for _, k := range s.byRelease {
+		if k != j && done&(1<<k) == 0 {
+			continue
+		}
+		if r := s.jobs[k].Release; r > cur {
+			if !math.IsInf(cur, -1) {
+				dt := r - cur
+				d := math.Min(hp, dt)
+				hp -= d
+				dt -= d
+				if jrel && dt > 0 {
+					if jrem <= dt {
+						return cur + d + jrem
+					}
+					jrem -= dt
+				}
+			}
+			cur = r
+		}
+		if k == j {
+			jrel = true
+		} else {
+			hp += s.jobs[k].Cycles / s.fmax
+		}
+	}
+	return cur + hp + jrem
+}

@@ -1,0 +1,246 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/tuf"
+)
+
+func TestSolveUASingleJob(t *testing.T) {
+	jobs := []UAJob{{Release: 1, Cycles: 100, TUF: tuf.NewStep(10, 0.5)}}
+	res, err := SolveUA(jobs, 1000, UABudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Exact {
+		t.Fatalf("status = %v, want Exact", res.Status)
+	}
+	if !almostEq(res.Best, 10, 1e-12) || !almostEq(res.Upper, 10, 1e-12) {
+		t.Errorf("Best/Upper = %g/%g, want 10", res.Best, res.Upper)
+	}
+	if len(res.Order) != 1 || len(res.Completions) != 1 {
+		t.Fatalf("order/completions = %v/%v", res.Order, res.Completions)
+	}
+	if !almostEq(res.Completions[0], 1.1, 1e-12) {
+		t.Errorf("completion = %g, want 1.1 (release + w/fm)", res.Completions[0])
+	}
+}
+
+// Two same-release jobs whose deadlines admit only one: the solver must
+// complete the higher-utility one inside its window and sacrifice the
+// other.
+func TestSolveUAOverloadPicksHigherUtility(t *testing.T) {
+	jobs := []UAJob{
+		{Release: 0, Cycles: 100, TUF: tuf.NewStep(3, 0.1)},
+		{Release: 0, Cycles: 100, TUF: tuf.NewStep(8, 0.1)},
+	}
+	res, err := SolveUA(jobs, 1000, UABudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Exact || !almostEq(res.Best, 8, 1e-12) {
+		t.Errorf("Best = %g (%v), want 8 Exact", res.Best, res.Status)
+	}
+}
+
+// A job released later can preempt the running one in the optimal
+// priority schedule: the solver's completion model must account for
+// interference windows, not just sequential stacking.
+func TestSolveUAPreemptionHelps(t *testing.T) {
+	jobs := []UAJob{
+		{Release: 0, Cycles: 200, TUF: tuf.NewStep(5, 1.0)},  // loose
+		{Release: 0.05, Cycles: 50, TUF: tuf.NewStep(5, 0.1)}, // tight, mid-release
+	}
+	// fm = 1000: the loose job alone takes 0.2s. Running it to
+	// completion first finishes the tight one at 0.25 — past its 0.15
+	// absolute deadline. Preempting at 0.05 completes both.
+	res, err := SolveUA(jobs, 1000, UABudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Exact || !almostEq(res.Best, 10, 1e-12) {
+		t.Errorf("Best = %g (%v), want 10 via preemption", res.Best, res.Status)
+	}
+}
+
+// bruteForceUA evaluates every priority permutation with an independent
+// event-by-event simulation and returns the best total utility.
+func bruteForceUA(jobs []UAJob, fmax float64) float64 {
+	n := len(jobs)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 0.0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if v := simulatePriority(jobs, perm, fmax); v > best {
+				best = v
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// simulatePriority runs a preemptive fixed-priority schedule (prio[0]
+// highest) in fine time slices and sums the accrued utility. The
+// slicing quantum is far below any release gap used in the tests, so
+// the discretization error stays under the comparison tolerance.
+func simulatePriority(jobs []UAJob, prio []int, fmax float64) float64 {
+	rem := make([]float64, len(jobs))
+	done := make([]float64, len(jobs))
+	for i, j := range jobs {
+		rem[i] = j.Cycles / fmax
+		done[i] = math.NaN()
+	}
+	end := 0.0
+	for _, j := range jobs {
+		end = math.Max(end, j.Release)
+	}
+	for _, j := range jobs {
+		end += j.Cycles / fmax
+	}
+	const dt = 1e-4
+	for t := 0.0; t <= end+dt; t += dt {
+		// Highest-priority released unfinished job runs for dt.
+		for _, i := range prio {
+			if jobs[i].Release <= t+1e-12 && rem[i] > 0 {
+				rem[i] -= dt
+				if rem[i] <= 0 {
+					done[i] = t + dt + rem[i]
+				}
+				break
+			}
+		}
+	}
+	total := 0.0
+	for i, j := range jobs {
+		if !math.IsNaN(done[i]) {
+			total += j.TUF.Utility(done[i] - j.Release)
+		}
+	}
+	return total
+}
+
+// The solver must match an independent brute-force enumeration of all
+// priority orders on randomized small instances.
+func TestSolveUAMatchesBruteForce(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + int(src.Uint64()%4) // 2..5 jobs
+		jobs := make([]UAJob, n)
+		for i := range jobs {
+			jobs[i] = UAJob{
+				Release: 0.01 * float64(src.Uint64()%20),
+				Cycles:  float64(20 + src.Uint64()%80),
+				TUF:     tuf.NewStep(float64(1+src.Uint64()%10), 0.02+0.01*float64(src.Uint64()%15)),
+			}
+		}
+		res, err := SolveUA(jobs, 1000, UABudget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Exact {
+			t.Fatalf("trial %d: status %v, want Exact", trial, res.Status)
+		}
+		want := bruteForceUA(jobs, 1000)
+		// The brute force discretizes time, so allow a slice of slack.
+		if math.Abs(res.Best-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("trial %d: Best = %g, brute force = %g (jobs %+v)", trial, res.Best, want, jobs)
+		}
+	}
+}
+
+// Exhausting the node budget must degrade to BoundOnly with a valid
+// bracket, never an error or an inverted bound.
+func TestSolveUABudgetExhaustion(t *testing.T) {
+	src := rng.New(7)
+	jobs := make([]UAJob, 12)
+	for i := range jobs {
+		jobs[i] = UAJob{
+			Release: 0.001 * float64(src.Uint64()%50),
+			Cycles:  float64(10 + src.Uint64()%90),
+			TUF:     tuf.NewStep(float64(1+src.Uint64()%10), 0.01+0.005*float64(src.Uint64()%10)),
+		}
+	}
+	full, err := SolveUA(jobs, 1000, UABudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved, err := SolveUA(jobs, 1000, UABudget{MaxNodes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.Status != BoundOnly {
+		t.Fatalf("status = %v with 50-node budget, want BoundOnly", starved.Status)
+	}
+	if starved.Best > starved.Upper+1e-12 {
+		t.Errorf("inverted bracket: Best %g > Upper %g", starved.Best, starved.Upper)
+	}
+	// The starved bracket must contain the true optimum.
+	if full.Status == Exact {
+		if full.Best < starved.Best-1e-9 || full.Best > starved.Upper+1e-9 {
+			t.Errorf("optimum %g outside starved bracket [%g, %g]", full.Best, starved.Best, starved.Upper)
+		}
+	}
+}
+
+// The wall-clock budget is cooperative: it may stop the search early
+// (BoundOnly) but never inverts the bracket.
+func TestSolveUATimeBudget(t *testing.T) {
+	jobs := make([]UAJob, 10)
+	src := rng.New(11)
+	for i := range jobs {
+		jobs[i] = UAJob{
+			Release: 0.001 * float64(src.Uint64()%30),
+			Cycles:  float64(10 + src.Uint64()%50),
+			TUF:     tuf.NewStep(float64(1+src.Uint64()%5), 0.01+0.004*float64(src.Uint64()%8)),
+		}
+	}
+	res, err := SolveUA(jobs, 1000, UABudget{MaxDuration: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best > res.Upper+1e-12 {
+		t.Errorf("inverted bracket: Best %g > Upper %g", res.Best, res.Upper)
+	}
+}
+
+func TestSolveUAErrors(t *testing.T) {
+	if _, err := SolveUA(make([]UAJob, UAMaxJobs+1), 1000, UABudget{}); err == nil {
+		t.Error("no error for oversized instance")
+	}
+	if _, err := SolveUA([]UAJob{{Release: 0, Cycles: 1, TUF: tuf.NewStep(1, 1)}}, 0, UABudget{}); err == nil {
+		t.Error("no error for fmax = 0")
+	}
+	if _, err := SolveUA([]UAJob{{Release: 0, Cycles: 1}}, 1000, UABudget{}); err == nil {
+		t.Error("no error for nil TUF")
+	}
+	if _, err := SolveUA([]UAJob{{Release: 0, Cycles: -1, TUF: tuf.NewStep(1, 1)}}, 1000, UABudget{}); err == nil {
+		t.Error("no error for negative cycles")
+	}
+	if _, err := SolveUA([]UAJob{{Release: math.Inf(1), Cycles: 1, TUF: tuf.NewStep(1, 1)}}, 1000, UABudget{}); err == nil {
+		t.Error("no error for infinite release")
+	}
+}
+
+func TestSolveUAEmpty(t *testing.T) {
+	res, err := SolveUA(nil, 1000, UABudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != 0 || res.Upper != 0 || res.Status != Exact {
+		t.Errorf("empty instance: %+v", res)
+	}
+}

@@ -1,0 +1,110 @@
+package oracle
+
+// The cross-oracle differential: on instances with pairwise-disjoint
+// windows, both oracles are independently predictable from first
+// principles — branch-and-bound must prove the zero-preemption
+// EDF-order schedule optimal (every job completes alone, at its best
+// possible time), and YDS must assign each job exactly its own window
+// intensity, priced by the closed-form per-cycle curve. Any sign, unit
+// or bookkeeping bug in either oracle breaks the 1e-9 agreement.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/tuf"
+)
+
+func TestCrossOracleDifferential(t *testing.T) {
+	ft := cpu.PowerNowK6()
+	fm := ft.Max()
+	for _, preset := range energy.Presets() {
+		m := energy.MustPreset(preset, fm)
+		for seed := uint64(1); seed <= 20; seed++ {
+			src := rng.New(seed * 7919)
+			n := 2 + int(src.Uniform(0, 5))
+
+			// Disjoint windows [i·0.1, i·0.1+width] with work feasible
+			// at fm, so EDF in release order completes every job inside
+			// its own window with zero preemptions.
+			yjobs := make([]Job, n)
+			ujobs := make([]UAJob, n)
+			heights := 0.0
+			for i := 0; i < n; i++ {
+				width := src.Uniform(0.02, 0.08)
+				rel := float64(i) * 0.1
+				cycles := src.Uniform(0.1, 0.9) * width * fm
+				h := src.Uniform(1, 50)
+				heights += h
+				yjobs[i] = Job{Release: rel, Deadline: rel + width, Cycles: cycles}
+				ujobs[i] = UAJob{Release: rel, Cycles: cycles, TUF: tuf.NewStep(h, width)}
+			}
+
+			// Branch and bound: the zero-preemption EDF schedule must be
+			// proven optimal — full utility, every completion at the
+			// job's isolated best time r + w/fm.
+			res, err := SolveUA(ujobs, fm, UABudget{})
+			if err != nil {
+				t.Fatalf("seed %d: SolveUA: %v", seed, err)
+			}
+			if res.Status != Exact {
+				t.Fatalf("seed %d: status %v, want Exact", seed, res.Status)
+			}
+			if !almostEq(res.Best, heights, 1e-9) {
+				t.Errorf("seed %d: Best = %g, want full utility %g", seed, res.Best, heights)
+			}
+			for k, j := range res.Order {
+				want := ujobs[j].Release + ujobs[j].Cycles/fm
+				if !almostEq(res.Completions[k], want, 1e-9) {
+					t.Errorf("seed %d: job %d completes at %g, want isolated %g (schedule not preemption-free)",
+						seed, j, res.Completions[k], want)
+				}
+			}
+
+			// YDS: disjoint windows mean each job is its own critical
+			// interval with intensity w/width; the schedule's energy must
+			// match the first-principles price of executing that
+			// schedule, per energy model, to 1e-9.
+			sched, err := YDS(Instance{Jobs: yjobs})
+			if err != nil {
+				t.Fatalf("seed %d: YDS: %v", seed, err)
+			}
+			crit := criticalSpeed(m)
+			wantCont := 0.0
+			for i, j := range yjobs {
+				g := j.Cycles / (j.Deadline - j.Release)
+				if !almostEq(sched.Speeds[i], g, 1e-9) {
+					t.Errorf("seed %d %s: job %d speed %g, want own intensity %g",
+						seed, preset, i, sched.Speeds[i], g)
+				}
+				f := math.Max(g, crit)
+				if math.IsInf(f, 1) {
+					wantCont += j.Cycles * m.S1
+				} else {
+					wantCont += m.Energy(j.Cycles, f)
+				}
+			}
+			got := sched.EnergyContinuous(m)
+			if !almostEq(got, wantCont, 1e-9) {
+				t.Errorf("seed %d %s: EnergyContinuous = %g, independent price = %g (Δrel %g)",
+					seed, preset, got, wantCont, math.Abs(got-wantCont)/math.Max(1, wantCont))
+			}
+
+			// Executing the B&B schedule at the YDS speeds stays inside
+			// every window: the two oracles describe one realizable
+			// schedule, whose discrete price brackets the continuous one.
+			for i, j := range yjobs {
+				f := math.Max(sched.Speeds[i], crit)
+				if fin := j.Release + j.Cycles/f; fin > j.Deadline+1e-9 {
+					t.Errorf("seed %d: job %d at YDS speed finishes %g past deadline %g", seed, i, fin, j.Deadline)
+				}
+			}
+			if disc := sched.EnergyDiscrete(m, ft); disc < got-1e-9*got {
+				t.Errorf("seed %d %s: discrete price %g below continuous %g", seed, preset, disc, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/tuf"
+)
+
+// FuzzOracle decodes arbitrary bytes into a small instance and checks
+// the oracle invariants that no input may break:
+//
+//   - panic-freedom: YDS and SolveUA return errors, never panic;
+//   - determinism: both oracles are pure functions of the instance
+//     (SolveUA under a node budget only — a wall-clock budget is
+//     documented as non-deterministic);
+//   - ordering: per-job YDS speeds are a permutation-stable assignment
+//     with EnergyContinuous <= EnergyDiscrete (intensities never exceed
+//     the table maximum here), and SolveUA never inverts Best <= Upper.
+func FuzzOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{10, 0, 5, 20, 10, 5, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 1, 200, 0, 1, 200, 0, 1, 200, 0, 1, 200, 0, 1, 200})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 9, 9, 9, 1, 1, 1, 250, 3, 128})
+
+	ft := cpu.PowerNowK6()
+	fm := ft.Max()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Three bytes per job: release slot, window width, work. Cap at
+		// 8 jobs so the exact search stays fast under the fuzzer.
+		n := len(data) / 3
+		if n > 8 {
+			n = 8
+		}
+		yjobs := make([]Job, 0, n)
+		ujobs := make([]UAJob, 0, n)
+		for i := 0; i < n; i++ {
+			rel := float64(data[3*i]) * 1e-3
+			width := (1 + float64(data[3*i+1])) * 1e-3
+			// Each job alone fits its window at fm; overlapping jobs
+			// may still stack past fm (checked below).
+			cycles := float64(data[3*i+2]) / 255 * width * fm
+			yjobs = append(yjobs, Job{Release: rel, Deadline: rel + width, Cycles: cycles})
+			ujobs = append(ujobs, UAJob{
+				Release: rel,
+				Cycles:  cycles,
+				TUF:     tuf.NewStep(1+float64(data[3*i+2]), width),
+			})
+		}
+
+		in := Instance{Jobs: yjobs}
+		s1, err := YDS(in)
+		if err != nil {
+			t.Fatalf("YDS rejected a well-formed instance: %v", err)
+		}
+		s2, err := YDS(in)
+		if err != nil {
+			t.Fatalf("YDS second run: %v", err)
+		}
+		for i := range s1.Speeds {
+			if s1.Speeds[i] != s2.Speeds[i] {
+				t.Fatalf("YDS speeds non-deterministic at job %d: %g vs %g", i, s1.Speeds[i], s2.Speeds[i])
+			}
+		}
+		// Overlapping jobs stack, so a critical interval's intensity can
+		// exceed fm even though each job alone fits its window; the
+		// continuous <= discrete ordering is only promised for
+		// platform-feasible instances (EnergyDiscrete clamps above fm).
+		feasible := s1.MaxSpeed() <= fm
+		for _, preset := range energy.Presets() {
+			m := energy.MustPreset(preset, fm)
+			cont := s1.EnergyContinuous(m)
+			disc := s1.EnergyDiscrete(m, ft)
+			if math.IsNaN(cont) || math.IsNaN(disc) || cont < 0 || disc < 0 {
+				t.Fatalf("%s: bound not a non-negative number: cont=%g disc=%g", preset, cont, disc)
+			}
+			if feasible && cont > disc*(1+1e-9)+1e-9 {
+				t.Fatalf("%s: continuous bound %g above discrete bound %g", preset, cont, disc)
+			}
+		}
+
+		budget := UABudget{MaxNodes: 1 << 14}
+		r1, err := SolveUA(ujobs, fm, budget)
+		if err != nil {
+			t.Fatalf("SolveUA rejected a well-formed instance: %v", err)
+		}
+		r2, err := SolveUA(ujobs, fm, budget)
+		if err != nil {
+			t.Fatalf("SolveUA second run: %v", err)
+		}
+		if r1.Best != r2.Best || r1.Upper != r2.Upper || r1.Status != r2.Status || r1.Nodes != r2.Nodes {
+			t.Fatalf("SolveUA non-deterministic: %+v vs %+v", r1, r2)
+		}
+		if r1.Best > r1.Upper+1e-12 {
+			t.Fatalf("inverted bracket: Best %g > Upper %g", r1.Best, r1.Upper)
+		}
+		if math.IsNaN(r1.Best) || math.IsNaN(r1.Upper) || r1.Best < 0 {
+			t.Fatalf("bracket not well formed: %+v", r1)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package oracle
+
+import (
+	"math"
+	"sort"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+)
+
+// YDS runs the Yao–Demers–Shenker critical-interval peeling algorithm
+// (the Li–Yao–Yuan formulation from PAPERS.md) on the instance and
+// returns the optimal continuous speed schedule: every job is assigned
+// the intensity of the critical interval it was peeled with, and the
+// per-round intensities are non-increasing.
+//
+// Each round finds the interval [t1, t2] maximizing the intensity
+// g = W(t1, t2) / (t2 − t1), where W sums the cycles of jobs whose
+// window is contained in [t1, t2]; those jobs are scheduled at speed g
+// and removed, and the interval is collapsed out of the remaining
+// windows. Critical-interval endpoints are always a release and a
+// deadline, so a round scans release × deadline candidate pairs with a
+// prefix accumulation — O(n²) per round, and each round removes at
+// least one job.
+//
+// The schedule's structure depends only on the instance geometry, never
+// on the power model; pricing happens in EnergyContinuous /
+// EnergyDiscrete, which floor the speeds at the model's critical speed
+// (below it, running faster and idling is cheaper — idle time is free
+// in the engine's accounting, matching engine.Config.IdleStaticPower's
+// default of zero).
+type Schedule struct {
+	// Jobs is the instance priced by this schedule, in input order.
+	Jobs []Job
+	// Speeds is the per-job critical-interval intensity in Hz, aligned
+	// with Jobs; zero for zero-cycle jobs (they never execute).
+	Speeds []float64
+	// Rounds is how many critical intervals the peeling removed.
+	Rounds int
+}
+
+// YDS computes the optimal continuous speed assignment for the
+// instance. It returns an error only for invalid instances.
+func YDS(in Instance) (*Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		Jobs:   append([]Job(nil), in.Jobs...),
+		Speeds: make([]float64, len(in.Jobs)),
+	}
+
+	type item struct {
+		idx     int
+		rel, dl float64
+		w       float64
+	}
+	active := make([]*item, 0, len(in.Jobs))
+	for i, j := range in.Jobs {
+		if j.Cycles > 0 {
+			active = append(active, &item{idx: i, rel: j.Release, dl: j.Deadline, w: j.Cycles})
+		}
+	}
+
+	for len(active) > 0 {
+		s.Rounds++
+
+		// Candidate left endpoints: the distinct releases. For each,
+		// sweep the deadlines in ascending order, accumulating the work
+		// of contained jobs; every prefix is a candidate interval.
+		rels := make([]float64, 0, len(active))
+		for _, it := range active {
+			rels = append(rels, it.rel)
+		}
+		sort.Float64s(rels)
+		rels = dedup(rels)
+		byDeadline := append([]*item(nil), active...)
+		sort.Slice(byDeadline, func(a, b int) bool {
+			if byDeadline[a].dl != byDeadline[b].dl {
+				return byDeadline[a].dl < byDeadline[b].dl
+			}
+			return byDeadline[a].idx < byDeadline[b].idx
+		})
+
+		bestG, bestT1, bestT2 := math.Inf(-1), 0.0, 0.0
+		for _, t1 := range rels {
+			w := 0.0
+			for _, it := range byDeadline {
+				if it.rel < t1 || it.dl <= t1 {
+					continue
+				}
+				w += it.w
+				g := w / (it.dl - t1)
+				// Deterministic tie-break: higher intensity, then
+				// earlier start, then earlier end.
+				if g > bestG ||
+					(g == bestG && (t1 < bestT1 || (t1 == bestT1 && it.dl < bestT2))) {
+					bestG, bestT1, bestT2 = g, t1, it.dl
+				}
+			}
+		}
+
+		// Peel: assign the intensity to the contained jobs and collapse
+		// [t1, t2] out of the remaining windows (endpoints inside the
+		// interval snap to t1; endpoints past it shift left by its
+		// length).
+		length := bestT2 - bestT1
+		collapse := func(t float64) float64 {
+			switch {
+			case t <= bestT1:
+				return t
+			case t >= bestT2:
+				return t - length
+			default:
+				return bestT1
+			}
+		}
+		rest := active[:0]
+		for _, it := range active {
+			if it.rel >= bestT1 && it.dl <= bestT2 {
+				s.Speeds[it.idx] = bestG
+				continue
+			}
+			it.rel = collapse(it.rel)
+			it.dl = collapse(it.dl)
+			rest = append(rest, it)
+		}
+		active = rest
+	}
+	return s, nil
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// MaxSpeed is the highest intensity in the schedule — the speed the
+// platform must sustain for the instance to be feasible at all.
+func (s *Schedule) MaxSpeed() float64 {
+	var m float64
+	for _, v := range s.Speeds {
+		m = math.Max(m, v)
+	}
+	return m
+}
+
+// EnergyContinuous prices the schedule under the model with speeds
+// allowed anywhere on the positive reals: each job pays
+// Cycles · inf_{f >= speed} E(f), the per-cycle energy at its intensity
+// floored at the model's critical speed. By YDS optimality (the
+// per-cycle energy is convex and idling is free) this is a lower bound
+// on the energy of every schedule — any speed profile, including
+// discrete-frequency ones — that executes the instance's work inside
+// its windows.
+func (s *Schedule) EnergyContinuous(m energy.Model) float64 {
+	var total float64
+	for i, j := range s.Jobs {
+		if j.Cycles <= 0 {
+			continue
+		}
+		total += j.Cycles * perCycleAtLeast(m, s.Speeds[i])
+	}
+	return total
+}
+
+// EnergyDiscrete prices the schedule against the platform's frequency
+// table: each job pays Cycles · the cheapest per-cycle cost of any
+// mixture of table frequencies whose cycle-weighted harmonic-mean speed
+// still reaches the job's intensity (the lower convex envelope of the
+// table points, with idling free). Every schedule restricted to table
+// frequencies pays at least this, and because the envelope lies on or
+// above the continuous curve, EnergyDiscrete >= EnergyContinuous —
+// a second, tighter lower bound for platform-feasible instances.
+//
+// Intensities above the table maximum are clamped to it: no
+// table-speed schedule can realize them, and instances derived from
+// real executions (ExecutedInstance) never produce them.
+func (s *Schedule) EnergyDiscrete(m energy.Model, ft cpu.FrequencyTable) float64 {
+	var total float64
+	fm := ft.Max()
+	for i, j := range s.Jobs {
+		if j.Cycles <= 0 {
+			continue
+		}
+		total += j.Cycles * perCycleTable(m, ft, math.Min(s.Speeds[i], fm))
+	}
+	return total
+}
+
+// perCycleAtLeast returns inf over f >= s of m.PerCycle(f). The
+// per-cycle energy E(f) = S3·f² + S2·f + S1 + S0/f is convex with at
+// most one interior minimum, so the infimum is E at the larger of s and
+// the critical speed.
+func perCycleAtLeast(m energy.Model, s float64) float64 {
+	f := math.Max(s, criticalSpeed(m))
+	if math.IsInf(f, 1) {
+		// S3 = S2 = 0 with S0 > 0: E decreases toward S1 as f grows.
+		return m.S1
+	}
+	if f <= 0 {
+		// Zero intensity with a non-increasing-free model: E's limit
+		// for f -> 0+ is S1 when S0 == 0 (and s > 0 always holds for
+		// positive-work jobs, so this is a defensive fallback).
+		if m.S0 == 0 {
+			return m.S1
+		}
+		return math.Inf(1)
+	}
+	return m.PerCycle(f)
+}
+
+// criticalSpeed returns the continuous frequency minimizing the
+// per-cycle energy: 0 when E is non-decreasing (S0 == 0), +Inf when it
+// is non-increasing (S3 == S2 == 0 with S0 > 0), and otherwise the
+// unique root of E'(f) = 2·S3·f + S2 − S0/f², found by bisection on
+// the strictly increasing derivative.
+func criticalSpeed(m energy.Model) float64 {
+	if m.S0 <= 0 {
+		return 0
+	}
+	if m.S3 <= 0 && m.S2 <= 0 {
+		return math.Inf(1)
+	}
+	deriv := func(f float64) float64 { return 2*m.S3*f + m.S2 - m.S0/(f*f) }
+	lo, hi := 1.0, 2.0
+	for deriv(lo) > 0 {
+		lo /= 2
+	}
+	for deriv(hi) < 0 {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*hi; i++ {
+		mid := (lo + hi) / 2
+		if deriv(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// perCycleTable returns the minimum per-cycle energy of any mixture of
+// table frequencies sustaining cycle-weighted harmonic-mean speed >= s:
+// minimize Σ λ_k E(f_k) subject to Σ λ_k / f_k <= 1/s, Σ λ_k = 1,
+// λ >= 0. The linear program has one non-trivial constraint, so an
+// optimum mixes at most two table points (or uses one, idling any
+// slack); enumerating singles and pairs solves it exactly.
+func perCycleTable(m energy.Model, ft cpu.FrequencyTable, s float64) float64 {
+	best := math.Inf(1)
+	for _, f := range ft {
+		if f >= s {
+			best = math.Min(best, m.PerCycle(f))
+		}
+	}
+	for _, fa := range ft {
+		if fa <= 0 || fa >= s {
+			continue
+		}
+		ea := m.PerCycle(fa)
+		for _, fb := range ft {
+			if fb <= s {
+				continue
+			}
+			// λ cycles at fa, (1−λ) at fb, time constraint tight:
+			// λ/fa + (1−λ)/fb = 1/s.
+			lam := (1/s - 1/fb) / (1/fa - 1/fb)
+			if lam < 0 || lam > 1 {
+				continue
+			}
+			best = math.Min(best, lam*ea+(1-lam)*m.PerCycle(fb))
+		}
+	}
+	return best
+}

@@ -1,0 +1,238 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/energy"
+	"github.com/euastar/euastar/internal/task"
+	"github.com/euastar/euastar/internal/tuf"
+	"github.com/euastar/euastar/internal/uam"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestYDSSingleJob(t *testing.T) {
+	in := Instance{Jobs: []Job{{Release: 0, Deadline: 2, Cycles: 10}}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", s.Rounds)
+	}
+	if got := s.Speeds[0]; !almostEq(got, 5, 1e-12) {
+		t.Errorf("speed = %g, want 5", got)
+	}
+	if got := s.MaxSpeed(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("MaxSpeed = %g, want 5", got)
+	}
+}
+
+// The classic nesting example: a tight job inside a loose one. The
+// tight job forms the first critical interval; collapsing it leaves the
+// loose job its remaining window.
+func TestYDSNestedWindows(t *testing.T) {
+	in := Instance{Jobs: []Job{
+		{Release: 0, Deadline: 10, Cycles: 4}, // loose
+		{Release: 2, Deadline: 4, Cycles: 4},  // tight: g = 2 on [2,4]
+	}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", s.Rounds)
+	}
+	if !almostEq(s.Speeds[1], 2, 1e-12) {
+		t.Errorf("tight speed = %g, want 2", s.Speeds[1])
+	}
+	// After collapsing [2,4], the loose job has 4 cycles in 8 seconds.
+	if !almostEq(s.Speeds[0], 0.5, 1e-12) {
+		t.Errorf("loose speed = %g, want 0.5", s.Speeds[0])
+	}
+}
+
+// Peeled intensities are non-increasing round by round — here checked
+// via per-job speeds on a three-level nest.
+func TestYDSIntensitiesNonIncreasing(t *testing.T) {
+	in := Instance{Jobs: []Job{
+		{Release: 0, Deadline: 100, Cycles: 10},
+		{Release: 10, Deadline: 30, Cycles: 30},
+		{Release: 12, Deadline: 16, Cycles: 20}, // g = 5
+	}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Speeds[2] >= s.Speeds[1] && s.Speeds[1] >= s.Speeds[0]) {
+		t.Errorf("speeds not nested-monotone: %v", s.Speeds)
+	}
+}
+
+func TestYDSZeroCycleJobsIgnored(t *testing.T) {
+	in := Instance{Jobs: []Job{
+		{Release: 0, Deadline: 1, Cycles: 0},
+		{Release: 0, Deadline: 1, Cycles: 3},
+	}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Speeds[0] != 0 {
+		t.Errorf("zero-cycle job got speed %g", s.Speeds[0])
+	}
+	if !almostEq(s.Speeds[1], 3, 1e-12) {
+		t.Errorf("speed = %g, want 3", s.Speeds[1])
+	}
+}
+
+func TestYDSValidation(t *testing.T) {
+	bad := []Instance{
+		{Jobs: []Job{{Release: 0, Deadline: 0, Cycles: 1}}},             // empty window
+		{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: -1}}},            // negative work
+		{Jobs: []Job{{Release: math.NaN(), Deadline: 1, Cycles: 1}}},    // NaN release
+		{Jobs: []Job{{Release: 0, Deadline: math.Inf(1), Cycles: 1}}},   // infinite deadline
+		{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: math.Inf(1)}}},   // infinite work
+		{Jobs: []Job{{Release: 0, Deadline: -1, Cycles: math.NaN()}}},   // NaN work
+		{Jobs: []Job{{Release: 2, Deadline: 1, Cycles: 1}, {Cycles: 0}}}, // inverted window
+	}
+	for i, in := range bad {
+		if _, err := YDS(in); err == nil {
+			t.Errorf("instance %d: no validation error", i)
+		}
+	}
+}
+
+// E1 has no static terms, so the continuous price of a job is exactly
+// cycles · g².
+func TestYDSEnergyContinuousE1(t *testing.T) {
+	ft := cpu.PowerNowK6()
+	m := energy.MustPreset(energy.E1, ft.Max())
+	g := 0.5 * ft.Max()
+	in := Instance{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: g}}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g * m.PerCycle(g)
+	if got := s.EnergyContinuous(m); !almostEq(got, want, 1e-12) {
+		t.Errorf("EnergyContinuous = %g, want %g", got, want)
+	}
+}
+
+// E3 has an interior per-cycle optimum (its critical speed); a job with
+// intensity far below it is priced at the critical speed, not at its
+// own intensity — running slower than the critical speed can only
+// waste static energy.
+func TestYDSCriticalSpeedClamp(t *testing.T) {
+	ft := cpu.PowerNowK6()
+	m := energy.MustPreset(energy.E3, ft.Max())
+	crit := criticalSpeed(m)
+	if crit <= 0 || math.IsInf(crit, 1) {
+		t.Fatalf("E3 critical speed = %g, want interior", crit)
+	}
+	// Analytic check: E'(crit) = 0.
+	// Scale the check to the derivative's natural magnitude (~crit).
+	if d := 2*m.S3*crit + m.S2 - m.S0/(crit*crit); math.Abs(d) > 1e-6*crit {
+		t.Errorf("E'(crit) = %g, want 0", d)
+	}
+	g := crit / 100
+	in := Instance{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: g}}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g * m.PerCycle(crit)
+	if got := s.EnergyContinuous(m); !almostEq(got, want, 1e-9) {
+		t.Errorf("EnergyContinuous = %g, want %g (clamped to critical speed)", got, want)
+	}
+	if above := g * m.PerCycle(g); above <= want {
+		t.Errorf("clamp did not lower the price: E(g)·w = %g, E(crit)·w = %g", above, want)
+	}
+}
+
+// The discrete bound prices a between-steps intensity as the optimal
+// two-frequency mixture, which beats running purely at the next step up
+// but can never beat the continuous curve.
+func TestYDSEnergyDiscreteMixture(t *testing.T) {
+	ft := cpu.PowerNowK6()
+	m := energy.MustPreset(energy.E1, ft.Max())
+	g := 700e6 // between the 640 and 730 MHz steps
+	in := Instance{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: g}}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := s.EnergyDiscrete(m, ft)
+	cont := s.EnergyContinuous(m)
+	pure := g * m.PerCycle(730e6)
+	if disc < cont-1e-9*cont {
+		t.Errorf("discrete bound %g below continuous %g", disc, cont)
+	}
+	if disc > pure+1e-9*pure {
+		t.Errorf("discrete bound %g above the pure next-step price %g", disc, pure)
+	}
+	// The mixture is strictly cheaper than the pure step here (E1 is
+	// strictly convex), and strictly above the continuous optimum.
+	if !(disc < pure) || !(disc > cont) {
+		t.Errorf("want cont %g < disc %g < pure %g", cont, disc, pure)
+	}
+}
+
+// Intensities above the table maximum are clamped for the discrete
+// bound, keeping it finite and ordered for any instance.
+func TestYDSEnergyDiscreteClampsAboveTable(t *testing.T) {
+	ft := cpu.PowerNowK6()
+	m := energy.MustPreset(energy.E1, ft.Max())
+	g := 2 * ft.Max()
+	in := Instance{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: g}}}
+	s, err := YDS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g * m.PerCycle(ft.Max())
+	if got := s.EnergyDiscrete(m, ft); !almostEq(got, want, 1e-12) {
+		t.Errorf("EnergyDiscrete = %g, want clamped %g", got, want)
+	}
+}
+
+func TestExecutedInstance(t *testing.T) {
+	tk := &task.Task{ID: 7, Arrival: uam.Spec{A: 1, P: 0.05}, TUF: tuf.NewStep(10, 0.05)}
+	jobs := []*task.Job{
+		{Task: tk, Index: 0, Arrival: 0.1, Executed: 5e5, State: task.Completed, FinishedAt: 0.13},
+		{Task: tk, Index: 1, Arrival: 0.2, Executed: 0, State: task.Aborted, FinishedAt: 0.25}, // no work
+		{Task: tk, Index: 2, Arrival: 0.3, Executed: 2e5, State: task.Pending},                 // open at horizon
+	}
+	in := ExecutedInstance(jobs, 0.42)
+	if len(in.Jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(in.Jobs))
+	}
+	if in.Jobs[0].Deadline != 0.13 || in.Jobs[0].Cycles != 5e5 {
+		t.Errorf("finished job window/work wrong: %+v", in.Jobs[0])
+	}
+	if in.Jobs[1].Deadline != 0.42 {
+		t.Errorf("pending job deadline = %g, want run end 0.42", in.Jobs[1].Deadline)
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("executed instance invalid: %v", err)
+	}
+}
+
+func TestReleasedInstance(t *testing.T) {
+	tk := &task.Task{ID: 3, Arrival: uam.Spec{A: 1, P: 0.05}, TUF: tuf.NewStep(10, 0.05)}
+	jobs := []*task.Job{
+		{Task: tk, Index: 0, Arrival: 0.1, Termination: 0.15, ActualCycles: 1e6},
+		{Task: tk, Index: 1, Arrival: 0.2, Termination: 0.25, ActualCycles: 0}, // dropped
+	}
+	in := ReleasedInstance(jobs)
+	if len(in.Jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(in.Jobs))
+	}
+	if in.Jobs[0].Release != 0.1 || in.Jobs[0].Deadline != 0.15 || in.Jobs[0].Cycles != 1e6 {
+		t.Errorf("released instance job wrong: %+v", in.Jobs[0])
+	}
+}
