@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-service test-cluster vet bench bench-sched bench-check telemetry-overhead telemetry-smoke cover fuzz fuzz-smoke check experiments examples euad clean
+.PHONY: all build test test-race test-service test-cluster test-overload vet bench bench-sched bench-check telemetry-overhead telemetry-smoke cover fuzz fuzz-smoke check experiments examples euad clean
 
 all: build vet test
 
@@ -25,6 +25,20 @@ test-race:
 test-service:
 	$(GO) test -race -count=1 ./internal/server/ ./internal/jobstore/ ./internal/client/
 	$(GO) test -race -count=1 -run 'TestChaos' ./cmd/euad/ ./cmd/euasim/
+
+# test-overload exercises the multi-tenant overload and degraded-storage
+# paths under the race detector (see DESIGN.md §14): the tenancy and
+# fault-injecting filesystem unit suites, the WDRR fairness saturation
+# soak, the degraded/poisoned admission tests, the journal fault
+# regressions, the client circuit breaker + retry-budget suite, and the
+# 20-cycle storage-fault kill/restart chaos test (zero acked-job loss,
+# zero false acks).
+test-overload:
+	$(GO) test -race -count=1 ./internal/tenancy/ ./internal/storage/
+	$(GO) test -race -count=1 -run 'TestTenant|TestDegraded|TestPoisoned' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestAppend|TestRepair|TestJournalTenant' ./internal/jobstore/
+	$(GO) test -race -count=1 -run 'TestBreaker|TestMaxElapsed|TestWorkerReRegisters' ./internal/client/
+	$(GO) test -race -count=1 -run 'TestChaosStorage' -timeout 5m ./cmd/euad/
 
 # test-cluster runs the multi-node coordination suite under the race
 # detector: the coordinator's lease/fencing unit tests, the in-process
@@ -68,9 +82,11 @@ telemetry-smoke:
 # cover runs the tests with coverage and enforces the floors: the
 # scheduler core internal/sched/eua (reference + fast path + oracle
 # suite), the admission analyzer internal/admission (unit +
-# differential + golden threshold suites) and the optimality oracles
-# internal/oracle (unit + soundness + cross-oracle suites) must each
-# stay at or above 80% statement coverage.
+# differential + golden threshold suites), the optimality oracles
+# internal/oracle (unit + soundness + cross-oracle suites), the
+# multi-tenant admission controller internal/tenancy and the
+# fault-injectable filesystem internal/storage must each stay at or
+# above 80% statement coverage.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
@@ -80,6 +96,10 @@ cover:
 	@$(GO) tool cover -func=coverage-admission.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/admission coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/admission below the 80% coverage floor"; exit 1 } }'
 	$(GO) test -coverprofile=coverage-oracle.out ./internal/oracle/
 	@$(GO) tool cover -func=coverage-oracle.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/oracle coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/oracle below the 80% coverage floor"; exit 1 } }'
+	$(GO) test -coverprofile=coverage-tenancy.out ./internal/tenancy/
+	@$(GO) tool cover -func=coverage-tenancy.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/tenancy coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/tenancy below the 80% coverage floor"; exit 1 } }'
+	$(GO) test -coverprofile=coverage-storage.out ./internal/storage/
+	@$(GO) tool cover -func=coverage-storage.out | awk '/^total:/ { pct = $$3 + 0; printf "internal/storage coverage: %s (floor 80%%)\n", $$3; if (pct < 80) { print "FAIL: internal/storage below the 80% coverage floor"; exit 1 } }'
 
 fuzz:
 	$(GO) test -fuzz=FuzzCompliant -fuzztime=30s ./internal/uam/

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/client"
+	"github.com/euastar/euastar/internal/server"
+)
+
+// TestChaosStorageFaults is the degraded-storage acceptance test: a
+// daemon running under a seeded storage fault plan (ENOSPC, torn
+// writes, fsync errors) acknowledges some submissions and refuses
+// others with 503 code=storage, then is SIGKILLed and restarted on the
+// same data directory with the faults gone. Across 20 seeded cycles:
+//
+//   - zero acked-job loss: every submission answered 202 is present and
+//     reaches a terminal state after the restart (the fsynced
+//     submission record survived both the faults and the kill), and
+//   - zero false acks: every submission refused 503 is absent after the
+//     restart — a refusal never leaves a durable ghost behind.
+func TestChaosStorageFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is multi-second; skipped in -short")
+	}
+	ctx := context.Background()
+	const cycles = 20
+	const jobsPerCycle = 15
+	var acked, refused int
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		dataDir := t.TempDir()
+		// after=8 lets the process start (journal header) before the disk
+		// begins to misbehave; the probabilities leave a seed-dependent
+		// mix of accepted and refused submissions.
+		plan := fmt.Sprintf("seed=%d,after=8,write-err=0.15,short-write=0.15,sync-err=0.1", cycle+1)
+		victim := startDaemon(t, dataDir, "-storage-faults", plan)
+
+		ackedIDs, refusedIDs := []string{}, []string{}
+		for i := 0; i < jobsPerCycle; i++ {
+			id := fmt.Sprintf("c%d-j%d", cycle, i)
+			// Durable jobs only: a 202 for a simulate job is a durability
+			// promise (the fsynced submission record), whereas an analyze
+			// job acked in degraded mode is intentionally memory-only and
+			// would rightly vanish across a restart.
+			spec := fmt.Sprintf(`{"id":%q,"kind":"simulate","scheme":"EUA*","load":0.5,"horizon":0.1,"tasks":%s}`, id, tasksDoc)
+			// Raw HTTP, no retries: each submission gets exactly one
+			// verdict, so the ack bookkeeping is unambiguous.
+			resp, err := http.Post(victim.base+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+			if err != nil {
+				t.Fatalf("cycle %d submit %s: %v; logs:\n%s", cycle, id, err, victim.logs)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				ackedIDs = append(ackedIDs, id)
+			case http.StatusServiceUnavailable:
+				refusedIDs = append(refusedIDs, id)
+			default:
+				t.Fatalf("cycle %d submit %s: unexpected %d %s; logs:\n%s", cycle, id, resp.StatusCode, body, victim.logs)
+			}
+		}
+
+		// SIGKILL: no cleanup, no drain — whatever the fsynced journal
+		// says is all the next process gets.
+		if err := victim.cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		victim.cmd.Wait()
+
+		// Restart without fault injection (the disk "recovered").
+		revived := startDaemon(t, dataDir)
+		for _, id := range ackedIDs {
+			st, err := client.New(revived.base).Wait(ctx, id)
+			if err != nil {
+				t.Fatalf("cycle %d: acked job %s lost after restart: %v; logs:\n%s", cycle, id, err, revived.logs)
+			}
+			if !st.Terminal() {
+				t.Fatalf("cycle %d: acked job %s not terminal: %+v", cycle, id, st)
+			}
+		}
+		for _, id := range refusedIDs {
+			resp, err := http.Get(revived.base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("cycle %d: refused job %s resurfaced as %d after restart (false ack); logs:\n%s",
+					cycle, id, resp.StatusCode, revived.logs)
+			}
+		}
+		revived.cmd.Process.Kill()
+		revived.cmd.Wait()
+		acked += len(ackedIDs)
+		refused += len(refusedIDs)
+	}
+	t.Logf("%d cycles: %d acked (all present and terminal), %d refused (none resurfaced)", cycles, acked, refused)
+	if acked == 0 || refused == 0 {
+		t.Fatalf("degenerate chaos mix (acked %d, refused %d): the fault plan exercised only one path", acked, refused)
+	}
+}
+
+// tasksDoc is a small valid task-set document for analyze submissions.
+const tasksDoc = `{
+ "tasks": [
+  {"id": 1, "name": "A", "a": 1, "window_ms": 50,
+   "tuf": {"shape": "step", "umax": 10},
+   "mean_cycles": 2e6, "variance_cycles": 1e11, "nu": 1, "rho": 0.9},
+  {"id": 2, "name": "B", "a": 2, "window_ms": 120,
+   "tuf": {"shape": "linear", "umax": 40, "uend": 0},
+   "mean_cycles": 5e6, "variance_cycles": 4e11, "nu": 0.3, "rho": 0.9}
+ ]
+}`
+
+// TestChaosStorageDegradedFlag smoke-checks the -disk-low-watermark
+// wiring end to end: a daemon started with the watermark at 1.0 (every
+// real disk is below it) must refuse durable work with 503 code=storage
+// while still serving analyze, and report itself degraded.
+func TestChaosStorageDegradedFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is multi-second; skipped in -short")
+	}
+	d := startDaemon(t, t.TempDir(), "-disk-low-watermark", "1.0")
+	defer func() {
+		d.cmd.Process.Kill()
+		d.cmd.Wait()
+	}()
+
+	spec := fmt.Sprintf(`{"id":"deg-1","kind":"simulate","scheme":"EUA*","load":0.5,"horizon":0.1,"tasks":%s}`, tasksDoc)
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("durable submit on degraded daemon: %d; logs:\n%s", resp.StatusCode, d.logs)
+	}
+
+	an := fmt.Sprintf(`{"id":"deg-an","kind":"analyze","tasks":%s}`, tasksDoc)
+	resp, err = http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader([]byte(an)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("analyze on degraded daemon: %d; logs:\n%s", resp.StatusCode, d.logs)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := client.New(d.base).Wait(ctx, "deg-an")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("degraded analyze: %+v", st)
+	}
+}

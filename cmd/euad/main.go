@@ -28,6 +28,8 @@ import (
 	"github.com/euastar/euastar/internal/client"
 	"github.com/euastar/euastar/internal/coordinator"
 	"github.com/euastar/euastar/internal/server"
+	"github.com/euastar/euastar/internal/storage"
+	"github.com/euastar/euastar/internal/tenancy"
 )
 
 func main() {
@@ -40,7 +42,16 @@ func run(args []string) int {
 	data := fs.String("data", "euad-data", "data directory for the job journal and sweep checkpoints (empty disables durability)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	simWorkers := fs.Int("sim-workers", 1, "simulation workers per sweep job")
-	queue := fs.Int("queue", 64, "admission queue depth; beyond it submissions get 429")
+	queue := fs.Int("queue", 64, "per-tenant admission queue depth; beyond it submissions get 429")
+	tenantWeights := fs.String("tenant-weights", "", "WDRR dequeue weights per tenant, e.g. team-a=1,team-b=4 (unlisted tenants weigh 1)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant submission quota in jobs/second (0 disables the quota)")
+	tenantBurst := fs.Int("tenant-burst", 1, "per-tenant submission quota burst (token bucket capacity)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "per-tenant cap on queued+running jobs (0 = unlimited)")
+	maxTenants := fs.Int("max-tenants", 64, "distinct tenants tracked before further tenants are refused")
+	diskLow := fs.Float64("disk-low-watermark", 0, "free-space fraction of the data dir below which the daemon degrades: analyze only, durable work refused with 503 (0 disables)")
+	storageFaults := fs.String("storage-faults", "", "deterministic storage fault plan for chaos testing, e.g. seed=7,after=8,write-err=0.1,sync-err=0.05")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "worker-mode circuit breaker: consecutive dead-peer failures before it opens")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "worker-mode circuit breaker: cooldown before a half-open probe")
 	defTimeout := fs.Duration("timeout", 2*time.Minute, "default per-job wall-clock budget")
 	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "ceiling on any job's wall-clock budget")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
@@ -55,14 +66,34 @@ func run(args []string) int {
 	logf := func(format string, a ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", a...)
 	}
+	weights, err := tenancy.ParseWeights(*tenantWeights)
+	if err != nil {
+		logf("euad: %v", err)
+		return 1
+	}
+	plan, err := storage.ParseFaultPlan(*storageFaults)
+	if err != nil {
+		logf("euad: %v", err)
+		return 1
+	}
 	scfg := server.Config{
-		DataDir:        *data,
-		Workers:        *workers,
-		SimWorkers:     *simWorkers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		Logf:           logf,
+		DataDir:           *data,
+		Workers:           *workers,
+		SimWorkers:        *simWorkers,
+		QueueDepth:        *queue,
+		TenantWeights:     weights,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		TenantMaxInFlight: *tenantInflight,
+		MaxTenants:        *maxTenants,
+		DiskLowWatermark:  *diskLow,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		Logf:              logf,
+	}
+	if plan != nil {
+		logf("euad: storage fault injection active: %s", plan)
+		scfg.FS = storage.NewFaultFS(storage.OS(), plan)
 	}
 	if *coordMode {
 		scfg.Cluster = &coordinator.Config{LeaseTTL: *leaseTTL, Heartbeat: *heartbeat}
@@ -98,7 +129,12 @@ func run(args []string) int {
 			host, _ := os.Hostname()
 			id = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		w := &client.Worker{Client: client.New(*join), ID: id, Slots: *cells, Logf: logf}
+		cl := client.New(*join)
+		cl.Breaker = client.NewBreaker(*breakerThreshold, *breakerCooldown)
+		cl.Breaker.OnChange(func(from, to string) {
+			logf("euad: worker: coordinator circuit breaker %s -> %s", from, to)
+		})
+		w := &client.Worker{Client: cl, ID: id, Slots: *cells, Logf: logf}
 		workerDone = make(chan struct{})
 		go func() {
 			defer close(workerDone)

@@ -1,0 +1,201 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed = "closed"
+	// BreakerOpen: the peer looks dead; requests fail fast until the
+	// cooldown elapses.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// allowed through to test the peer.
+	BreakerHalfOpen = "half-open"
+)
+
+// Breaker is a consecutive-failure circuit breaker shared by everything
+// a Client does (submissions, worker heartbeats, lease loops). After
+// Threshold consecutive dead-peer failures it opens: requests fail fast
+// with a *BreakerOpenError instead of hammering a daemon that is down,
+// letting euasim -remote and coordinator workers back off as one. After
+// Cooldown a single half-open probe tests the peer; its outcome closes
+// the breaker or re-opens it for another cooldown.
+//
+// Only dead-peer signals count as failures: transport errors and 502/
+// 503/504 responses. Any other HTTP response — including 429 and 4xx —
+// proves the peer is alive and resets the failure streak.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	onChange  func(from, to string)
+
+	state    string
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and probes after cooldown. threshold <= 0 means 5;
+// cooldown <= 0 means 2s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// OnChange registers a hook invoked (outside the breaker lock) on every
+// state transition — the worker loop uses it to log open/close events.
+func (b *Breaker) OnChange(fn func(from, to string)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = fn
+}
+
+// State returns the current state string.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transitionLocked moves to state `to` and returns the hook to run after
+// unlocking (nil if no change or no hook).
+func (b *Breaker) transitionLocked(to string) func() {
+	if b.state == to {
+		return nil
+	}
+	from := b.state
+	b.state = to
+	if fn := b.onChange; fn != nil {
+		return func() { fn(from, to) }
+	}
+	return nil
+}
+
+// Allow reports whether a request may proceed. When it returns false the
+// breaker is open and retryAfter is the remaining cooldown.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	var hook func()
+	defer func() {
+		b.mu.Unlock()
+		if hook != nil {
+			hook()
+		}
+	}()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		hook = b.transitionLocked(BreakerHalfOpen)
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Success records a request that proved the peer alive.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	hook := b.transitionLocked(BreakerClosed)
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// Failure records a dead-peer failure. The half-open probe failing, or
+// the failure streak reaching the threshold, opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	var hook func()
+	if b.state == BreakerHalfOpen {
+		hook = b.transitionLocked(BreakerOpen)
+		b.openedAt = b.now()
+		b.probing = false
+	} else if b.state == BreakerClosed {
+		b.failures++
+		if b.failures >= b.threshold {
+			hook = b.transitionLocked(BreakerOpen)
+			b.openedAt = b.now()
+		}
+	}
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
+// BreakerOpenError is returned (without touching the network) while the
+// breaker is open. It is retryable, and RetryAfter floors the retry
+// backoff at the remaining cooldown.
+type BreakerOpenError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("euad: circuit breaker open (retry in %v)", e.RetryAfter.Round(time.Millisecond))
+}
+
+// observe classifies err for the breaker: nil and alive-peer responses
+// are successes, dead-peer signals are failures, breaker-open fast-fails
+// and context cancellations are neither.
+func (b *Breaker) observe(err error) {
+	if b == nil {
+		return
+	}
+	if err == nil {
+		b.Success()
+		return
+	}
+	var boe *BreakerOpenError
+	if asBreakerOpen(err, &boe) {
+		return
+	}
+	var apiErr *APIError
+	if asAPIError(err, &apiErr) {
+		switch apiErr.StatusCode {
+		case 502, 503, 504:
+			b.Failure()
+		default:
+			// The peer answered — overloaded (429) or unhappy, but alive.
+			b.Success()
+		}
+		return
+	}
+	// Transport-level failure (refused, reset, timeout). Callers skip
+	// observe entirely when their context is already canceled — an aborted
+	// request says nothing about the peer.
+	b.Failure()
+}
+
+func asBreakerOpen(err error, out **BreakerOpenError) bool {
+	if e, ok := err.(*BreakerOpenError); ok {
+		*out = e
+		return true
+	}
+	return false
+}

@@ -1,0 +1,332 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/coordinator"
+	"github.com/euastar/euastar/internal/server"
+)
+
+// TestBreakerStateMachine walks closed → open → half-open → closed and
+// the probe-failure re-open, with a fake clock.
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.now = func() time.Time { return now }
+	var transitions []string
+	b.OnChange(func(from, to string) { transitions = append(transitions, from+">"+to) })
+
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker denied a request")
+	}
+	b.Failure()
+	b.Failure()
+	b.Success() // streak resets
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after 2/3 failures", b.State())
+	}
+	b.Failure() // third consecutive: opens
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after threshold failures", b.State())
+	}
+	ok, wait := b.Allow()
+	if ok || wait <= 0 || wait > time.Second {
+		t.Fatalf("open breaker: ok=%v wait=%v", ok, wait)
+	}
+
+	// Cooldown elapses: exactly one probe allowed.
+	now = now.Add(1100 * time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s during probe", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.Failure() // probe fails: re-open
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after failed probe", b.State())
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second probe denied")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after successful probe", b.State())
+	}
+	joined := strings.Join(transitions, " ")
+	if joined != "closed>open open>half-open half-open>open open>half-open half-open>closed" {
+		t.Fatalf("transitions %q", joined)
+	}
+}
+
+// TestBreakerClassification: 5xx dead-peer responses open the breaker;
+// 429 and 4xx prove the peer alive and reset the streak.
+func TestBreakerClassification(t *testing.T) {
+	b := NewBreaker(2, time.Second)
+	b.observe(&APIError{StatusCode: 503})
+	b.observe(&APIError{StatusCode: 429}) // alive: resets
+	b.observe(&APIError{StatusCode: 503})
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s: 429 did not reset the streak", b.State())
+	}
+	b.observe(&APIError{StatusCode: 502})
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after consecutive 5xx", b.State())
+	}
+}
+
+// TestBreakerFailsFastAndRecovers drives a Client against a daemon that
+// dies and comes back: the breaker opens after the failure streak, fast
+// -fails without network calls, then a half-open probe closes it.
+func TestBreakerFailsFastAndRecovers(t *testing.T) {
+	var calls atomic.Int32
+	var down atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j", State: server.StateDone})
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.Retries = 2 // exactly threshold attempts: the loop opens the breaker and stops
+	c.Breaker = NewBreaker(3, 200*time.Millisecond)
+	down.Store(true)
+	if _, err := c.Get(context.Background(), "j"); err == nil {
+		t.Fatal("dead daemon reported success")
+	}
+	if c.Breaker.State() != BreakerOpen {
+		t.Fatalf("breaker %s after exhausted retries against dead daemon", c.Breaker.State())
+	}
+	netCalls := calls.Load()
+	// While open (cooldown not yet elapsed), a request fails fast with no
+	// network traffic at all.
+	c.Retries = 0
+	if _, err := c.Get(context.Background(), "j"); err == nil {
+		t.Fatal("open breaker reported success")
+	} else {
+		var boe *BreakerOpenError
+		if !asBreakerOpen(unwrapAll(err), &boe) && !strings.Contains(err.Error(), "circuit breaker open") {
+			t.Fatalf("open-breaker error: %v", err)
+		}
+	}
+	if calls.Load() != netCalls {
+		t.Fatalf("open breaker still sent %d network calls", calls.Load()-netCalls)
+	}
+
+	// Daemon recovers; after the cooldown the probe closes the breaker.
+	down.Store(false)
+	time.Sleep(220 * time.Millisecond)
+	if _, err := c.Get(context.Background(), "j"); err != nil {
+		t.Fatalf("get after recovery: %v", err)
+	}
+	if c.Breaker.State() != BreakerClosed {
+		t.Fatalf("breaker %s after successful probe", c.Breaker.State())
+	}
+}
+
+func unwrapAll(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}
+
+// TestMaxElapsedBudget: the retry loop gives up once the wall-clock
+// budget cannot fit the next backoff sleep, even when the server's
+// Retry-After floor demands a much longer wait.
+func TestMaxElapsedBudget(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		// Ten-second Retry-After: honoring it would blow any test budget.
+		w.Header().Set("Retry-After", "10")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.Breaker = nil
+	c.MaxElapsed = 50 * time.Millisecond
+	start := time.Now()
+	_, err := c.Get(context.Background(), "j")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("budget-bounded retry reported success")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("error %v, want retry-budget give-up", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("give-up took %v; the 10s Retry-After floor was honored past the budget", elapsed)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("%d attempts, want 1 (budget cannot fit the floored backoff)", n)
+	}
+}
+
+// TestMaxElapsedUnlimitedWhenZero: a zero budget never triggers the
+// give-up path.
+func TestMaxElapsedUnlimitedWhenZero(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j", State: server.StateDone})
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.MaxElapsed = 0
+	if _, err := c.Get(context.Background(), "j"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+}
+
+// TestWorkerReRegistersAfterBreakerRecovery: a coordinator outage long
+// enough to open the worker's breaker, followed by recovery in which the
+// coordinator has forgotten the worker, must end with the worker
+// re-registered and leasing again — the breaker's half-open probe and
+// the unknown_worker handling compose.
+func TestWorkerReRegistersAfterBreakerRecovery(t *testing.T) {
+	var mu sync.Mutex
+	registers, leases := 0, 0
+	known := false // whether the coordinator remembers the worker
+	var outage atomic.Bool
+	unknownWorker := func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusConflict)
+		json.NewEncoder(w).Encode(map[string]any{"error": server.JobError{Code: coordinator.CodeUnknownWorker, Message: "unknown worker"}})
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if outage.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		switch r.URL.Path {
+		case "/v1/cluster/register":
+			mu.Lock()
+			registers++
+			known = true
+			mu.Unlock()
+			json.NewEncoder(w).Encode(coordinator.RegisterResponse{HeartbeatSeconds: 0.05, LeaseTTLSeconds: 1})
+		case "/v1/cluster/heartbeat":
+			mu.Lock()
+			k := known
+			mu.Unlock()
+			if !k {
+				unknownWorker(w)
+				return
+			}
+			json.NewEncoder(w).Encode(coordinator.HeartbeatResponse{})
+		case "/v1/cluster/lease":
+			mu.Lock()
+			k := known
+			if k {
+				leases++
+			}
+			mu.Unlock()
+			if !k {
+				unknownWorker(w)
+				return
+			}
+			json.NewEncoder(w).Encode(coordinator.LeaseResponse{None: true, RetryAfterSeconds: 0.05})
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.Retries = 2
+	c.Breaker = NewBreaker(3, 30*time.Millisecond)
+	w := &Worker{Client: c, ID: "w1", Slots: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx) }()
+
+	// Let the worker register, then crash the coordinator: every request
+	// fails until the breaker opens. The restart also wipes the worker
+	// table (known=false), so recovery requires re-registration.
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				mu.Lock()
+				r, l := registers, leases
+				mu.Unlock()
+				t.Fatalf("%s (breaker %s, registers %d, leases %d)", what, c.Breaker.State(), r, l)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("worker never registered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return registers >= 1
+	})
+	mu.Lock()
+	known = false
+	mu.Unlock()
+	outage.Store(true)
+	waitFor("breaker never opened during outage", func() bool {
+		return c.Breaker.State() == BreakerOpen
+	})
+	// No lease can succeed between here and recovery: the coordinator is
+	// down, and once it returns it answers unknown_worker until the worker
+	// re-registers. So any lease counted past this snapshot is a genuine
+	// post-recovery lease.
+	mu.Lock()
+	leasesBase, registersBase := leases, registers
+	mu.Unlock()
+
+	// Coordinator comes back with amnesia: the half-open probe hits an
+	// unknown_worker response (a success for the breaker — the peer is
+	// alive), the worker re-registers and resumes leasing.
+	outage.Store(false)
+	waitFor("worker never leased after recovery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return leases > leasesBase
+	})
+	mu.Lock()
+	reRegistered := registers > registersBase
+	mu.Unlock()
+	if !reRegistered {
+		t.Fatal("worker leased after recovery without re-registering")
+	}
+	// The successful requests around that lease close the breaker; give
+	// the client goroutine a moment to observe its response.
+	waitFor("breaker never closed after recovery", func() bool {
+		return c.Breaker.State() == BreakerClosed
+	})
+	cancel()
+	<-done
+}

@@ -37,18 +37,33 @@ type Client struct {
 	// [d/2, d] so synchronized clients do not stampede.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// MaxElapsed bounds the total wall-clock a retry loop may consume,
+	// including the pending backoff sleep: once the budget cannot fit the
+	// next wait, the loop gives up with the last error. Zero means
+	// unlimited; New sets 10 minutes. The budget caps Retry-After floors
+	// too — a server demanding a longer wait than the budget allows turns
+	// into a fast give-up rather than a blown deadline.
+	MaxElapsed time.Duration
+	// Breaker is the consecutive-failure circuit breaker guarding every
+	// request this client sends; nil disables it. New installs one with
+	// the default threshold (5) and cooldown (2s).
+	Breaker *Breaker
 	// jitter overrides the randomness source in tests.
 	jitter func() float64
+	// clock overrides time.Now for the MaxElapsed budget in tests.
+	clock func() time.Time
 }
 
 // New builds a client for the daemon at base.
 func New(base string) *Client {
 	return &Client{
-		Base:      strings.TrimRight(base, "/"),
-		HTTP:      &http.Client{Timeout: 60 * time.Second},
-		Retries:   8,
-		BaseDelay: 100 * time.Millisecond,
-		MaxDelay:  5 * time.Second,
+		Base:       strings.TrimRight(base, "/"),
+		HTTP:       &http.Client{Timeout: 60 * time.Second},
+		Retries:    8,
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   5 * time.Second,
+		MaxElapsed: 10 * time.Minute,
+		Breaker:    NewBreaker(0, 0),
 	}
 }
 
@@ -199,22 +214,36 @@ func (c *Client) do(ctx context.Context, method, url string, body []byte) (*serv
 }
 
 // retryLoop runs one request attempt function under the retry policy:
-// jittered exponential backoff floored by Retry-After, permanent API
-// errors returned immediately.
+// jittered exponential backoff floored by Retry-After (or the breaker's
+// remaining cooldown), permanent API errors returned immediately, the
+// whole loop bounded by the MaxElapsed wall-clock budget.
 func (c *Client) retryLoop(ctx context.Context, attempt func() error) error {
+	now := c.clock
+	if now == nil {
+		now = time.Now
+	}
+	start := now()
 	var lastErr error
 	for try := 0; ; try++ {
 		if try > 0 {
 			var floor time.Duration
 			var apiErr *APIError
-			if ok := asAPIError(lastErr, &apiErr); ok {
+			var boe *BreakerOpenError
+			switch {
+			case asAPIError(lastErr, &apiErr):
 				floor = apiErr.RetryAfter
+			case asBreakerOpen(lastErr, &boe):
+				floor = boe.RetryAfter
 			}
-			if err := c.sleep(ctx, c.backoff(try, floor)); err != nil {
+			d := c.backoff(try, floor)
+			if c.MaxElapsed > 0 && now().Sub(start)+d > c.MaxElapsed {
+				return fmt.Errorf("euad: retry budget %v exhausted after %d attempts: %w", c.MaxElapsed, try, lastErr)
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return fmt.Errorf("%w (last error: %v)", err, lastErr)
 			}
 		}
-		err := attempt()
+		err := c.guardedAttempt(ctx, attempt)
 		if err == nil {
 			return nil
 		}
@@ -230,6 +259,32 @@ func (c *Client) retryLoop(ctx context.Context, attempt func() error) error {
 			return fmt.Errorf("euad: giving up after %d attempts: %w", try+1, lastErr)
 		}
 	}
+}
+
+// guardedAttempt runs one attempt through the circuit breaker: fail fast
+// while it is open, record the outcome otherwise. Attempts aborted by
+// the caller's own context are not recorded — they say nothing about the
+// peer's health.
+func (c *Client) guardedAttempt(ctx context.Context, attempt func() error) error {
+	b := c.Breaker
+	if b == nil {
+		return attempt()
+	}
+	if ok, wait := b.Allow(); !ok {
+		return &BreakerOpenError{RetryAfter: wait}
+	}
+	err := attempt()
+	if err != nil && ctx.Err() != nil {
+		// Aborted mid-flight by the caller's own context. Don't count it
+		// against the peer — but a half-open probe slot must not leak, so
+		// an aborted probe re-opens for another cooldown.
+		if b.State() == BreakerHalfOpen {
+			b.Failure()
+		}
+		return err
+	}
+	b.observe(err)
+	return err
 }
 
 // retrying runs one JobStatus-returning attempt under the retry policy.

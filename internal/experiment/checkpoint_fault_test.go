@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"github.com/euastar/euastar/internal/storage"
+)
+
+// TestCheckpointFlushDurabilityOrder asserts the full durability recipe
+// of a checkpoint save: temp write, temp fsync, rename, directory fsync
+// — in that order.
+func TestCheckpointFlushDurabilityOrder(t *testing.T) {
+	dir := t.TempDir()
+	var ops []string
+	trace := &storage.TraceFS{Inner: storage.OS(), OnOp: func(op, path string) { ops = append(ops, op) }}
+	s, err := OpenCheckpointFS(trace, filepath.Join(dir, "ckpt.json"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("exp", "fp", 0, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"create", "write", "sync", "rename", "syncdir"}
+	got := ops
+	// Drop the resume-time read, if any.
+	if len(got) > 0 && got[0] == "read" {
+		got = got[1:]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ops %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ops %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCheckpointSaveFaultLeavesPreviousState: a Save that dies mid-write
+// (injected short write or fsync error) must report the error and leave
+// the previous on-disk checkpoint intact and loadable — never a torn or
+// half-flushed file.
+func TestCheckpointSaveFaultLeavesPreviousState(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		plan *storage.FaultPlan
+	}{
+		// After=3 lets the first Save's write+sync+syncdir through, so the
+		// fault lands on the second Save's operations.
+		{"short-write", &storage.FaultPlan{Seed: 3, ShortWriteProb: 1, After: 3}},
+		{"write-err", &storage.FaultPlan{Seed: 3, WriteErrProb: 1, After: 3}},
+		{"sync-err", &storage.FaultPlan{Seed: 3, SyncErrProb: 1, After: 3}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ckpt.json")
+			s, err := OpenCheckpointFS(storage.NewFaultFS(storage.OS(), tc.plan), path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Save("exp", "fp", 0, json.RawMessage(`{"v":1}`)); err != nil {
+				t.Fatalf("save inside grace window: %v", err)
+			}
+			err = s.Save("exp", "fp", 1, json.RawMessage(`{"v":2}`))
+			if err == nil {
+				t.Fatal("faulted save reported success")
+			}
+			if !errors.Is(err, syscall.ENOSPC) && !errors.Is(err, io.ErrShortWrite) && !errors.Is(err, syscall.EIO) {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+
+			// The previous checkpoint state must still load cleanly.
+			re, err := OpenCheckpoint(path, true)
+			if err != nil {
+				t.Fatalf("reload after faulted save: %v", err)
+			}
+			if raw, ok := re.Lookup("exp", "fp", 0); !ok || string(raw) != `{"v":1}` {
+				t.Fatalf("cell 0 lost: %q, %v", raw, ok)
+			}
+		})
+	}
+}
+
+// TestCheckpointSaveDirSyncFaultSurfaces: a directory-sync failure after
+// the rename must surface as a Save error — the rename may not survive a
+// crash, so the caller cannot treat the cell as durably checkpointed.
+func TestCheckpointSaveDirSyncFaultSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	// Ops per save: write, sync, syncdir. After=2 exempts the first save's
+	// write+sync; op 2 is its syncdir, which faults.
+	s, err := OpenCheckpointFS(storage.NewFaultFS(storage.OS(), &storage.FaultPlan{
+		Seed: 1, SyncErrProb: 1, After: 2,
+	}), path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("exp", "fp", 0, json.RawMessage(`{"v":1}`)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("save with failing dir sync: %v, want EIO", err)
+	}
+}

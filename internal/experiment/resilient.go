@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/euastar/euastar/internal/engine"
+	"github.com/euastar/euastar/internal/storage"
 )
 
 // Coords addresses one sweep cell in reproduction terms.
@@ -369,23 +370,32 @@ func decodeCheckpoint(data []byte) (*checkpointDoc, error) {
 // state, never a torn write.
 type CheckpointStore struct {
 	mu   sync.Mutex
+	fs   storage.FS
 	path string
 	doc  *checkpointDoc
 }
 
-// OpenCheckpoint opens (or initializes) the checkpoint at path. With
-// resume set, an existing file is loaded and its completed cells are
-// reused; otherwise the store starts empty and the first save overwrites
-// any stale file.
+// OpenCheckpoint opens (or initializes) the checkpoint at path on the
+// real filesystem. With resume set, an existing file is loaded and its
+// completed cells are reused; otherwise the store starts empty and the
+// first save overwrites any stale file.
 func OpenCheckpoint(path string, resume bool) (*CheckpointStore, error) {
+	return OpenCheckpointFS(storage.OS(), path, resume)
+}
+
+// OpenCheckpointFS is OpenCheckpoint over an injectable filesystem, so
+// chaos suites can subject checkpoint persistence to the same storage
+// fault plans as the journal.
+func OpenCheckpointFS(fs storage.FS, path string, resume bool) (*CheckpointStore, error) {
 	s := &CheckpointStore{
+		fs:   fs,
 		path: path,
 		doc:  &checkpointDoc{Version: checkpointVersion, Experiments: map[string]*checkpointExp{}},
 	}
 	if !resume {
 		return s, nil
 	}
-	data, err := os.ReadFile(path)
+	data, err := fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return s, nil // nothing to resume from: start fresh
 	}
@@ -441,31 +451,37 @@ func (s *CheckpointStore) Save(exp, fingerprint string, i int, raw json.RawMessa
 	return s.flushLocked()
 }
 
-// flushLocked writes the document atomically: marshal with checksum,
-// write to a temporary file in the same directory, rename over the
-// target.
+// flushLocked writes the document atomically and durably: marshal with
+// checksum, write to a temporary file in the same directory, fsync it,
+// rename over the target, then fsync the directory so the rename itself
+// survives a crash.
 func (s *CheckpointStore) flushLocked() error {
 	data, err := encodeCheckpoint(s.doc)
 	if err != nil {
 		return err
 	}
 	dir := filepath.Dir(s.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
+	tmp, err := s.fs.CreateTemp(dir, filepath.Base(s.path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.fs.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fs.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), s.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.Rename(tmp.Name(), s.path); err != nil {
+		s.fs.Remove(tmp.Name())
 		return err
 	}
-	return nil
+	return s.fs.SyncDir(dir)
 }

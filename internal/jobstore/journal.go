@@ -25,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"github.com/euastar/euastar/internal/storage"
 )
 
 // magic identifies a euad journal file (and its format version).
@@ -41,6 +43,15 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // bit-flipped records are NOT this error — those are expected crash
 // debris and are repaired silently during Open.
 var ErrJournalCorrupt = errors.New("jobstore: journal corrupt")
+
+// ErrPoisoned reports a journal that suffered an unrecoverable storage
+// failure — an fsync error (the kernel's dirty-page state is unknowable
+// afterwards), or a failed append whose partial frame could not be cut
+// back off. A poisoned journal refuses all further appends: the daemon
+// must answer 503 instead of acknowledging work it cannot make durable.
+// Poisoning is sticky for the life of the handle; a restart re-opens and
+// repairs the file from scratch.
+var ErrPoisoned = errors.New("jobstore: journal poisoned by storage failure")
 
 // Kind is a job lifecycle transition.
 type Kind string
@@ -63,6 +74,7 @@ type Record struct {
 	Seq    uint64          `json:"seq"`
 	Kind   Kind            `json:"kind"`
 	JobID  string          `json:"job_id"`
+	Tenant string          `json:"tenant,omitempty"`
 	Spec   json.RawMessage `json:"spec,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  json.RawMessage `json:"error,omitempty"`
@@ -81,6 +93,7 @@ type Recovery struct {
 // journal.
 type JobState struct {
 	ID     string
+	Tenant string // tenant recorded on submission (empty for legacy records)
 	Spec   json.RawMessage
 	Kind   Kind // latest lifecycle record: submitted, done or failed
 	Result json.RawMessage
@@ -93,17 +106,26 @@ func (s *JobState) Terminal() bool { return s.Kind == KindDone || s.Kind == Kind
 
 // Journal is an open, append-only job journal. Safe for concurrent use.
 type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	seq  uint64
+	mu       sync.Mutex
+	fs       storage.FS
+	path     string
+	f        storage.File
+	seq      uint64
+	size     int64 // bytes of intact records (header included)
+	poisoned bool
 }
 
-// Open opens (or creates) the journal at path, replays it, and repairs
-// any torn tail. The returned Recovery holds the surviving records; use
-// Rebuild to collapse them into per-job states.
+// Open opens (or creates) the journal at path on the real filesystem,
+// replays it, and repairs any torn tail. The returned Recovery holds the
+// surviving records; use Rebuild to collapse them into per-job states.
 func Open(path string) (*Journal, *Recovery, error) {
-	data, err := os.ReadFile(path)
+	return OpenFS(storage.OS(), path)
+}
+
+// OpenFS is Open on an explicit filesystem — the injection point for
+// storage fault plans in tests and chaos suites.
+func OpenFS(fs storage.FS, path string) (*Journal, *Recovery, error) {
+	data, err := fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		data = nil
 	} else if err != nil {
@@ -114,18 +136,22 @@ func Open(path string) (*Journal, *Recovery, error) {
 		return nil, nil, err
 	}
 	rec := &Recovery{Records: recs, TruncatedBytes: len(data) - goodLen}
+	size := int64(goodLen)
 	if rec.TruncatedBytes > 0 || len(data) < len(magic) {
 		// Crash debris past the valid prefix, or a missing/partial header:
 		// rewrite the clean prefix atomically so the file is intact again.
-		if err := rewrite(path, data[:goodLen]); err != nil {
+		if err := rewrite(fs, path, data[:goodLen]); err != nil {
 			return nil, nil, err
 		}
+		if goodLen < len(magic) {
+			size = int64(len(magic)) // rewrite wrote at least the header
+		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("jobstore: open journal for append: %w", err)
 	}
-	j := &Journal{path: path, f: f}
+	j := &Journal{fs: fs, path: path, f: f, size: size}
 	for _, r := range recs {
 		if r.Seq > j.seq {
 			j.seq = r.Seq
@@ -172,18 +198,21 @@ func scan(data []byte) ([]Record, int, error) {
 }
 
 // rewrite atomically replaces the journal with header + body: write to a
-// temp file in the same directory, fsync, rename over the target.
-func rewrite(path string, body []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+// temp file in the same directory, fsync, rename over the target, then
+// fsync the directory — without the final directory sync a crash between
+// the rename and the metadata flush could lose the repaired file.
+func rewrite(fs storage.FS, path string, body []byte) error {
+	dir := filepath.Dir(path)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("jobstore: create journal dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	tmp, err := fs.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("jobstore: rewrite journal: %w", err)
 	}
 	cleanup := func(err error) error {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		fs.Remove(tmp.Name())
 		return fmt.Errorf("jobstore: rewrite journal: %w", err)
 	}
 	if len(body) < len(magic) {
@@ -198,21 +227,39 @@ func rewrite(path string, body []byte) error {
 	if err := tmp.Close(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := fs.Rename(tmp.Name(), path); err != nil {
+		fs.Remove(tmp.Name())
 		return fmt.Errorf("jobstore: rewrite journal: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("jobstore: sync journal dir: %w", err)
 	}
 	return nil
 }
 
 // Append assigns the record the next sequence number, frames it, writes
 // it, and fsyncs before returning: once Append returns nil the record
-// survives any crash.
+// survives any crash. On failure the journal repairs or poisons itself:
+//
+//   - A failed or short write leaves a partial frame; Append truncates
+//     the file back to the last intact record, so the un-acknowledged
+//     record cannot resurface as durable after a restart. If the
+//     truncate itself fails, the journal is poisoned.
+//   - A failed fsync poisons the journal unconditionally: after fsync
+//     reports an error the kernel's dirty-page state is unknowable, so
+//     no further append can honestly claim durability. The truncate is
+//     still attempted, keeping the on-disk bytes consistent for the next
+//     process.
+//
+// Once poisoned, every Append fails fast with ErrPoisoned.
 func (j *Journal) Append(r Record) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return errors.New("jobstore: journal closed")
+	}
+	if j.poisoned {
+		return ErrPoisoned
 	}
 	j.seq++
 	r.Seq = j.seq
@@ -226,12 +273,34 @@ func (j *Journal) Append(r Record) error {
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 	copy(frame[8:], payload)
 	if _, err := j.f.Write(frame); err != nil {
+		j.repairLocked()
 		return fmt.Errorf("jobstore: append record: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("jobstore: sync journal: %w", err)
+		j.repairLocked()
+		j.poisoned = true
+		return fmt.Errorf("%w: %v", ErrPoisoned, err)
 	}
+	j.size += int64(len(frame))
 	return nil
+}
+
+// repairLocked cuts a partially written frame back off the tail so the
+// failed record cannot be replayed as durable. A truncate failure leaves
+// unknown bytes past the intact prefix and poisons the journal (the
+// next Open's torn-tail scan will still repair the file).
+func (j *Journal) repairLocked() {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.poisoned = true
+	}
+}
+
+// Poisoned reports whether the journal has refused durability after a
+// storage failure. Poisoning is sticky until the journal is re-opened.
+func (j *Journal) Poisoned() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.poisoned
 }
 
 // Compact rewrites the journal to the minimal equivalent history: per
@@ -247,7 +316,10 @@ func (j *Journal) Compact() error {
 	if j.f == nil {
 		return errors.New("jobstore: journal closed")
 	}
-	data, err := os.ReadFile(j.path)
+	if j.poisoned {
+		return ErrPoisoned
+	}
+	data, err := j.fs.ReadFile(j.path)
 	if err != nil {
 		return fmt.Errorf("jobstore: read journal: %w", err)
 	}
@@ -287,15 +359,16 @@ func (j *Journal) Compact() error {
 		copy(frame[8:], payload)
 		body = append(body, frame...)
 	}
-	if err := rewrite(j.path, body); err != nil {
+	if err := rewrite(j.fs, j.path, body); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("jobstore: reopen journal: %w", err)
 	}
 	j.f.Close()
 	j.f = f
+	j.size = int64(len(body))
 	if maxSeq > j.seq {
 		j.seq = maxSeq
 	}
@@ -336,6 +409,7 @@ func Rebuild(records []Record) map[string]*JobState {
 		switch r.Kind {
 		case KindSubmitted:
 			st.Spec = r.Spec
+			st.Tenant = r.Tenant
 			if st.Kind == "" {
 				st.Kind = KindSubmitted
 			}

@@ -40,15 +40,29 @@ const (
 	MetricJobsRunning = "euad_jobs_running"
 	// MetricUptime gauges seconds since the server started.
 	MetricUptime = "euad_uptime_seconds"
+	// MetricTenantAdmitted / MetricTenantRejected / MetricTenantFinished
+	// count per-tenant admission outcomes and completions, labeled by
+	// tenant (and, for rejections, the tenancy reason: quota, inflight,
+	// queue, tenant_limit, storage).
+	MetricTenantAdmitted = "euad_tenant_admitted_total"
+	MetricTenantRejected = "euad_tenant_rejected_total"
+	MetricTenantFinished = "euad_tenant_finished_total"
+	// MetricStorageDegraded gauges the storage mode at scrape time:
+	// 0 healthy, 1 degraded (disk watermark), 2 poisoned (journal).
+	MetricStorageDegraded = "euad_storage_degraded"
 )
 
 // Rejection reasons (label values on MetricJobsRejected).
 const (
-	rejectInvalid    = "invalid"
-	rejectConflict   = "conflict"
-	rejectDraining   = "draining"
-	rejectOverloaded = "overloaded"
-	rejectInfeasible = "infeasible"
+	rejectInvalid     = "invalid"
+	rejectConflict    = "conflict"
+	rejectDraining    = "draining"
+	rejectOverloaded  = "overloaded"
+	rejectInfeasible  = "infeasible"
+	rejectQuota       = "quota"
+	rejectInFlight    = "inflight"
+	rejectTenantLimit = "tenant_limit"
+	rejectStorage     = "storage"
 )
 
 // Job phases (label values on MetricJobPhase).
@@ -76,13 +90,21 @@ type serverInstruments struct {
 	queued    *telemetry.Gauge
 	running   *telemetry.Gauge
 	uptime    *telemetry.Gauge
+
+	tenantAdmitted func(tenant string) *telemetry.Counter
+	tenantRejected func(tenant, reason string) *telemetry.Counter
+	tenantFinished func(tenant string) *telemetry.Counter
+	storageMode    *telemetry.Gauge
 }
 
 func (ins *serverInstruments) init(reg *telemetry.Registry) {
 	ins.admitted = reg.Counter(MetricJobsAdmitted, "Jobs accepted for execution (202).")
 	ins.replayed = reg.Counter(MetricJobsReplayed, "Idempotent resubmissions answered from existing state (200).")
 	ins.rejected = make(map[string]*telemetry.Counter)
-	for _, reason := range []string{rejectInvalid, rejectConflict, rejectDraining, rejectOverloaded, rejectInfeasible} {
+	for _, reason := range []string{
+		rejectInvalid, rejectConflict, rejectDraining, rejectOverloaded,
+		rejectInfeasible, rejectQuota, rejectInFlight, rejectTenantLimit, rejectStorage,
+	} {
 		ins.rejected[reason] = reg.Counter(MetricJobsRejected, "Refused submissions by reason.", telemetry.L("reason", reason))
 	}
 	ins.recovered = reg.Counter(MetricJobsRecovered, "Unfinished jobs re-enqueued from the journal at startup.")
@@ -101,6 +123,17 @@ func (ins *serverInstruments) init(reg *telemetry.Registry) {
 	ins.queued = reg.Gauge(MetricJobsQueued, "Jobs admitted but not yet picked up by a worker.")
 	ins.running = reg.Gauge(MetricJobsRunning, "Jobs currently executing.")
 	ins.uptime = reg.Gauge(MetricUptime, "Seconds since the server started.")
+	ins.tenantAdmitted = func(tenant string) *telemetry.Counter {
+		return reg.Counter(MetricTenantAdmitted, "Jobs admitted per tenant.", telemetry.L("tenant", tenant))
+	}
+	ins.tenantRejected = func(tenant, reason string) *telemetry.Counter {
+		return reg.Counter(MetricTenantRejected, "Submissions refused per tenant, by reason.",
+			telemetry.L("reason", reason), telemetry.L("tenant", tenant))
+	}
+	ins.tenantFinished = func(tenant string) *telemetry.Counter {
+		return reg.Counter(MetricTenantFinished, "Terminal jobs per tenant.", telemetry.L("tenant", tenant))
+	}
+	ins.storageMode = reg.Gauge(MetricStorageDegraded, "Storage mode: 0 healthy, 1 degraded, 2 poisoned.")
 }
 
 // reject counts one refused submission; unknown reasons are programming
@@ -140,6 +173,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.ins.queued.Set(float64(h.Queued))
 	s.ins.running.Set(float64(h.Running))
 	s.ins.uptime.Set(float64(h.UptimeSeconds))
+	switch s.storageMode() {
+	case storageHealthy:
+		s.ins.storageMode.Set(0)
+	case storageDegraded:
+		s.ins.storageMode.Set(1)
+	case storagePoisoned:
+		s.ins.storageMode.Set(2)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WritePrometheus(w)
 }

@@ -3,11 +3,12 @@ package server
 import (
 	"bytes"
 	"crypto/sha1"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
+	"sync"
 
 	"github.com/euastar/euastar"
 	"github.com/euastar/euastar/internal/config"
@@ -245,18 +246,21 @@ func (s *Server) runSweep(spec JobSpec, interrupt <-chan struct{}) (any, error) 
 	var ckpt *experiment.CheckpointStore
 	if s.ckptDir != "" {
 		path := s.checkpointPath(spec.ID)
-		store, err := experiment.OpenCheckpoint(path, true)
+		store, err := experiment.OpenCheckpointFS(s.fs, path, true)
 		if errors.Is(err, experiment.ErrCheckpointCorrupt) {
 			// The job's previous checkpoint is damaged: recompute from
 			// scratch rather than trusting it or dying.
 			s.logf("euad: job %s: %v; recomputing from scratch", spec.ID, err)
-			store, err = experiment.OpenCheckpoint(path, false)
+			store, err = experiment.OpenCheckpointFS(s.fs, path, false)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("open sweep checkpoint: %w", err)
 		}
 		ckpt = store
-		cfg.Store = store
+		// Checkpointing is an optimization, not a correctness requirement:
+		// a Save that hits a failing disk downgrades the sweep to
+		// non-resumable instead of failing it.
+		cfg.Store = &bestEffortStore{inner: store, logf: s.logf, job: spec.ID}
 	}
 
 	if s.coord != nil {
@@ -317,7 +321,44 @@ func (s *Server) runSweep(spec JobSpec, interrupt <-chan struct{}) (any, error) 
 	res.Text = text.String()
 	if ckpt != nil {
 		// The sweep is complete; its cells will never be resumed again.
-		os.Remove(ckpt.Path())
+		s.fs.Remove(ckpt.Path())
 	}
 	return res, nil
+}
+
+// bestEffortStore wraps a sweep's cell store so checkpoint persistence
+// failures degrade the sweep (it finishes, but cannot resume from the
+// lost cells) instead of failing it. The first Save error disables
+// further persistence: a full disk gets one log line per sweep, not one
+// per cell. Lookup still serves cells already on disk.
+type bestEffortStore struct {
+	inner experiment.CellStore
+	logf  func(format string, args ...any)
+	job   string
+
+	mu       sync.Mutex
+	disabled bool
+}
+
+func (b *bestEffortStore) Lookup(exp, fingerprint string, index int) (json.RawMessage, bool) {
+	return b.inner.Lookup(exp, fingerprint, index)
+}
+
+func (b *bestEffortStore) Save(exp, fingerprint string, index int, raw json.RawMessage) error {
+	b.mu.Lock()
+	if b.disabled {
+		b.mu.Unlock()
+		return nil
+	}
+	b.mu.Unlock()
+	if err := b.inner.Save(exp, fingerprint, index, raw); err != nil {
+		b.mu.Lock()
+		already := b.disabled
+		b.disabled = true
+		b.mu.Unlock()
+		if !already {
+			b.logf("euad: job %s: checkpoint cell %d: %v; sweep continues without further checkpointing", b.job, index, err)
+		}
+	}
+	return nil
 }

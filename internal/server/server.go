@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -20,8 +19,17 @@ import (
 	"github.com/euastar/euastar/internal/engine"
 	"github.com/euastar/euastar/internal/experiment"
 	"github.com/euastar/euastar/internal/jobstore"
+	"github.com/euastar/euastar/internal/storage"
 	"github.com/euastar/euastar/internal/telemetry"
+	"github.com/euastar/euastar/internal/tenancy"
 )
+
+// TenantHeader names a submission's tenant; absent or empty means
+// DefaultTenant. Identifiers are 1–64 characters of [A-Za-z0-9._-].
+const TenantHeader = "X-EUA-Tenant"
+
+// DefaultTenant is the tenant legacy clients (no header) submit under.
+const DefaultTenant = "default"
 
 // Config parameterizes the daemon.
 type Config struct {
@@ -35,10 +43,40 @@ type Config struct {
 	// (default 1, so job-level parallelism dominates and one huge sweep
 	// cannot monopolize the process).
 	SimWorkers int
-	// QueueDepth bounds the admission queue; a submission that finds the
-	// queue full is refused with 429 + Retry-After instead of growing
-	// memory without bound (default 64).
+	// QueueDepth bounds each tenant's admission queue; a submission that
+	// finds its tenant's queue full is refused with 429 + Retry-After
+	// instead of growing memory without bound (default 64). Legacy
+	// single-tenant deployments see exactly the old global behavior,
+	// since all their jobs share DefaultTenant.
 	QueueDepth int
+	// TenantWeights assigns WDRR dequeue weights per tenant (see
+	// internal/tenancy); unlisted tenants weigh 1. Over any saturated
+	// window each active tenant's service share converges to
+	// weight/Σweights, so one flooding tenant cannot starve the rest.
+	TenantWeights map[string]int
+	// TenantRate and TenantBurst configure each tenant's token-bucket
+	// submission quota (tokens/second and bucket capacity). Rate 0
+	// disables the quota.
+	TenantRate  float64
+	TenantBurst int
+	// TenantMaxInFlight bounds each tenant's queued+running jobs; 0 means
+	// unlimited.
+	TenantMaxInFlight int
+	// MaxTenants bounds the number of distinct tenants tracked (default
+	// 64); submissions from further tenants are refused with 429.
+	MaxTenants int
+	// FS is the filesystem the durability layer writes through (journal,
+	// sweep checkpoints). Nil means the real filesystem; chaos tests and
+	// the -storage-faults flag inject a fault-wrapped one.
+	FS storage.FS
+	// DiskLowWatermark, when > 0, is the free-space fraction of DataDir's
+	// filesystem below which the server enters degraded mode: stateless
+	// analyze jobs still run (unjournaled), but new durable work is
+	// refused with 503 code=storage until space frees up.
+	DiskLowWatermark float64
+	// DiskProbe reports the free-space fraction of the filesystem holding
+	// dir. Nil means a real statfs; tests inject outcomes.
+	DiskProbe func(dir string) (float64, error)
 	// DefaultTimeout applies to jobs that do not set timeout_seconds;
 	// MaxTimeout caps what any job may request. Zero means unlimited.
 	DefaultTimeout time.Duration
@@ -95,7 +133,12 @@ func (c Config) withDefaults() Config {
 type job struct {
 	spec       JobSpec
 	specRaw    []byte // canonical spec JSON (idempotency comparison, journal)
-	state      string
+	tenant     string
+	// unjournaled marks a job admitted while storage was degraded: no
+	// submission record exists, so no terminal record may be written
+	// either — the job lives and dies in memory.
+	unjournaled bool
+	state       string
 	result     json.RawMessage
 	jerr       *JobError
 	done       chan struct{} // closed on terminal state
@@ -108,14 +151,23 @@ type job struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
+	fs      storage.FS
 	journal *jobstore.Journal
 	ckptDir string
 
+	// tenants owns admission quotas, per-tenant bounded queues and the
+	// weighted-fair dequeue order; workers block on its Dequeue.
+	tenants *tenancy.Controller[*job]
+
 	mu       sync.Mutex
 	jobs     map[string]*job
-	queue    chan *job
-	queued   int // jobs admitted but not yet picked up by a worker
 	draining bool
+
+	// Disk watermark probe cache (degraded-mode detection).
+	probeMu   sync.Mutex
+	probeAt   time.Time
+	probeFree float64
+	probeErr  error
 
 	stopC chan struct{} // closed to stop in-flight jobs cooperatively
 	wg    sync.WaitGroup
@@ -139,34 +191,46 @@ func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
+		fs:      cfg.FS,
 		jobs:    make(map[string]*job),
 		stopC:   make(chan struct{}),
 		started: time.Now(),
 		reg:     telemetry.NewRegistry(),
 	}
+	if s.fs == nil {
+		s.fs = storage.OS()
+	}
 	s.ins.init(s.reg)
+	s.tenants = tenancy.New[*job](tenancy.Config{
+		Weights:     cfg.TenantWeights,
+		QueueDepth:  cfg.QueueDepth,
+		Rate:        cfg.TenantRate,
+		Burst:       cfg.TenantBurst,
+		MaxInFlight: cfg.TenantMaxInFlight,
+		MaxTenants:  cfg.MaxTenants,
+	})
 
 	var pending []*job
 	if cfg.DataDir != "" {
-		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		if err := s.fs.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: data dir: %w", err)
 		}
 		s.ckptDir = filepath.Join(cfg.DataDir, "checkpoints")
-		if err := os.MkdirAll(s.ckptDir, 0o755); err != nil {
+		if err := s.fs.MkdirAll(s.ckptDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
 		}
 		jpath := filepath.Join(cfg.DataDir, "journal.wal")
-		journal, recovery, err := jobstore.Open(jpath)
+		journal, recovery, err := jobstore.OpenFS(s.fs, jpath)
 		if errors.Is(err, jobstore.ErrJournalCorrupt) {
 			// The header itself is unreadable: move the wreck aside (it may
 			// still be forensically useful) and stay up with a fresh journal
 			// rather than refusing to start.
 			aside := jpath + ".corrupt"
 			s.cfg.Logf("euad: %v; moving journal aside to %s and starting fresh", err, aside)
-			if rerr := os.Rename(jpath, aside); rerr != nil {
+			if rerr := s.fs.Rename(jpath, aside); rerr != nil {
 				return nil, fmt.Errorf("server: quarantine corrupt journal: %w", rerr)
 			}
-			journal, recovery, err = jobstore.Open(jpath)
+			journal, recovery, err = jobstore.OpenFS(s.fs, jpath)
 		}
 		if err != nil {
 			return nil, err
@@ -189,14 +253,11 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	// Recovered pending jobs bypass admission (they were admitted in a
-	// previous life), so the queue needs room for all of them on top of
-	// the externally visible depth.
-	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	// previous life): Recover enqueues past quotas and caps.
 	for _, j := range pending {
 		j.admittedAt = time.Now()
 		s.ins.recovered.Inc()
-		s.queued++
-		s.queue <- j
+		s.tenants.Recover(j.tenant, j)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -221,7 +282,10 @@ func (s *Server) recover(recovery *jobstore.Recovery) []*job {
 		if st == nil || s.jobs[r.JobID] != nil {
 			continue
 		}
-		j := &job{specRaw: st.Spec, done: make(chan struct{})}
+		j := &job{specRaw: st.Spec, tenant: st.Tenant, done: make(chan struct{})}
+		if j.tenant == "" {
+			j.tenant = DefaultTenant // journals written before tenancy existed
+		}
 		if err := json.Unmarshal(st.Spec, &j.spec); err != nil {
 			// A record this damaged should be impossible past the CRC, but
 			// never let it take the process down or wedge the queue.
@@ -258,18 +322,23 @@ func (s *Server) recover(recovery *jobstore.Recovery) []*job {
 
 func (s *Server) logf(format string, args ...any) { s.cfg.Logf(format, args...) }
 
-// worker executes queued jobs until the queue is closed by Drain.
+// worker executes queued jobs in weighted-fair tenant order until the
+// controller is closed by Drain and its queues drain.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, tenant, ok := s.tenants.Dequeue()
+		if !ok {
+			return
+		}
 		now := time.Now()
 		s.mu.Lock()
-		s.queued--
 		j.state = StateRunning
 		s.notePhaseLocked(j, phaseQueueWait, now.Sub(j.admittedAt))
 		s.mu.Unlock()
 		result, jerr := s.execute(j)
 		s.finish(j, result, jerr)
+		s.tenants.Done(tenant)
 	}
 }
 
@@ -378,7 +447,7 @@ func (s *Server) jobInterrupt(timeout time.Duration) (<-chan struct{}, func() bo
 // journaled as terminal — on the next start they are still "submitted"
 // and therefore resume.
 func (s *Server) finish(j *job, result json.RawMessage, jerr *JobError) {
-	if s.journal != nil && (jerr == nil || jerr.Code != CodeInterrupted) {
+	if s.journal != nil && !j.unjournaled && (jerr == nil || jerr.Code != CodeInterrupted) {
 		rec := jobstore.Record{JobID: j.spec.ID}
 		if jerr == nil {
 			rec.Kind = jobstore.KindDone
@@ -403,6 +472,9 @@ func (s *Server) finish(j *job, result json.RawMessage, jerr *JobError) {
 		outcome = jerr.Code
 	}
 	s.ins.finished(outcome).Inc()
+	if j.tenant != "" {
+		s.ins.tenantFinished(j.tenant).Inc()
+	}
 	s.mu.Lock()
 	if jerr == nil {
 		j.state = StateDone
@@ -426,8 +498,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		return errors.New("server: already draining")
 	}
 	s.draining = true
-	close(s.queue)
 	s.mu.Unlock()
+	s.tenants.Close()
 
 	finished := make(chan struct{})
 	go func() {
@@ -500,9 +572,24 @@ func (s *Server) retryAfterSeconds() string {
 	return strconv.Itoa(secs)
 }
 
-// handleSubmit is the admission path: validate, dedupe, bound, journal,
-// enqueue — in that order, so a 202 means the job is durable and will
-// run, a 429 means it touched neither the queue nor the disk.
+// tenantOf extracts and validates the submission's tenant. An absent or
+// empty header means DefaultTenant, so legacy clients keep working.
+func tenantOf(r *http.Request) (string, bool) {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		return DefaultTenant, true
+	}
+	if !tenancy.ValidTenant(name) {
+		return "", false
+	}
+	return name, true
+}
+
+// handleSubmit is the admission path: validate, dedupe, charge the
+// tenant's quota, journal, enqueue — in that order, so a 202 means the
+// job is durable and will run, a 429 means it touched neither the queue
+// nor the disk, and a journal failure is unwound from the quota before
+// the 503 goes out.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
 	if err != nil {
@@ -526,17 +613,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalid, "%v", err)
 		return
 	}
+	tenant, ok := tenantOf(r)
+	if !ok {
+		s.ins.reject(rejectInvalid)
+		writeError(w, http.StatusBadRequest, CodeInvalid,
+			"invalid %s header (want 1-64 chars of [A-Za-z0-9._-])", TenantHeader)
+		return
+	}
 	canonical, err := spec.canonical()
 	if err != nil {
 		s.ins.reject(rejectInvalid)
 		writeError(w, http.StatusBadRequest, CodeInvalid, "encode job spec: %v", err)
 		return
 	}
+	// Degraded-mode storage probe, taken before the server lock (it has
+	// its own cache) and before any quota is charged.
+	mode := s.storageMode()
 
 	s.mu.Lock()
 	if existing := s.jobs[spec.ID]; existing != nil {
 		// Idempotent resubmission: same ID + same spec returns the job's
-		// current status; same ID + different spec is a client bug.
+		// current status; same ID + different spec is a client bug. The
+		// replay is answered before the tenant's bucket is charged, so
+		// retrying a submission never double-spends quota.
 		same := bytes.Equal(existing.specRaw, canonical)
 		status := s.statusLocked(existing)
 		s.mu.Unlock()
@@ -562,18 +661,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; not admitting jobs")
 		return
 	}
+	// Degraded or poisoned storage: durability cannot be promised, so
+	// only stateless analyze jobs (served unjournaled) are admitted; new
+	// durable work is refused rather than falsely acknowledged.
+	journaled := s.journal != nil
+	if mode != storageHealthy {
+		if spec.Kind != KindAnalyze {
+			s.mu.Unlock()
+			s.ins.reject(rejectStorage)
+			s.ins.tenantRejected(tenant, rejectStorage).Inc()
+			w.Header().Set("Retry-After", s.retryAfterSeconds())
+			writeError(w, http.StatusServiceUnavailable, CodeStorage,
+				"storage %s: not accepting durable work (stateless analyze still served)", mode)
+			return
+		}
+		journaled = false
+	}
 	// Analytical admission triage: a provably infeasible simulate job is
 	// terminated here — journaled as a failed job so the rejection
 	// replays across restarts, but never queued. It runs before the
-	// queue-depth check because it needs no slot.
+	// quota so a rejection costs the tenant nothing.
 	if jerr := s.triage(spec); jerr != nil {
-		j := &job{spec: spec, specRaw: canonical, state: StateFailed, jerr: jerr, done: make(chan struct{})}
-		if s.journal != nil {
+		j := &job{spec: spec, specRaw: canonical, tenant: tenant, state: StateFailed, jerr: jerr, done: make(chan struct{})}
+		if journaled {
 			if err := s.journal.Append(jobstore.Record{
-				Kind: jobstore.KindSubmitted, JobID: spec.ID, Spec: canonical,
+				Kind: jobstore.KindSubmitted, JobID: spec.ID, Spec: canonical, Tenant: tenant,
 			}); err != nil {
 				s.mu.Unlock()
-				writeError(w, http.StatusInternalServerError, CodeFailed, "journal submission: %v", err)
+				s.storageRefused(w, tenant, err)
 				return
 			}
 			if raw, merr := json.Marshal(jerr); merr == nil {
@@ -592,32 +707,76 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, apiError{Error: *jerr})
 		return
 	}
-	if s.queued >= s.cfg.QueueDepth {
+	// Tenant admission: token-bucket quota, per-tenant queue bound and
+	// in-flight cap. Two-phase — a journal failure below refunds the
+	// reservation, so the tenant is never charged for work the server
+	// did not accept.
+	dec := s.tenants.Reserve(tenant)
+	if !dec.OK {
 		s.mu.Unlock()
-		s.ins.reject(rejectOverloaded)
-		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeError(w, http.StatusTooManyRequests, "overloaded", "admission queue full (%d queued)", s.cfg.QueueDepth)
+		reason := rejectReason(dec.Reason)
+		s.ins.reject(reason)
+		s.ins.tenantRejected(tenant, dec.Reason).Inc()
+		retry := s.retryAfterSeconds()
+		if dec.RetryAfter > 0 {
+			retry = strconv.Itoa(int((dec.RetryAfter + time.Second - 1) / time.Second))
+		}
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusTooManyRequests, "overloaded",
+			"tenant %s over %s limit", tenant, dec.Reason)
 		return
 	}
-	j := &job{spec: spec, specRaw: canonical, state: StateQueued, done: make(chan struct{}), admittedAt: time.Now()}
-	if s.journal != nil {
+	j := &job{spec: spec, specRaw: canonical, tenant: tenant, unjournaled: !journaled, state: StateQueued, done: make(chan struct{}), admittedAt: time.Now()}
+	if journaled {
 		// Durability before acknowledgment: the fsynced submission record
 		// is what lets a kill -9 after the 202 still run the job.
 		if err := s.journal.Append(jobstore.Record{
-			Kind: jobstore.KindSubmitted, JobID: spec.ID, Spec: canonical,
+			Kind: jobstore.KindSubmitted, JobID: spec.ID, Spec: canonical, Tenant: tenant,
 		}); err != nil {
+			s.tenants.Abort(tenant)
 			s.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, CodeFailed, "journal submission: %v", err)
+			s.storageRefused(w, tenant, err)
 			return
 		}
 	}
 	s.jobs[spec.ID] = j
-	s.queued++
-	s.queue <- j // capacity guaranteed by the depth check above
+	s.tenants.Commit(tenant, j)
 	status := s.statusLocked(j)
 	s.mu.Unlock()
 	s.ins.admitted.Inc()
+	s.ins.tenantAdmitted(tenant).Inc()
 	writeJSON(w, http.StatusAccepted, status)
+}
+
+// storageRefused answers a submission whose journal append failed: 503
+// code=storage with a Retry-After, never a false acknowledgment. The
+// failed append has already truncated the partial record (or poisoned
+// the journal), so the refused job cannot resurface as durable after a
+// restart.
+func (s *Server) storageRefused(w http.ResponseWriter, tenant string, err error) {
+	s.ins.reject(rejectStorage)
+	s.ins.tenantRejected(tenant, rejectStorage).Inc()
+	if errors.Is(err, jobstore.ErrPoisoned) {
+		s.logf("euad: journal poisoned; refusing durable work until restart")
+	}
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	writeError(w, http.StatusServiceUnavailable, CodeStorage, "journal submission: %v", err)
+}
+
+// rejectReason maps a tenancy reject reason onto the daemon's rejection
+// metric labels (queue-full keeps the historical "overloaded" label).
+func rejectReason(reason string) string {
+	switch reason {
+	case tenancy.RejectQueue:
+		return rejectOverloaded
+	case tenancy.RejectQuota:
+		return rejectQuota
+	case tenancy.RejectInFlight:
+		return rejectInFlight
+	case tenancy.RejectTenantLimit:
+		return rejectTenantLimit
+	}
+	return rejectOverloaded
 }
 
 // statusLocked snapshots a job's API status; callers hold s.mu. Timings
@@ -684,6 +843,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // healthState is the /healthz and /readyz payload.
 type healthState struct {
 	Status        string `json:"status"`
+	Storage       string `json:"storage"` // ok | degraded | poisoned (DESIGN.md §14)
 	UptimeSeconds int64  `json:"uptime_seconds"`
 	Queued        int    `json:"queued"`
 	Running       int    `json:"running"`
@@ -694,10 +854,12 @@ type healthState struct {
 }
 
 func (s *Server) health() (healthState, bool) {
+	mode := s.storageMode() // probes outside s.mu (it has its own cache)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := healthState{
 		Status:        "ok",
+		Storage:       mode,
 		UptimeSeconds: int64(time.Since(s.started) / time.Second),
 		QueueDepth:    s.cfg.QueueDepth,
 		Workers:       s.cfg.Workers,

@@ -173,6 +173,12 @@ const (
 	// the queue — it never runs, and resubmitting it replays the same
 	// rejection. The Verdict field carries the analyzer's verdict.
 	CodeRejected = "rejected"
+	// CodeStorage: the durability layer refused the job — the journal
+	// append failed (or the journal is poisoned, or the disk is below its
+	// free-space watermark), so the server answered 503 instead of
+	// acknowledging work it could not make durable. Retry elsewhere or
+	// after the Retry-After hint; stateless analyze jobs are still served.
+	CodeStorage = "storage"
 )
 
 // JobError is the structured failure a job terminates with.

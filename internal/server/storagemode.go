@@ -1,0 +1,73 @@
+package server
+
+import (
+	"syscall"
+	"time"
+)
+
+// Storage modes (see DESIGN.md §14). Healthy serves everything;
+// degraded (disk below the free-space watermark) serves stateless
+// analyze jobs unjournaled and refuses new durable work with 503
+// code=storage; poisoned (journal fsync failure) is the same refusal
+// but sticky until restart, because the journal's tail state on disk is
+// no longer trustworthy.
+const (
+	storageHealthy  = "ok"
+	storageDegraded = "degraded"
+	storagePoisoned = "poisoned"
+)
+
+// probeTTL bounds how often the disk watermark probe hits the
+// filesystem: admission-path submissions share one cached reading.
+const probeTTL = time.Second
+
+// storageMode classifies the durability layer right now. A server with
+// no DataDir has nothing to degrade: it is always healthy (jobs are
+// in-memory only by configuration, not by failure).
+func (s *Server) storageMode() string {
+	if s.journal != nil && s.journal.Poisoned() {
+		return storagePoisoned
+	}
+	if s.cfg.DiskLowWatermark > 0 && s.cfg.DataDir != "" {
+		free, err := s.diskFree()
+		if err != nil {
+			// A probe that cannot run is reported, not trusted: stay up and
+			// keep serving rather than degrade on a broken statfs.
+			s.logf("euad: disk probe: %v", err)
+		} else if free < s.cfg.DiskLowWatermark {
+			return storageDegraded
+		}
+	}
+	return storageHealthy
+}
+
+// diskFree returns the free-space fraction of DataDir's filesystem,
+// cached for probeTTL so a submission flood costs one statfs per
+// second, not one per request.
+func (s *Server) diskFree() (float64, error) {
+	s.probeMu.Lock()
+	defer s.probeMu.Unlock()
+	if !s.probeAt.IsZero() && time.Since(s.probeAt) < probeTTL {
+		return s.probeFree, s.probeErr
+	}
+	probe := s.cfg.DiskProbe
+	if probe == nil {
+		probe = statfsFree
+	}
+	s.probeFree, s.probeErr = probe(s.cfg.DataDir)
+	s.probeAt = time.Now()
+	return s.probeFree, s.probeErr
+}
+
+// statfsFree is the default probe: the fraction of the filesystem's
+// blocks available to unprivileged writers.
+func statfsFree(dir string) (float64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	if st.Blocks == 0 {
+		return 0, nil
+	}
+	return float64(st.Bavail) / float64(st.Blocks), nil
+}

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/euastar/euastar/internal/storage"
+)
+
+// submitAs posts a job spec under a tenant header (empty tenant omits
+// the header) and returns the response.
+func submitAs(t *testing.T, base, tenant, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// errCode extracts the structured error code from an error envelope.
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var env apiError
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("error envelope %q: %v", data, err)
+	}
+	return env.Error.Code
+}
+
+// TestTenantHeaderValidation: a malformed tenant identifier is a 400,
+// not a new tenant.
+func TestTenantHeaderValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	defer s.Close()
+	resp, data := submitAs(t, ts.URL, "bad tenant!", `{"id":"t-1","kind":"test"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid tenant: %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestTenantFairnessSoak saturates the daemon from three tenants with
+// WDRR weights a=1, b=1, c=4 — tenant c flooding hardest — and checks
+// that over the service window every tenant's share of completed work
+// is at least its weight fraction minus a 5-point tolerance. This is
+// the overload-protection claim: a flooding tenant cannot starve the
+// others, and fair queuing cannot be gamed into starving the flooder
+// either.
+func TestTenantFairnessSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fairness soak skipped in -short mode")
+	}
+	weights := map[string]int{"a": 1, "b": 1, "c": 4}
+	s, ts := newTestServer(t, Config{
+		Workers:       2,
+		QueueDepth:    32,
+		TenantWeights: weights,
+	})
+	defer s.Close()
+
+	const window = 2 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for name := range weights {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"id":"%s-%d","kind":"test","payload":{"sleep_ms":3}}`, tenant, i)
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set(TenantHeader, tenant)
+				resp, err := client.Do(req)
+				if err != nil {
+					return // server shutting down under us
+				}
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					// Queue full: this tenant is saturated; ease off briefly.
+					time.Sleep(500 * time.Microsecond)
+				}
+			}
+		}(name)
+	}
+	time.Sleep(window)
+
+	// Snapshot served work per tenant at the end of the window, while all
+	// three tenants are still backlogged: served = admitted − still queued
+	// − still running.
+	stats := s.tenants.Snapshot()
+	close(stop)
+	wg.Wait()
+
+	served := map[string]float64{}
+	var total, weightSum float64
+	for _, st := range stats {
+		served[st.Tenant] = float64(st.Admitted) - float64(st.Queued) - float64(st.Running)
+		total += served[st.Tenant]
+		weightSum += float64(weights[st.Tenant])
+		if st.Queued == 0 {
+			t.Errorf("tenant %s was not saturated at snapshot time (queue empty); shares are not meaningful", st.Tenant)
+		}
+	}
+	if len(stats) != 3 || total <= 0 {
+		t.Fatalf("implausible soak: %+v", stats)
+	}
+	for name, w := range weights {
+		share := served[name] / total
+		floor := float64(w)/weightSum - 0.05
+		t.Logf("tenant %s: served %.0f of %.0f (share %.3f, floor %.3f)", name, served[name], total, share, floor)
+		if share < floor {
+			t.Errorf("tenant %s share %.3f below weight floor %.3f", name, share, floor)
+		}
+	}
+}
+
+// TestTenantQuotaReplayNoDoubleCharge: replaying an already-accepted
+// submission is answered from existing state without spending quota,
+// so a client retrying across an ambiguous failure cannot burn its own
+// token bucket; and the 429 carries the bucket's refill hint.
+func TestTenantQuotaReplayNoDoubleCharge(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		TenantRate:  0.001, // ~17 minutes per token: no refill inside the test
+		TenantBurst: 2,
+	})
+	defer s.Close()
+
+	const spec = `{"id":"q-%d","kind":"test"}`
+	if resp, data := submitAs(t, ts.URL, "team-a", fmt.Sprintf(spec, 1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, data)
+	}
+	// Replay the same submission several times: each is a 200 from
+	// existing state, none spends a token.
+	for i := 0; i < 3; i++ {
+		if resp, data := submitAs(t, ts.URL, "team-a", fmt.Sprintf(spec, 1)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("replay %d: %d %s", i, resp.StatusCode, data)
+		}
+	}
+	// The second token is still there.
+	if resp, data := submitAs(t, ts.URL, "team-a", fmt.Sprintf(spec, 2)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d %s", resp.StatusCode, data)
+	}
+	// The bucket is now empty: a third distinct job is refused with the
+	// refill hint, and leaves no trace behind.
+	resp, data := submitAs(t, ts.URL, "team-a", fmt.Sprintf(spec, 3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("over-quota 429 Retry-After %q", ra)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/q-3"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("refused job exists: %d", resp.StatusCode)
+	}
+	// Replays of accepted jobs still work after the quota ran dry.
+	if resp, data := submitAs(t, ts.URL, "team-a", fmt.Sprintf(spec, 1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay after quota exhausted: %d %s", resp.StatusCode, data)
+	}
+	// Another tenant has its own bucket.
+	if resp, data := submitAs(t, ts.URL, "team-b", `{"id":"qb-1","kind":"test"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tenant b submit: %d %s", resp.StatusCode, data)
+	}
+}
+
+// waitHealthStorage polls /healthz until the storage field reports want.
+func waitHealthStorage(t *testing.T, base, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, data := get(t, base+"/healthz")
+		var h healthState
+		if err := json.Unmarshal(data, &h); err != nil {
+			t.Fatalf("healthz %q: %v", data, err)
+		}
+		if h.Storage == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("storage mode %q, want %q", h.Storage, want)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestDegradedModeDiskWatermark: below the free-space watermark the
+// server refuses new durable work with 503 code=storage but keeps
+// serving stateless analyze jobs — unjournaled, so they leave nothing
+// behind for a restart to replay — and recovers on its own once space
+// frees up.
+func TestDegradedModeDiskWatermark(t *testing.T) {
+	var free atomic.Value
+	free.Store(0.5)
+	dir := t.TempDir()
+	cfg := Config{
+		Workers:          1,
+		DataDir:          dir,
+		DiskLowWatermark: 0.1,
+		DiskProbe:        func(string) (float64, error) { return free.Load().(float64), nil },
+	}
+	s, ts := newTestServer(t, cfg)
+	closed := false
+	defer func() {
+		if !closed {
+			s.Close()
+		}
+	}()
+
+	if resp, data := submitAs(t, ts.URL, "", `{"id":"d-1","kind":"test"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy submit: %d %s", resp.StatusCode, data)
+	}
+	waitJob(t, ts.URL, "d-1")
+
+	// The disk fills past the watermark (the probe cache expires within
+	// a second).
+	free.Store(0.05)
+	waitHealthStorage(t, ts.URL, "degraded")
+
+	resp, data := submitAs(t, ts.URL, "", `{"id":"d-2","kind":"test"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded durable submit: %d %s", resp.StatusCode, data)
+	}
+	if code := errCode(t, data); code != CodeStorage {
+		t.Fatalf("degraded durable submit code %q, want %q", code, CodeStorage)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 without Retry-After")
+	}
+
+	// Stateless analyze still runs, unjournaled.
+	analyze := fmt.Sprintf(`{"id":"d-an","kind":"analyze","tasks":%s}`, tasksDoc)
+	if resp, data := submitAs(t, ts.URL, "", analyze); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("degraded analyze submit: %d %s", resp.StatusCode, data)
+	}
+	if st := waitJob(t, ts.URL, "d-an"); st.State != StateDone {
+		t.Fatalf("degraded analyze: %s %v", st.State, st.Error)
+	}
+
+	// Space frees up: durable admission resumes without a restart.
+	free.Store(0.5)
+	waitHealthStorage(t, ts.URL, "ok")
+	if resp, data := submitAs(t, ts.URL, "", `{"id":"d-3","kind":"test"}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("recovered submit: %d %s", resp.StatusCode, data)
+	}
+	waitJob(t, ts.URL, "d-3")
+
+	// Restart on the same data dir: the durable jobs replay; the analyze
+	// job served during degradation was never journaled, so it is gone —
+	// the degraded mode really did stop writing.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	closed = true
+	s2, ts2 := newTestServer(t, cfg)
+	defer s2.Close()
+	if resp, _ := get(t, ts2.URL+"/v1/jobs/d-1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("journaled job lost across restart: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts2.URL+"/v1/jobs/d-an"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unjournaled analyze survived restart: %d", resp.StatusCode)
+	}
+}
+
+// TestPoisonedJournalRefusesDurableWork: an fsync failure poisons the
+// journal; from then on the server refuses durable work with 503
+// code=storage (no false acks) while still serving stateless analyze,
+// and reports itself poisoned. Deterministic fault plan: opening a
+// fresh journal costs 3 fault-eligible ops (header temp write, temp
+// sync, dir sync) and each append costs 2 (write, sync), so After=5
+// exempts open + the first submission and the second submission's
+// fsync (op 6) is the first to fault.
+func TestPoisonedJournalRefusesDurableWork(t *testing.T) {
+	plan := &storage.FaultPlan{Seed: 1, SyncErrProb: 1, After: 5}
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		DataDir: t.TempDir(),
+		FS:      storage.NewFaultFS(storage.OS(), plan),
+	})
+	defer s.Close()
+
+	// First submission survives the grace window; the sleep keeps it on
+	// the worker so its terminal record cannot interleave with the
+	// poisoning append below.
+	if resp, data := submitAs(t, ts.URL, "", `{"id":"p-1","kind":"test","payload":{"sleep_ms":300}}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %s", resp.StatusCode, data)
+	}
+	resp, data := submitAs(t, ts.URL, "", `{"id":"p-2","kind":"test"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("poisoning submit: %d %s", resp.StatusCode, data)
+	}
+	if code := errCode(t, data); code != CodeStorage {
+		t.Fatalf("poisoning submit code %q, want %q", code, CodeStorage)
+	}
+	// The refused job was never acknowledged and must not exist.
+	if resp, _ := get(t, ts.URL+"/v1/jobs/p-2"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("refused job exists: %d", resp.StatusCode)
+	}
+
+	waitHealthStorage(t, ts.URL, "poisoned")
+
+	// Poisoning is sticky: durable work keeps being refused up front
+	// (before any quota is charged), analyze still runs.
+	resp, data = submitAs(t, ts.URL, "", `{"id":"p-3","kind":"test"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, data) != CodeStorage {
+		t.Fatalf("post-poison durable submit: %d %s", resp.StatusCode, data)
+	}
+	analyze := fmt.Sprintf(`{"id":"p-an","kind":"analyze","tasks":%s}`, tasksDoc)
+	if resp, data := submitAs(t, ts.URL, "", analyze); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-poison analyze: %d %s", resp.StatusCode, data)
+	}
+	if st := waitJob(t, ts.URL, "p-an"); st.State != StateDone {
+		t.Fatalf("post-poison analyze: %s %v", st.State, st.Error)
+	}
+	// The first job still completes and reports its result from memory.
+	if st := waitJob(t, ts.URL, "p-1"); st.State != StateDone {
+		t.Fatalf("pre-poison job: %s %v", st.State, st.Error)
+	}
+}

@@ -1,0 +1,316 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/euastar/euastar/internal/rng"
+)
+
+// Derivation stream tags, one per fault family (mirrors internal/faults):
+// enabling one family never perturbs another's decisions.
+const (
+	streamWriteErr uint64 = 1 + iota
+	streamShortWrite
+	streamSyncErr
+	streamLatency
+)
+
+// FaultPlan is a deterministic storage fault plan. Every decision is a
+// pure function of Seed and the operation's global sequence number, so
+// the same plan over the same operation sequence injects the same
+// faults. The zero value injects nothing; a nil *FaultPlan is inert.
+type FaultPlan struct {
+	// Seed is the derivation root of all fault decisions.
+	Seed uint64
+
+	// After exempts the first After fault-eligible operations, so a
+	// process under a plan can always start up (open its journal, write
+	// the header) before the disk begins to misbehave.
+	After int
+
+	// WriteErrProb is the per-write probability of a full failure: the
+	// write returns ENOSPC without transferring any bytes.
+	WriteErrProb float64
+
+	// ShortWriteProb is the per-write probability of a torn write: only
+	// half the buffer reaches the file and the write returns
+	// io.ErrShortWrite — the crash shape that leaves a partial frame on
+	// disk.
+	ShortWriteProb float64
+
+	// SyncErrProb is the per-fsync probability of an EIO, for files and
+	// directories alike. After a failed fsync the kernel's dirty-page
+	// state is unknowable, which is why callers treat it as poisonous.
+	SyncErrProb float64
+
+	// LatencyProb and Latency inject a stall before an operation
+	// completes (slow disk, saturated queue). Latency must be > 0 when
+	// LatencyProb > 0.
+	LatencyProb float64
+	Latency     time.Duration
+}
+
+// Enabled reports whether the plan can inject anything.
+func (p *FaultPlan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.WriteErrProb > 0 || p.ShortWriteProb > 0 || p.SyncErrProb > 0 || p.LatencyProb > 0
+}
+
+// Validate checks the plan. A nil plan is valid (and inert).
+func (p *FaultPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"write-err", p.WriteErrProb},
+		{"short-write", p.ShortWriteProb},
+		{"sync-err", p.SyncErrProb},
+		{"latency-prob", p.LatencyProb},
+	} {
+		if math.IsNaN(c.v) || c.v < 0 || c.v > 1 {
+			return fmt.Errorf("storage: %s probability %g outside [0, 1]", c.name, c.v)
+		}
+	}
+	if p.After < 0 {
+		return fmt.Errorf("storage: after %d must be non-negative", p.After)
+	}
+	if p.Latency < 0 {
+		return fmt.Errorf("storage: latency %v must be non-negative", p.Latency)
+	}
+	if p.LatencyProb > 0 && p.Latency == 0 {
+		return fmt.Errorf("storage: latency probability %g set but latency is zero", p.LatencyProb)
+	}
+	return nil
+}
+
+// String returns a canonical, order-stable description of the plan.
+func (p *FaultPlan) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	parts := []string{fmt.Sprintf("seed=%d", p.Seed)}
+	if p.After > 0 {
+		parts = append(parts, fmt.Sprintf("after=%d", p.After))
+	}
+	if p.WriteErrProb > 0 {
+		parts = append(parts, fmt.Sprintf("write-err=%g", p.WriteErrProb))
+	}
+	if p.ShortWriteProb > 0 {
+		parts = append(parts, fmt.Sprintf("short-write=%g", p.ShortWriteProb))
+	}
+	if p.SyncErrProb > 0 {
+		parts = append(parts, fmt.Sprintf("sync-err=%g", p.SyncErrProb))
+	}
+	if p.LatencyProb > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%g x%s", p.LatencyProb, p.Latency))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseFaultPlan builds a plan from a compact comma-separated key=value
+// spec, the format of the euad -storage-faults flag:
+//
+//	seed=7,after=8,write-err=0.1,short-write=0.05,sync-err=0.1,
+//	latency-prob=0.2,latency=2ms
+//
+// Unknown keys are rejected. An empty spec yields a nil (inert) plan.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	p := &FaultPlan{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("storage: %q is not key=value", field)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("storage: bad seed %q: %w", val, err)
+			}
+			p.Seed = u
+		case "after":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("storage: bad after %q: %w", val, err)
+			}
+			p.After = n
+		case "latency":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("storage: bad latency %q: %w", val, err)
+			}
+			p.Latency = d
+		default:
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("storage: bad %s %q: %w", key, val, err)
+			}
+			switch key {
+			case "write-err":
+				p.WriteErrProb = f
+			case "short-write":
+				p.ShortWriteProb = f
+			case "sync-err":
+				p.SyncErrProb = f
+			case "latency-prob":
+				p.LatencyProb = f
+			default:
+				return nil, fmt.Errorf("storage: unknown key %q (%s)", key, faultKeys())
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func faultKeys() string {
+	keys := []string{"seed", "after", "write-err", "short-write", "sync-err", "latency-prob", "latency"}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// faultFS injects the plan's faults into write and sync operations of
+// the wrapped FS. The operation counter is shared across all files the
+// FS opens, so a plan describes one disk, not one file.
+type faultFS struct {
+	FS
+	plan *FaultPlan
+	op   atomic.Int64
+}
+
+// NewFaultFS wraps inner with the plan. A nil or inert plan returns
+// inner unchanged.
+func NewFaultFS(inner FS, plan *FaultPlan) FS {
+	if !plan.Enabled() {
+		return inner
+	}
+	return &faultFS{FS: inner, plan: plan}
+}
+
+// next claims the next fault-eligible operation index, or -1 while the
+// plan's After grace window is still open.
+func (f *faultFS) next() int64 {
+	n := f.op.Add(1) - 1
+	if n < int64(f.plan.After) {
+		return -1
+	}
+	return n
+}
+
+func (f *faultFS) stall(n int64) {
+	if n < 0 || f.plan.LatencyProb <= 0 {
+		return
+	}
+	if rng.Derive(f.plan.Seed, streamLatency, uint64(n)).Bernoulli(f.plan.LatencyProb) {
+		time.Sleep(f.plan.Latency)
+	}
+}
+
+// writeFault decides the fate of write operation n: a full ENOSPC
+// failure, a short write, or success.
+func (f *faultFS) writeFault(n int64, path string) (short bool, err error) {
+	if n < 0 {
+		return false, nil
+	}
+	if f.plan.WriteErrProb > 0 && rng.Derive(f.plan.Seed, streamWriteErr, uint64(n)).Bernoulli(f.plan.WriteErrProb) {
+		return false, pathError("write", path, syscall.ENOSPC)
+	}
+	if f.plan.ShortWriteProb > 0 && rng.Derive(f.plan.Seed, streamShortWrite, uint64(n)).Bernoulli(f.plan.ShortWriteProb) {
+		return true, nil
+	}
+	return false, nil
+}
+
+func (f *faultFS) syncFault(n int64, op, path string) error {
+	if n < 0 || f.plan.SyncErrProb <= 0 {
+		return nil
+	}
+	if rng.Derive(f.plan.Seed, streamSyncErr, uint64(n)).Bernoulli(f.plan.SyncErrProb) {
+		return pathError(op, path, syscall.EIO)
+	}
+	return nil
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	inner, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	inner, err := f.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: inner, fs: f}, nil
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	n := f.next()
+	f.stall(n)
+	if err := f.syncFault(n, "fsync", dir); err != nil {
+		return err
+	}
+	return f.FS.SyncDir(dir)
+}
+
+// faultFile applies the plan to one open file's writes and syncs.
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	n := f.fs.next()
+	f.fs.stall(n)
+	short, err := f.fs.writeFault(n, f.Name())
+	if err != nil {
+		return 0, err
+	}
+	if short && len(p) > 0 {
+		// Half the buffer really lands in the file — the torn frame a
+		// crash mid-write leaves behind — before the error surfaces.
+		written, werr := f.File.Write(p[:len(p)/2])
+		if werr != nil {
+			return written, werr
+		}
+		return written, pathError("write", f.Name(), io.ErrShortWrite)
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	n := f.fs.next()
+	f.fs.stall(n)
+	if err := f.fs.syncFault(n, "fsync", f.Name()); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

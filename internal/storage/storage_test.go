@@ -1,0 +1,282 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	path := filepath.Join(dir, "sub", "f.txt")
+	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := fs.CreateTemp(filepath.Dir(path), "f.tmp*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(tmp.Name(), path); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if data, _ := fs.ReadFile(path); string(data) != "hello" {
+		t.Fatalf("truncate left %q", data)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("seed=7,after=3,write-err=0.1,short-write=0.05,sync-err=0.2,latency-prob=0.5,latency=2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.After != 3 || p.WriteErrProb != 0.1 || p.ShortWriteProb != 0.05 ||
+		p.SyncErrProb != 0.2 || p.LatencyProb != 0.5 || p.Latency != 2*time.Millisecond {
+		t.Fatalf("parsed %+v", p)
+	}
+	if !strings.Contains(p.String(), "seed=7") {
+		t.Fatalf("String() = %q", p.String())
+	}
+	if p, err := ParseFaultPlan(""); err != nil || p != nil {
+		t.Fatalf("empty spec: %v, %v", p, err)
+	}
+	for _, bad := range []string{
+		"write-err=2", "sync-err=-1", "latency-prob=0.5", "after=-1",
+		"unknown=1", "seed", "seed=x",
+	} {
+		if _, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestFaultFSDeterministic replays the same operation sequence twice
+// under the same plan and requires identical fault outcomes.
+func TestFaultFSDeterministic(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		fs := NewFaultFS(OS(), &FaultPlan{Seed: 42, WriteErrProb: 0.3, ShortWriteProb: 0.2, SyncErrProb: 0.3})
+		var outcomes []string
+		for i := 0; i < 40; i++ {
+			f, err := fs.CreateTemp(dir, "t*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Write([]byte("0123456789"))
+			serr := f.Sync()
+			f.Close()
+			switch {
+			case errors.Is(werr, syscall.ENOSPC):
+				outcomes = append(outcomes, "enospc")
+			case errors.Is(werr, io.ErrShortWrite):
+				outcomes = append(outcomes, "short")
+			case werr != nil:
+				t.Fatalf("unexpected write error %v", werr)
+			case errors.Is(serr, syscall.EIO):
+				outcomes = append(outcomes, "syncerr")
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	// The mix must actually contain faults and successes.
+	seen := map[string]bool{}
+	for _, o := range a {
+		seen[o] = true
+	}
+	for _, want := range []string{"enospc", "short", "syncerr", "ok"} {
+		if !seen[want] {
+			t.Errorf("outcome %s never occurred in %v", want, a)
+		}
+	}
+}
+
+// TestFaultFSShortWriteLeavesPartialBytes verifies the torn-frame shape:
+// a short write really lands half the buffer in the file.
+func TestFaultFSShortWriteLeavesPartialBytes(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS(), &FaultPlan{Seed: 1, ShortWriteProb: 1})
+	f, err := fs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	f.Close()
+	if !errors.Is(werr, io.ErrShortWrite) {
+		t.Fatalf("want short write, got n=%d err=%v", n, werr)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" || n != 5 {
+		t.Fatalf("file holds %q, n=%d; want half the buffer", data, n)
+	}
+}
+
+// TestFaultFSAfterGrace verifies the After window: the first After
+// operations are exempt even under probability-1 faults.
+func TestFaultFSAfterGrace(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OS(), &FaultPlan{Seed: 1, WriteErrProb: 1, After: 2})
+	f, err := fs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d inside grace window failed: %v", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past grace window: %v, want ENOSPC", err)
+	}
+}
+
+// TestFaultFSInertPlan: a nil or zero plan must return the inner FS
+// untouched.
+func TestFaultFSInertPlan(t *testing.T) {
+	inner := OS()
+	if got := NewFaultFS(inner, nil); got != inner {
+		t.Fatal("nil plan wrapped")
+	}
+	if got := NewFaultFS(inner, &FaultPlan{Seed: 9}); got != inner {
+		t.Fatal("inert plan wrapped")
+	}
+}
+
+// TestFaultFSOpenFileAndSyncDir covers the append-handle and directory
+// paths of the fault wrapper: faults reach files opened with OpenFile
+// (not just CreateTemp), SyncDir fails with EIO exactly like a file
+// fsync, and a latency plan stalls rather than errors.
+func TestFaultFSOpenFileAndSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS(), &FaultPlan{Seed: 3, SyncErrProb: 1, LatencyProb: 1, Latency: time.Millisecond})
+	f, err := ffs.OpenFile(filepath.Join(dir, "j"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write with no write faults in the plan: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync: %v, want EIO", err)
+	}
+	f.Close()
+	if err := ffs.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("syncdir: %v, want EIO", err)
+	}
+
+	// A plan without sync faults delegates SyncDir to the inner FS.
+	clean := NewFaultFS(OS(), &FaultPlan{Seed: 3, WriteErrProb: 1})
+	if err := clean.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir without sync faults: %v", err)
+	}
+}
+
+// TestTraceFS asserts the recorder sees the operation stream.
+func TestTraceFS(t *testing.T) {
+	dir := t.TempDir()
+	var ops []string
+	fs := &TraceFS{Inner: OS(), OnOp: func(op, path string) { ops = append(ops, op) }}
+	f, err := fs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	fs.Rename(f.Name(), filepath.Join(dir, "final"))
+	fs.SyncDir(dir)
+	want := []string{"create", "write", "sync", "rename", "syncdir"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops %v, want %v", ops, want)
+		}
+	}
+}
+
+// TestTraceFSRemainingOps covers the recorder's read/open/mkdir/remove/
+// truncate paths the rewrite-shaped test above never touches.
+func TestTraceFSRemainingOps(t *testing.T) {
+	dir := t.TempDir()
+	var ops []string
+	tfs := &TraceFS{Inner: OS(), OnOp: func(op, path string) { ops = append(ops, op) }}
+	sub := filepath.Join(dir, "sub")
+	if err := tfs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "f")
+	f, err := tfs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if data, err := tfs.ReadFile(path); err != nil || string(data) != "ab" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if err := tfs.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mkdir", "open", "write", "truncate", "read", "remove"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops %v, want %v", ops, want)
+		}
+	}
+}

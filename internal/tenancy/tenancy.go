@@ -1,0 +1,411 @@
+// Package tenancy provides per-tenant admission control and fair
+// dequeue for the euad daemon: token-bucket submission quotas, bounded
+// per-tenant queues, in-flight caps, and a weighted deficit-round-robin
+// scheduler over the queued work, so one saturating tenant cannot starve
+// the others (an overload-protection analogue of the paper's per-task
+// utility isolation).
+//
+// Admission is two-phase — Reserve charges the tenant's quota and
+// reserves queue space, Commit enqueues, Abort refunds — so a caller can
+// unwind an admission when a later step (journal append) fails, without
+// the tenant losing a token for work that was never accepted.
+package tenancy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Reject reasons, used as metric labels and HTTP error details.
+const (
+	// RejectQuota: the tenant's token bucket is empty (submission rate
+	// exceeded). Carries a Retry-After hint.
+	RejectQuota = "quota"
+	// RejectInFlight: the tenant has too many jobs queued or running.
+	RejectInFlight = "inflight"
+	// RejectQueue: the tenant's queue slice is full.
+	RejectQueue = "queue"
+	// RejectTenantLimit: the daemon refuses to track more distinct
+	// tenants (protects the tenant table itself from unbounded growth).
+	RejectTenantLimit = "tenant_limit"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Weights maps tenant name to its WDRR weight. Tenants not listed use
+	// DefaultWeight. Weights must be >= 1.
+	Weights map[string]int
+
+	// DefaultWeight is the weight of unlisted tenants; 0 means 1.
+	DefaultWeight int
+
+	// QueueDepth bounds each tenant's queued (not yet running) jobs.
+	// Zero means 1.
+	QueueDepth int
+
+	// Rate and Burst configure each tenant's token bucket: Rate tokens
+	// per second refill, Burst capacity. Rate <= 0 disables the quota
+	// (unlimited submissions).
+	Rate  float64
+	Burst int
+
+	// MaxInFlight bounds each tenant's queued+running jobs. Zero means
+	// unlimited.
+	MaxInFlight int
+
+	// MaxTenants bounds the number of distinct tenants tracked. Zero
+	// means 64.
+	MaxTenants int
+
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultWeight <= 0 {
+		c.DefaultWeight = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Burst <= 0 {
+		c.Burst = 1
+	}
+	return c
+}
+
+// Decision is the outcome of a Reserve call.
+type Decision struct {
+	// OK reports whether the reservation succeeded. When true the caller
+	// must follow with exactly one Commit or Abort.
+	OK bool
+	// Reason is the reject reason (one of the Reject* constants) when OK
+	// is false.
+	Reason string
+	// RetryAfter is a backoff hint for RejectQuota: the time until the
+	// tenant's next token accrues. Zero otherwise.
+	RetryAfter time.Duration
+}
+
+// Stats is a point-in-time snapshot of one tenant's state, for metrics.
+type Stats struct {
+	Tenant   string
+	Weight   int
+	Queued   int
+	Running  int
+	Admitted uint64
+	Rejected map[string]uint64
+}
+
+// tenant is the per-tenant state. All fields are guarded by the
+// controller mutex.
+type tenant[T any] struct {
+	name    string
+	weight  int
+	queue   []T
+	running int
+	deficit int
+
+	// Token bucket: tokens at the instant `stamp`.
+	tokens float64
+	stamp  time.Time
+
+	admitted uint64
+	rejected map[string]uint64
+}
+
+// Controller is the multi-tenant admission and dequeue engine. T is the
+// queued item type (the server's job struct).
+type Controller[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cfg    Config
+	ts     map[string]*tenant[T]
+	ring   []*tenant[T] // WDRR service order; only tenants with queued work
+	cursor int
+	queued int
+	closed bool
+}
+
+// New builds a Controller from cfg.
+func New[T any](cfg Config) *Controller[T] {
+	c := &Controller[T]{cfg: cfg.withDefaults(), ts: make(map[string]*tenant[T])}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// ValidTenant reports whether name is an acceptable tenant identifier:
+// 1–64 characters from [A-Za-z0-9._-].
+func ValidTenant(name string) bool {
+	if len(name) == 0 || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9',
+			ch == '.', ch == '_', ch == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseWeights parses the -tenant-weights flag format "a=1,b=4".
+func ParseWeights(spec string) (map[string]int, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, val, found := strings.Cut(field, "=")
+		name = strings.TrimSpace(name)
+		if !found || !ValidTenant(name) {
+			return nil, fmt.Errorf("tenancy: bad weight entry %q (want tenant=weight)", field)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenancy: weight for %q must be a positive integer, got %q", name, val)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// lookup returns the tenant record, creating it if the table has room.
+func (c *Controller[T]) lookup(name string) (*tenant[T], bool) {
+	if t, ok := c.ts[name]; ok {
+		return t, true
+	}
+	if len(c.ts) >= c.cfg.MaxTenants {
+		return nil, false
+	}
+	w := c.cfg.Weights[name]
+	if w <= 0 {
+		w = c.cfg.DefaultWeight
+	}
+	t := &tenant[T]{
+		name: name, weight: w,
+		tokens: float64(c.cfg.Burst), stamp: c.cfg.Now(),
+		rejected: map[string]uint64{},
+	}
+	c.ts[name] = t
+	return t, true
+}
+
+// refill advances t's token bucket to now.
+func (c *Controller[T]) refill(t *tenant[T], now time.Time) {
+	if c.cfg.Rate <= 0 {
+		return
+	}
+	dt := now.Sub(t.stamp).Seconds()
+	if dt > 0 {
+		t.tokens = math.Min(float64(c.cfg.Burst), t.tokens+dt*c.cfg.Rate)
+	}
+	t.stamp = now
+}
+
+// Reserve charges name's admission quota and reserves a queue slot. On
+// success the caller must follow with exactly one Commit (enqueue) or
+// Abort (refund). The rejected counter is only bumped on failure;
+// Admitted is bumped by Commit.
+func (c *Controller[T]) Reserve(name string) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.lookup(name)
+	if !ok {
+		return Decision{Reason: RejectTenantLimit}
+	}
+	now := c.cfg.Now()
+	c.refill(t, now)
+	if c.cfg.Rate > 0 && t.tokens < 1 {
+		t.rejected[RejectQuota]++
+		// Time until the bucket accrues its next whole token.
+		wait := time.Duration((1 - t.tokens) / c.cfg.Rate * float64(time.Second))
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return Decision{Reason: RejectQuota, RetryAfter: wait}
+	}
+	if c.cfg.MaxInFlight > 0 && len(t.queue)+t.running >= c.cfg.MaxInFlight {
+		t.rejected[RejectInFlight]++
+		return Decision{Reason: RejectInFlight}
+	}
+	if len(t.queue) >= c.cfg.QueueDepth {
+		t.rejected[RejectQueue]++
+		return Decision{Reason: RejectQueue}
+	}
+	if c.cfg.Rate > 0 {
+		t.tokens--
+	}
+	// The queue slot itself is not held between Reserve and Commit: the
+	// caller holds the server lock across both, so no competing Reserve
+	// can interleave. Commit re-checks nothing; Abort refunds the token.
+	return Decision{OK: true}
+}
+
+// Commit enqueues item for name after a successful Reserve.
+func (c *Controller[T]) Commit(name string, item T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.ts[name]
+	if !ok {
+		return // Reserve created it; only a racing close could drop it
+	}
+	t.admitted++
+	c.enqueueLocked(t, item)
+}
+
+// Abort refunds the token charged by a successful Reserve whose
+// admission was unwound (e.g. the journal append failed).
+func (c *Controller[T]) Abort(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.ts[name]
+	if !ok {
+		return
+	}
+	if c.cfg.Rate > 0 {
+		t.tokens = math.Min(float64(c.cfg.Burst), t.tokens+1)
+	}
+}
+
+// Recover enqueues item for name bypassing quota and caps — journal
+// recovery re-admits previously accepted work, which must never be
+// bounced by admission control.
+func (c *Controller[T]) Recover(name string, item T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.lookup(name)
+	if !ok {
+		// Tenant table full during recovery: fold into the zero-weight
+		// overflow bucket rather than dropping accepted work.
+		t = &tenant[T]{name: name, weight: c.cfg.DefaultWeight, rejected: map[string]uint64{}}
+		c.ts[name] = t
+	}
+	c.enqueueLocked(t, item)
+}
+
+// enqueueLocked adds item to t's queue and links t into the WDRR ring if
+// it just became backlogged.
+func (c *Controller[T]) enqueueLocked(t *tenant[T], item T) {
+	t.queue = append(t.queue, item)
+	c.queued++
+	if len(t.queue) == 1 {
+		c.ring = append(c.ring, t)
+	}
+	c.cond.Signal()
+}
+
+// Dequeue blocks until an item is available or the controller is closed
+// and drained. Service order is weighted deficit round robin with unit
+// job cost: each backlogged tenant in turn is served up to `weight` jobs
+// before the cursor advances, so over any saturated window tenant shares
+// converge to weight/Σweights. Returns ok=false only when the controller
+// is closed and every queue is empty.
+func (c *Controller[T]) Dequeue() (item T, tenantName string, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.queued == 0 {
+		if c.closed {
+			var zero T
+			return zero, "", false
+		}
+		c.cond.Wait()
+	}
+	// The ring holds exactly the backlogged tenants; cursor points at the
+	// tenant currently being served its deficit.
+	if c.cursor >= len(c.ring) {
+		c.cursor = 0
+	}
+	t := c.ring[c.cursor]
+	if t.deficit == 0 {
+		t.deficit = t.weight
+	}
+	item = t.queue[0]
+	copy(t.queue, t.queue[1:])
+	t.queue[len(t.queue)-1] = *new(T)
+	t.queue = t.queue[:len(t.queue)-1]
+	c.queued--
+	t.running++
+	t.deficit--
+	if len(t.queue) == 0 {
+		// Tenant drained: drop it from the ring. The cursor now points at
+		// the next tenant (or wraps), its deficit left intact.
+		t.deficit = 0
+		c.ring = append(c.ring[:c.cursor], c.ring[c.cursor+1:]...)
+		if c.cursor >= len(c.ring) {
+			c.cursor = 0
+		}
+	} else if t.deficit == 0 {
+		c.cursor++
+		if c.cursor >= len(c.ring) {
+			c.cursor = 0
+		}
+	}
+	return item, t.name, true
+}
+
+// Done releases name's in-flight slot when a job reaches a terminal
+// state.
+func (c *Controller[T]) Done(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.ts[name]; ok && t.running > 0 {
+		t.running--
+	}
+}
+
+// Close stops admission of new work and wakes blocked Dequeue callers.
+// Queued items continue to be served until the queues drain, preserving
+// the daemon's drain semantics.
+func (c *Controller[T]) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.cond.Broadcast()
+}
+
+// Queued returns the total number of queued items across all tenants.
+func (c *Controller[T]) Queued() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queued
+}
+
+// Snapshot returns per-tenant stats sorted by tenant name.
+func (c *Controller[T]) Snapshot() []Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Stats, 0, len(c.ts))
+	for _, t := range c.ts {
+		rej := make(map[string]uint64, len(t.rejected))
+		for k, v := range t.rejected {
+			rej[k] = v
+		}
+		out = append(out, Stats{
+			Tenant: t.name, Weight: t.weight,
+			Queued: len(t.queue), Running: t.running,
+			Admitted: t.admitted, Rejected: rej,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
+}

@@ -1,0 +1,353 @@
+package tenancy
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// admit is the Reserve+Commit convenience used by tests that don't
+// exercise the two-phase split.
+func admit(c *Controller[int], tenant string, item int) Decision {
+	d := c.Reserve(tenant)
+	if d.OK {
+		c.Commit(tenant, item)
+	}
+	return d
+}
+
+// TestWDRRServiceOrder: with weights a=1, b=1, c=4 and all three tenants
+// backlogged, a saturated service window interleaves one job of a, one
+// of b, four of c.
+func TestWDRRServiceOrder(t *testing.T) {
+	c := New[int](Config{
+		Weights:    map[string]int{"c": 4},
+		QueueDepth: 16,
+	})
+	for i := 0; i < 4; i++ {
+		if d := admit(c, "a", i); !d.OK {
+			t.Fatalf("admit a/%d: %+v", i, d)
+		}
+		if d := admit(c, "b", i); !d.OK {
+			t.Fatalf("admit b/%d: %+v", i, d)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if d := admit(c, "c", i); !d.OK {
+			t.Fatalf("admit c/%d: %+v", i, d)
+		}
+	}
+	var order []string
+	for i := 0; i < 24; i++ {
+		_, name, ok := c.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: closed", i)
+		}
+		order = append(order, name)
+	}
+	// Four full rounds of the a,b,c,c,c,c pattern.
+	want := []string{"a", "b", "c", "c", "c", "c"}
+	for i, name := range order {
+		if name != want[i%6] {
+			t.Fatalf("service order %v, want repeated %v", order, want)
+		}
+	}
+}
+
+// TestWDRRSkipsIdleTenants: an idle tenant consumes no service; its
+// share is redistributed, and it is served promptly when it returns.
+func TestWDRRSkipsIdleTenants(t *testing.T) {
+	c := New[int](Config{Weights: map[string]int{"b": 2}, QueueDepth: 8})
+	admit(c, "a", 1)
+	admit(c, "a", 2)
+	for i := 0; i < 2; i++ {
+		if _, name, _ := c.Dequeue(); name != "a" {
+			t.Fatalf("dequeue %d from %s, want a (b is idle)", i, name)
+		}
+	}
+	admit(c, "b", 1)
+	if _, name, _ := c.Dequeue(); name != "b" {
+		t.Fatalf("returning tenant b not served, got %s", name)
+	}
+}
+
+// TestTokenBucketQuota: rate and burst enforce the submission quota, the
+// RetryAfter hint tracks the refill, and Abort refunds.
+func TestTokenBucketQuota(t *testing.T) {
+	clock := newFakeClock()
+	c := New[int](Config{Rate: 1, Burst: 2, QueueDepth: 16, Now: clock.Now})
+
+	if d := admit(c, "a", 1); !d.OK {
+		t.Fatalf("first admit: %+v", d)
+	}
+	if d := admit(c, "a", 2); !d.OK {
+		t.Fatalf("second admit (burst): %+v", d)
+	}
+	d := admit(c, "a", 3)
+	if d.OK || d.Reason != RejectQuota {
+		t.Fatalf("over-quota admit: %+v", d)
+	}
+	if d.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter %v, want >= 1s", d.RetryAfter)
+	}
+	clock.Advance(1100 * time.Millisecond)
+	if d := admit(c, "a", 4); !d.OK {
+		t.Fatalf("admit after refill: %+v", d)
+	}
+
+	// Reserve+Abort must leave the bucket where it started.
+	clock.Advance(time.Hour) // refill to full burst (2)
+	if d := c.Reserve("a"); !d.OK {
+		t.Fatalf("reserve: %+v", d)
+	}
+	c.Abort("a")
+	if d := admit(c, "a", 5); !d.OK {
+		t.Fatalf("admit after abort-refund: %+v", d)
+	}
+	if d := admit(c, "a", 6); !d.OK {
+		t.Fatalf("second admit after abort-refund: %+v", d)
+	}
+
+	// Tenant b has its own bucket, unaffected by a's spend.
+	if d := admit(c, "b", 1); !d.OK {
+		t.Fatalf("tenant b: %+v", d)
+	}
+}
+
+// TestInFlightCap: queued+running counts against MaxInFlight; Done
+// releases the running slot.
+func TestInFlightCap(t *testing.T) {
+	c := New[int](Config{QueueDepth: 8, MaxInFlight: 2})
+	admit(c, "a", 1)
+	admit(c, "a", 2)
+	if d := admit(c, "a", 3); d.OK || d.Reason != RejectInFlight {
+		t.Fatalf("over-cap admit: %+v", d)
+	}
+	// Dequeue moves queued → running; still in flight.
+	c.Dequeue()
+	if d := admit(c, "a", 3); d.OK || d.Reason != RejectInFlight {
+		t.Fatalf("admit with 1 queued + 1 running: %+v", d)
+	}
+	c.Done("a")
+	if d := admit(c, "a", 3); !d.OK {
+		t.Fatalf("admit after Done: %+v", d)
+	}
+}
+
+// TestQueueDepthPerTenant: one tenant filling its queue slice does not
+// consume another tenant's space.
+func TestQueueDepthPerTenant(t *testing.T) {
+	c := New[int](Config{QueueDepth: 2})
+	admit(c, "a", 1)
+	admit(c, "a", 2)
+	if d := admit(c, "a", 3); d.OK || d.Reason != RejectQueue {
+		t.Fatalf("full queue admit: %+v", d)
+	}
+	if d := admit(c, "b", 1); !d.OK {
+		t.Fatalf("tenant b blocked by a's backlog: %+v", d)
+	}
+}
+
+// TestTenantLimit: the tenant table is bounded.
+func TestTenantLimit(t *testing.T) {
+	c := New[int](Config{QueueDepth: 2, MaxTenants: 2})
+	admit(c, "a", 1)
+	admit(c, "b", 1)
+	if d := admit(c, "z", 1); d.OK || d.Reason != RejectTenantLimit {
+		t.Fatalf("over-limit tenant: %+v", d)
+	}
+	// Existing tenants keep working.
+	if d := admit(c, "a", 2); !d.OK {
+		t.Fatalf("existing tenant after limit hit: %+v", d)
+	}
+}
+
+// TestCloseDrains: Close stops nothing that is already queued; Dequeue
+// returns the backlog then reports closed.
+func TestCloseDrains(t *testing.T) {
+	c := New[int](Config{QueueDepth: 8})
+	admit(c, "a", 1)
+	admit(c, "a", 2)
+	c.Close()
+	for i := 0; i < 2; i++ {
+		if _, _, ok := c.Dequeue(); !ok {
+			t.Fatalf("dequeue %d after close: queue lost", i)
+		}
+	}
+	if _, _, ok := c.Dequeue(); ok {
+		t.Fatal("dequeue on drained closed controller returned work")
+	}
+}
+
+// TestCloseWakesBlockedDequeue: a worker blocked on an empty controller
+// is released by Close.
+func TestCloseWakesBlockedDequeue(t *testing.T) {
+	c := New[int](Config{QueueDepth: 1})
+	released := make(chan bool)
+	go func() {
+		_, _, ok := c.Dequeue()
+		released <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case ok := <-released:
+		if ok {
+			t.Fatal("blocked dequeue returned work from empty controller")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dequeue still blocked after Close")
+	}
+}
+
+// TestRecoverBypassesAdmission: journal recovery re-enqueues accepted
+// work past quota, caps, and even the tenant table limit.
+func TestRecoverBypassesAdmission(t *testing.T) {
+	clock := newFakeClock()
+	c := New[int](Config{Rate: 1, Burst: 1, QueueDepth: 1, MaxInFlight: 1, MaxTenants: 1, Now: clock.Now})
+	admit(c, "a", 1)
+	c.Recover("a", 2) // over queue depth and in-flight cap
+	c.Recover("b", 3) // over the tenant limit
+	seen := map[string]int{}
+	for i := 0; i < 3; i++ {
+		_, name, ok := c.Dequeue()
+		if !ok {
+			t.Fatalf("dequeue %d: closed", i)
+		}
+		seen[name]++
+	}
+	if seen["a"] != 2 || seen["b"] != 1 {
+		t.Fatalf("recovered work lost: %v", seen)
+	}
+}
+
+// TestSnapshot: stats reflect admissions, rejections, queue and running
+// counts.
+func TestSnapshot(t *testing.T) {
+	c := New[int](Config{QueueDepth: 1, Weights: map[string]int{"a": 3}})
+	admit(c, "a", 1)
+	admit(c, "a", 2) // queue full
+	c.Dequeue()
+	stats := c.Snapshot()
+	if len(stats) != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	s := stats[0]
+	if s.Tenant != "a" || s.Weight != 3 || s.Admitted != 1 || s.Queued != 0 ||
+		s.Running != 1 || s.Rejected[RejectQueue] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestValidTenant exercises the identifier grammar.
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"a", "team-a", "T.1_x", "default"} {
+		if !ValidTenant(ok) {
+			t.Errorf("ValidTenant(%q) = false", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "a b", "a/b", "é", string(long)} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true", bad)
+		}
+	}
+}
+
+// TestParseWeights exercises the flag grammar.
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights(" a=1, b=4 ")
+	if err != nil || w["a"] != 1 || w["b"] != 4 {
+		t.Fatalf("parsed %v, %v", w, err)
+	}
+	if w, err := ParseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty spec: %v, %v", w, err)
+	}
+	for _, bad := range []string{"a", "a=0", "a=-1", "a=x", "=4", "a b=1"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentSmoke hammers the controller from many goroutines under
+// -race: admissions, dequeues, completions and snapshots interleave.
+func TestConcurrentSmoke(t *testing.T) {
+	c := New[int](Config{
+		Weights:    map[string]int{"hog": 4},
+		QueueDepth: 32,
+		Rate:       10000,
+		Burst:      64,
+	})
+	const producers = 4
+	const perProducer = 200
+	var wg sync.WaitGroup
+	names := []string{"a", "b", "hog", "hog"}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				admit(c, name, i)
+			}
+		}(names[p])
+	}
+	var consumed sync.WaitGroup
+	var count int64
+	var countMu sync.Mutex
+	for w := 0; w < 3; w++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				_, name, ok := c.Dequeue()
+				if !ok {
+					return
+				}
+				c.Done(name)
+				countMu.Lock()
+				count++
+				countMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for c.Queued() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	consumed.Wait()
+	c.Snapshot()
+	var admitted int64
+	for _, s := range c.Snapshot() {
+		admitted += int64(s.Admitted)
+	}
+	if count != admitted {
+		t.Fatalf("consumed %d, admitted %d", count, admitted)
+	}
+}
