@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"github.com/euastar/euastar/internal/bench"
 )
@@ -46,6 +48,8 @@ func run(args []string, out, diag io.Writer) error {
 		quick     = fs.Bool("quick", false, "small matrix and short horizon for smoke runs")
 		overhead  = fs.Bool("overhead", false, "measure the enabled-telemetry cost instead of the ref/fast matrix")
 		maxOver   = fs.Float64("max-overhead", 5, "fail -overhead when the median cost exceeds this percent")
+		coresFlag = fs.String("cores", "", "comma-separated core counts for the partitioned eua-part rows (default 1,2,4)")
+		partFlag  = fs.String("partition", "", "placement policy for the eua-part rows: ff|wf (default ff)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,15 +57,24 @@ func run(args []string, out, diag io.Writer) error {
 	if *tolerance < 0 {
 		return fmt.Errorf("-tolerance must be >= 0, got %g", *tolerance)
 	}
+	coreCounts, err := parseCores(*coresFlag)
+	if err != nil {
+		return err
+	}
+	if *partFlag != "" && *partFlag != "ff" && *partFlag != "wf" {
+		return fmt.Errorf("-partition must be ff or wf, got %q", *partFlag)
+	}
 	if *overhead {
 		return runOverhead(out, *reps, *horizon, *seed, *quick, *maxOver)
 	}
 
 	opts := bench.Options{
-		Reps:     *reps,
-		Horizon:  *horizon,
-		Seed:     *seed,
-		Progress: diag,
+		Reps:      *reps,
+		Horizon:   *horizon,
+		Seed:      *seed,
+		Cores:     coreCounts,
+		Partition: *partFlag,
+		Progress:  diag,
 	}
 	if *quick {
 		opts.Tasks = []int{8, 24}
@@ -71,6 +84,9 @@ func run(args []string, out, diag io.Writer) error {
 		}
 		if !flagSet(fs, "reps") {
 			opts.Reps = 1
+		}
+		if !flagSet(fs, "cores") {
+			opts.Cores = []int{2}
 		}
 	}
 
@@ -149,6 +165,22 @@ func runOverhead(out io.Writer, reps int, horizon float64, seed uint64, quick bo
 		return fmt.Errorf("telemetry overhead %.1f%% exceeds %.0f%%", median, maxOver)
 	}
 	return nil
+}
+
+// parseCores parses a comma-separated core-count list like "1,2,4".
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cores wants positive integers like 1,2,4, got %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // flagSet reports whether the user passed the flag explicitly.

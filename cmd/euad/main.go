@@ -52,6 +52,8 @@ func run(args []string) int {
 	storageFaults := fs.String("storage-faults", "", "deterministic storage fault plan for chaos testing, e.g. seed=7,after=8,write-err=0.1,sync-err=0.05")
 	breakerThreshold := fs.Int("breaker-threshold", 5, "worker-mode circuit breaker: consecutive dead-peer failures before it opens")
 	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "worker-mode circuit breaker: cooldown before a half-open probe")
+	cores := fs.Int("cores", 0, "default DVS core count for sweep/simulate jobs that do not set cores (0 = uniprocessor)")
+	partition := fs.String("partition", "", "default placement policy for multicore jobs: ff|wf|global (empty = ff)")
 	defTimeout := fs.Duration("timeout", 2*time.Minute, "default per-job wall-clock budget")
 	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "ceiling on any job's wall-clock budget")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight jobs")
@@ -69,6 +71,16 @@ func run(args []string) int {
 	weights, err := tenancy.ParseWeights(*tenantWeights)
 	if err != nil {
 		logf("euad: %v", err)
+		return 1
+	}
+	if *cores < 0 {
+		logf("euad: -cores must be non-negative, got %d", *cores)
+		return 1
+	}
+	switch *partition {
+	case "", "ff", "wf", "global":
+	default:
+		logf("euad: -partition must be ff, wf or global, got %q", *partition)
 		return 1
 	}
 	plan, err := storage.ParseFaultPlan(*storageFaults)
@@ -89,6 +101,8 @@ func run(args []string) int {
 		DiskLowWatermark:  *diskLow,
 		DefaultTimeout:    *defTimeout,
 		MaxTimeout:        *maxTimeout,
+		DefaultCores:      *cores,
+		DefaultPartition:  *partition,
 		Logf:              logf,
 	}
 	if plan != nil {

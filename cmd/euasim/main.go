@@ -83,7 +83,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	fs := flag.NewFlagSet("euasim", flag.ContinueOnError)
 	fs.SetOutput(diag)
 	var (
-		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|threshold|gaps|all")
+		exp        = fs.String("exp", "all", "experiment: table1|table2|fig2|fig3|assurance|ablation|budget|latency|ladder|contention|faults|threshold|gaps|speedup|all")
 		chart      = fs.Bool("chart", false, "additionally render fig2/fig3 as ASCII charts")
 		preset     = fs.String("energy", "E1", "energy setting for fig2/ablation: E1|E2|E3")
 		loads      = fs.String("loads", "", "comma-separated load sweep (default 0.2..1.8)")
@@ -106,6 +106,8 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 		admBench   = fs.String("admission-bench", "", "with -exp threshold: additionally write the BENCH_admission.json baseline to this file")
 		oracles    = fs.Bool("oracles", false, "annotate fig2/ablation rows with optimality-gap columns (YDS energy lower bound, branch-and-bound utility upper bound; see DESIGN.md §13)")
 		gapsBench  = fs.String("gaps-bench", "", "with -exp gaps: additionally write the BENCH_gaps.json baseline to this file")
+		cores      = fs.Int("cores", 0, "simulated DVS cores (0 or 1 = the paper's uniprocessor; >1 runs every scheme partitioned, see -partition and DESIGN.md §15)")
+		partFlag   = fs.String("partition", "ff", "multiprocessor policy with -cores > 1: ff (first-fit) | wf (worst-fit) | global (shared queue, top-m UER)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +126,14 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *cores < 0 {
+		return fmt.Errorf("-cores must be >= 0, got %d", *cores)
+	}
+	switch *partFlag {
+	case "ff", "wf", "global":
+	default:
+		return fmt.Errorf("-partition must be ff, wf or global, got %q", *partFlag)
 	}
 	if *admit != "" {
 		return runAdmit(*admit, *admScheme, *admLoad, *jsonPath, out)
@@ -165,13 +175,15 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	}
 
 	cfg := experiment.Config{
-		Energy:   energy.Preset(*preset),
-		Horizon:  *horizon,
-		Workers:  *workers,
-		Timeout:  *timeout,
-		Retries:  *retries,
-		FastPath: *fastpath,
-		Oracles:  *oracles,
+		Energy:    energy.Preset(*preset),
+		Horizon:   *horizon,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		Retries:   *retries,
+		FastPath:  *fastpath,
+		Oracles:   *oracles,
+		Cores:     *cores,
+		Partition: *partFlag,
 	}
 	if *loads != "" {
 		parsed, err := parseLoads(*loads)
@@ -240,7 +252,7 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 	var docs []experiment.JSONDocument
 	todo := strings.Split(*exp, ",")
 	if *exp == "all" {
-		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults", "threshold", "gaps"}
+		todo = []string{"table1", "table2", "fig2", "fig3", "assurance", "ablation", "budget", "latency", "ladder", "contention", "faults", "threshold", "gaps", "speedup"}
 	}
 	// A sweep with failed cells returns its completed rows alongside a
 	// *experiment.SweepError. Those partial results are still written (and
@@ -389,6 +401,17 @@ func runWithSignals(args []string, out, diag io.Writer, sigs <-chan os.Signal) e
 					}
 					fmt.Fprintf(out, "admission baseline written to %s\n", *admBench)
 				}
+			}
+		case "speedup":
+			rows, err := experiment.Speedup(cfg, nil)
+			sweepErr = err
+			if rows != nil {
+				if err := experiment.WriteSpeedup(out, rows); err != nil {
+					return err
+				}
+				docs = append(docs, experiment.JSONDocument{
+					Experiment: "speedup", Config: experiment.Describe(cfg), Speedup: rows,
+				})
 			}
 		case "gaps":
 			rows, err := experiment.Gaps(cfg)

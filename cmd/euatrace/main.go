@@ -29,6 +29,7 @@ import (
 	"github.com/euastar/euastar/internal/sched/eua"
 	"github.com/euastar/euastar/internal/sched/gus"
 	"github.com/euastar/euastar/internal/sched/laedf"
+	"github.com/euastar/euastar/internal/sched/partition"
 	"github.com/euastar/euastar/internal/task"
 	"github.com/euastar/euastar/internal/trace"
 	"github.com/euastar/euastar/internal/workload"
@@ -82,9 +83,14 @@ func run(args []string, out io.Writer) error {
 		width     = fs.Int("width", 100, "Gantt chart width in columns")
 		faultSpec = fs.String("faults", "", "deterministic fault plan, e.g. seed=7,overrun=0.1,sticky=0.05 (see README)")
 		fastpath  = fs.Bool("fastpath", false, "run EUA*-family schedulers on the incremental fast-path core (bit-identical decisions, see DESIGN.md §8)")
+		cores     = fs.Int("cores", 0, "number of DVS cores (0 or 1 = uniprocessor)")
+		partFlag  = fs.String("partition", "ff", "multicore placement when -cores > 1: ff|wf|global")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cores < 0 {
+		return fmt.Errorf("-cores must be non-negative, got %d", *cores)
 	}
 	plan, err := faults.Parse(*faultSpec)
 	if err != nil {
@@ -100,6 +106,29 @@ func run(args []string, out io.Writer) error {
 			s.EnableFastPath()
 		} else {
 			return fmt.Errorf("-fastpath applies only to EUA*-family schedulers, not %q", *schedName)
+		}
+	}
+	if *cores > 1 {
+		switch *partFlag {
+		case "global":
+			scheduler = partition.NewGlobal(*cores)
+		case "ff", "wf":
+			name, fp := *schedName, *fastpath
+			policy, err := partition.ParsePolicy(*partFlag)
+			if err != nil {
+				return err
+			}
+			scheduler = partition.New(*cores, policy, func() sched.Scheduler {
+				s, _, _ := newScheduler(name)
+				if fp {
+					if e, ok := s.(*eua.Scheduler); ok {
+						e.EnableFastPath()
+					}
+				}
+				return s
+			})
+		default:
+			return fmt.Errorf("unknown partition policy %q (ff|wf|global)", *partFlag)
 		}
 	}
 	var application workload.App
@@ -153,6 +182,7 @@ func run(args []string, out io.Writer) error {
 		Tasks:              ts,
 		Scheduler:          scheduler,
 		Freqs:              ft,
+		Cores:              *cores,
 		Energy:             model,
 		Horizon:            *horizon,
 		Seed:               *seed,
@@ -179,6 +209,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "energy        %.4g (%.4g per executed cycle)\n", rep.TotalEnergy, rep.TotalEnergy/rep.Cycles)
 	fmt.Fprintf(out, "busy          %.1f ms over %.1f ms, %d frequency switches, %d decisions\n",
 		rep.BusyTime*1e3, rep.EndTime*1e3, rep.Switches, res.Decisions)
+	if res.Cores > 1 {
+		fmt.Fprintf(out, "cores         %d (%s), %d migrations\n", res.Cores, *partFlag, res.Migrations)
+		for k, cr := range res.PerCore {
+			fmt.Fprintf(out, "  core %d      energy %.4g  busy %.1f ms  %d switches\n",
+				k, cr.Energy, cr.BusyTime*1e3, cr.Switches)
+		}
+	}
 	fmt.Fprintf(out, "assurance     all {nu, rho} met: %v\n", rep.AssuranceSatisfied())
 	if plan.Enabled() {
 		fmt.Fprintf(out, "degraded      %d faults injected (%s), %d jobs shed, %.4g abort cycles\n",

@@ -13,9 +13,10 @@
 //     is evaluated against: EDF at the highest frequency, Pillai–Shin
 //     cycle-conserving EDF and look-ahead EDF (with and without
 //     abortion), and DASA;
-//   - a discrete-event uniprocessor simulator with DVS (frequency
-//     scaling), Martin's system-level energy model, abortion semantics
-//     and exact cycle accounting;
+//   - a discrete-event simulator with DVS (frequency scaling), Martin's
+//     system-level energy model, abortion semantics and exact cycle
+//     accounting — on one processor or, via SimConfig.Cores with a
+//     NewPartitioned/NewGlobalUER scheduler, on m independent DVS cores;
 //   - metrics and the experiment harness that regenerate every table and
 //     figure of the paper's evaluation.
 //
@@ -56,6 +57,7 @@ import (
 	"github.com/euastar/euastar/internal/sched/eua"
 	"github.com/euastar/euastar/internal/sched/gus"
 	"github.com/euastar/euastar/internal/sched/laedf"
+	"github.com/euastar/euastar/internal/sched/partition"
 	"github.com/euastar/euastar/internal/sched/staticedf"
 	"github.com/euastar/euastar/internal/task"
 	"github.com/euastar/euastar/internal/tuf"
@@ -208,6 +210,35 @@ func NewStaticEDF(abortInfeasible bool) Scheduler { return staticedf.New(abortIn
 // utility-accrual baseline: jobs are ranked by the potential utility
 // density of their whole blocking chain; no DVS.
 func NewGUS() Scheduler { return gus.New() }
+
+// NewPartitioned returns a partitioned multiprocessor scheduler for
+// SimConfig.Cores DVS cores: tasks are packed onto cores at Init time
+// (policy "ff" first-fit or "wf" worst-fit, decreasing minimum-frequency
+// order, the analytical admission bound as the capacity test), and each
+// core runs its own instance built by factory — so partitioned EUA* is
+// NewPartitioned(m, "ff", func() euastar.Scheduler { return euastar.NewEUA() }).
+// Jobs never migrate. cores must be >= 1 and match SimConfig.Cores.
+func NewPartitioned(cores int, policy string, factory func() Scheduler) (Scheduler, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("euastar: partitioned scheduler needs cores >= 1, got %d", cores)
+	}
+	p, err := partition.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	return partition.New(cores, p, factory), nil
+}
+
+// NewGlobalUER returns the global multiprocessor dispatcher for
+// SimConfig.Cores DVS cores: one shared ready queue ranked by utility
+// and energy rate, the top m jobs dispatched each decision with core
+// stickiness; Result.Migrations counts the cross-core moves.
+func NewGlobalUER(cores int) (Scheduler, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("euastar: global scheduler needs cores >= 1, got %d", cores)
+	}
+	return partition.NewGlobal(cores), nil
+}
 
 // NewProfiler returns an online demand-moment estimator to assign to
 // Task.Profiler: it reports the given design-time prior until minSamples

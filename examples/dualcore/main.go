@@ -1,0 +1,104 @@
+// Dual-core unlock: the same overloaded workload on one DVS core and on
+// two, scheduled by partitioned EUA*.
+//
+// At system load 1.6 a single core is 60% oversubscribed — EUA* sheds
+// the lowest-UER fraction of the work and the utility ratio caps well
+// below 1. Partitioning the task set across two cores (first-fit over
+// decreasing minimum frequency, the analytical admission bound as the
+// capacity test) gives each core a feasible share: the shed work accrues
+// on the second core, and per-core DVS keeps the added energy below the
+// added capacity.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	euastar "github.com/euastar/euastar"
+)
+
+const ms = euastar.Millisecond
+
+// buildTasks is a six-task sensor-fusion pipeline: three high-value
+// fusion stages and three housekeeping activities, all step TUFs, sized
+// so the set scales cleanly to any target load.
+func buildTasks() euastar.TaskSet {
+	mk := func(id int, name string, a int, p, umax, cycles float64) *euastar.Task {
+		return &euastar.Task{
+			ID:      id,
+			Name:    name,
+			Arrival: euastar.UAM(a, p),
+			TUF:     euastar.StepTUF(umax, p),
+			Demand:  euastar.Demand{Mean: cycles, Variance: cycles},
+			Req:     euastar.Requirement{Nu: 0.3, Rho: 0.9},
+		}
+	}
+	return euastar.TaskSet{
+		mk(1, "fuse-radar", 2, 40*ms, 40, 6e6),
+		mk(2, "fuse-lidar", 2, 50*ms, 36, 7e6),
+		mk(3, "fuse-camera", 1, 30*ms, 30, 5e6),
+		mk(4, "log-rotate", 1, 60*ms, 8, 6e6),
+		mk(5, "health-ping", 2, 80*ms, 6, 7e6),
+		mk(6, "ui-refresh", 1, 50*ms, 4, 5e6),
+	}
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
+	const load = 1.6
+	ft := euastar.PowerNowK6()
+	tasks := buildTasks().ScaleToLoad(load, ft.Max())
+
+	base := euastar.SimConfig{
+		Tasks:              tasks,
+		Horizon:            4,
+		Seed:               11,
+		AbortAtTermination: true,
+	}
+
+	uni := base
+	uni.Scheduler = euastar.NewEUA()
+	uniRes, err := euastar.Simulate(uni)
+	if err != nil {
+		return err
+	}
+	uniRep := euastar.Analyze(uniRes)
+
+	part, err := euastar.NewPartitioned(2, "ff", func() euastar.Scheduler { return euastar.NewEUA() })
+	if err != nil {
+		return err
+	}
+	dual := base
+	dual.Scheduler = part
+	dual.Cores = 2
+	dualRes, err := euastar.Simulate(dual)
+	if err != nil {
+		return err
+	}
+	dualRep := euastar.Analyze(dualRes)
+
+	fmt.Fprintf(out, "Dual-core unlock — partitioned EUA* at system load %.2f\n\n", load)
+	fmt.Fprintf(out, "%-12s %10s %8s %10s %11s\n", "config", "utility", "ratio", "energy", "migrations")
+	fmt.Fprintf(out, "%-12s %10.1f %8.3f %10.3g %11s\n",
+		uniRep.Scheduler, uniRep.AccruedUtility, uniRep.UtilityRatio(), uniRep.TotalEnergy, "-")
+	fmt.Fprintf(out, "%-12s %10.1f %8.3f %10.3g %11d\n",
+		dualRep.Scheduler, dualRep.AccruedUtility, dualRep.UtilityRatio(), dualRep.TotalEnergy, dualRes.Migrations)
+
+	fmt.Fprintf(out, "\nper-core breakdown (2-core run):\n")
+	for k, cr := range dualRes.PerCore {
+		fmt.Fprintf(out, "  core %d: energy %.3g  busy %.0f ms  %d switches\n",
+			k, cr.Energy, cr.BusyTime*1e3, cr.Switches)
+	}
+
+	n := euastar.Normalize(dualRep, uniRep)
+	fmt.Fprintf(out, "\nThe work the single core had to shed accrues on the second core:\n")
+	fmt.Fprintf(out, "%.2fx the utility for %.2fx the energy.\n", n.Utility, n.Energy)
+	return nil
+}

@@ -29,15 +29,18 @@ import (
 	"github.com/euastar/euastar/internal/energy"
 	"github.com/euastar/euastar/internal/engine"
 	"github.com/euastar/euastar/internal/rng"
+	"github.com/euastar/euastar/internal/sched"
 	"github.com/euastar/euastar/internal/sched/eua"
+	"github.com/euastar/euastar/internal/sched/partition"
 	"github.com/euastar/euastar/internal/telemetry"
 	"github.com/euastar/euastar/internal/workload"
 )
 
-// Scheme names for the two EUA* cores under measurement.
+// Scheme names for the EUA* cores under measurement.
 const (
 	SchemeRef  = "eua-ref"  // reference implementation (sort-based Decide)
 	SchemeFast = "eua-fast" // incremental fast-path core (fastpath.go)
+	SchemePart = "eua-part" // partitioned EUA* on Cell.Cores DVS cores
 )
 
 // Cell is one point of the benchmark matrix.
@@ -47,12 +50,22 @@ type Cell struct {
 	Scheme  string  `json:"scheme"`
 	Seed    uint64  `json:"seed"`
 	Horizon float64 `json:"horizon"`
+	// Cores is the DVS core count for SchemePart cells; zero (the
+	// uniprocessor schemes) keeps the pre-multicore JSON shape.
+	Cores int `json:"cores,omitempty"`
+	// Partition is the SchemePart placement policy ("ff" when empty).
+	Partition string `json:"partition,omitempty"`
 }
 
 // Key identifies the cell independent of its measurements, for matching
-// against a baseline.
+// against a baseline. Uniprocessor keys are unchanged from the
+// pre-multicore format so committed baselines keep matching.
 func (c Cell) Key() string {
-	return fmt.Sprintf("%d/%g/%s/%d/%g", c.Tasks, c.Load, c.Scheme, c.Seed, c.Horizon)
+	k := fmt.Sprintf("%d/%g/%s/%d/%g", c.Tasks, c.Load, c.Scheme, c.Seed, c.Horizon)
+	if c.Cores > 1 {
+		k += fmt.Sprintf("/c%d", c.Cores)
+	}
+	return k
 }
 
 // Measurement is one benchmarked cell.
@@ -87,6 +100,12 @@ type Options struct {
 	// Tasks and Loads override the default matrix axes.
 	Tasks []int
 	Loads []float64
+	// Cores sets the partitioned-EUA* core counts benchmarked as the
+	// SchemePart rows of the matrix (default 1, 2, 4).
+	Cores []int
+	// Partition selects the placement policy for the SchemePart rows:
+	// "ff" (default) or "wf".
+	Partition string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -106,6 +125,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Loads) == 0 {
 		o.Loads = []float64{0.5, 1.0, 1.6}
+	}
+	if len(o.Cores) == 0 {
+		o.Cores = []int{1, 2, 4}
 	}
 	return o
 }
@@ -134,14 +156,33 @@ func cellConfig(c Cell) (engine.Config, error) {
 		return engine.Config{}, err
 	}
 	ts = ts.ScaleToLoad(c.Load, ft.Max())
-	s := eua.New()
-	if c.Scheme == SchemeFast {
-		s.EnableFastPath()
+	var s sched.Scheduler
+	switch c.Scheme {
+	case SchemePart:
+		m := c.Cores
+		if m < 1 {
+			m = 1
+		}
+		policy := partition.FirstFit
+		if c.Partition != "" {
+			policy, err = partition.ParsePolicy(c.Partition)
+			if err != nil {
+				return engine.Config{}, err
+			}
+		}
+		s = partition.New(m, policy, func() sched.Scheduler { return eua.New() })
+	case SchemeFast:
+		e := eua.New()
+		e.EnableFastPath()
+		s = e
+	default:
+		s = eua.New()
 	}
 	return engine.Config{
 		Tasks:              ts,
 		Scheduler:          s,
 		Freqs:              ft,
+		Cores:              c.Cores,
 		Energy:             model,
 		Horizon:            c.Horizon,
 		Seed:               c.Seed,
@@ -156,7 +197,7 @@ func Run(c Cell, reps int) (Measurement, error) { return measure(c, reps, nil) }
 // measure is Run with an optional telemetry registry attached to every
 // engine run — the instrumented side of the overhead comparison.
 func measure(c Cell, reps int, reg *telemetry.Registry) (Measurement, error) {
-	if c.Scheme != SchemeRef && c.Scheme != SchemeFast {
+	if c.Scheme != SchemeRef && c.Scheme != SchemeFast && c.Scheme != SchemePart {
 		return Measurement{}, fmt.Errorf("bench: unknown scheme %q", c.Scheme)
 	}
 	if reps <= 0 {
@@ -241,14 +282,23 @@ func MeasureOverhead(c Cell, reps int) (Overhead, error) {
 }
 
 // Sweep runs the full matrix and returns the report, cells ordered by
-// (tasks, load, scheme) for stable diffs.
+// (tasks, load, scheme, cores) for stable diffs. The partitioned rows
+// (SchemePart, one per Options.Cores entry) measure the multiprocessor
+// engine's per-event cost next to the uniprocessor schemes.
 func Sweep(opts Options) (Report, error) {
 	o := opts.withDefaults()
 	rep := Report{Version: 1, Go: runtime.Version()}
 	for _, n := range o.Tasks {
 		for _, load := range o.Loads {
-			for _, scheme := range []string{SchemeRef, SchemeFast} {
-				c := Cell{Tasks: n, Load: load, Scheme: scheme, Seed: o.Seed, Horizon: o.Horizon}
+			cells := []Cell{
+				{Tasks: n, Load: load, Scheme: SchemeRef, Seed: o.Seed, Horizon: o.Horizon},
+				{Tasks: n, Load: load, Scheme: SchemeFast, Seed: o.Seed, Horizon: o.Horizon},
+			}
+			for _, cores := range o.Cores {
+				cells = append(cells, Cell{Tasks: n, Load: load, Scheme: SchemePart,
+					Seed: o.Seed, Horizon: o.Horizon, Cores: cores, Partition: o.Partition})
+			}
+			for _, c := range cells {
 				m, err := Run(c, o.Reps)
 				if err != nil {
 					return Report{}, fmt.Errorf("bench: cell %s: %w", c.Key(), err)

@@ -8,15 +8,38 @@ import (
 // TestRunSmoke exercises one tiny cell per scheme end to end: the
 // measurement must carry positive rates and a nonzero event count.
 func TestRunSmoke(t *testing.T) {
-	for _, scheme := range []string{SchemeRef, SchemeFast} {
-		c := Cell{Tasks: 4, Load: 0.8, Scheme: scheme, Seed: 1, Horizon: 0.05}
+	cells := []Cell{
+		{Tasks: 4, Load: 0.8, Scheme: SchemeRef, Seed: 1, Horizon: 0.05},
+		{Tasks: 4, Load: 0.8, Scheme: SchemeFast, Seed: 1, Horizon: 0.05},
+		{Tasks: 4, Load: 0.8, Scheme: SchemePart, Seed: 1, Horizon: 0.05, Cores: 2},
+		{Tasks: 4, Load: 0.8, Scheme: SchemePart, Seed: 1, Horizon: 0.05, Cores: 2, Partition: "wf"},
+	}
+	for _, c := range cells {
 		m, err := Run(c, 1)
 		if err != nil {
-			t.Fatalf("%s: %v", scheme, err)
+			t.Fatalf("%s: %v", c.Key(), err)
 		}
 		if m.Events <= 0 || m.NsPerEvent <= 0 || m.EventsPerSec <= 0 {
-			t.Fatalf("%s: degenerate measurement %+v", scheme, m)
+			t.Fatalf("%s: degenerate measurement %+v", c.Key(), m)
 		}
+	}
+}
+
+// TestCellKey pins the baseline-matching contract: uniprocessor keys are
+// byte-identical to the pre-multicore format, and the core count joins
+// the key only when it is a real multiprocessor cell.
+func TestCellKey(t *testing.T) {
+	uni := Cell{Tasks: 8, Load: 0.5, Scheme: SchemeRef, Seed: 1, Horizon: 0.4}
+	if got, want := uni.Key(), "8/0.5/eua-ref/1/0.4"; got != want {
+		t.Fatalf("uniprocessor key %q, want %q", got, want)
+	}
+	one := Cell{Tasks: 8, Load: 0.5, Scheme: SchemePart, Seed: 1, Horizon: 0.4, Cores: 1}
+	if got, want := one.Key(), "8/0.5/eua-part/1/0.4"; got != want {
+		t.Fatalf("single-core partitioned key %q, want %q", got, want)
+	}
+	quad := Cell{Tasks: 8, Load: 0.5, Scheme: SchemePart, Seed: 1, Horizon: 0.4, Cores: 4}
+	if got, want := quad.Key(), "8/0.5/eua-part/1/0.4/c4"; got != want {
+		t.Fatalf("quad-core partitioned key %q, want %q", got, want)
 	}
 }
 

@@ -28,6 +28,12 @@ type SweepSpec struct {
 	Bounds     []int     `json:"bounds,omitempty"`
 	Faults     string    `json:"faults,omitempty"`
 	FastPath   bool      `json:"fast_path,omitempty"`
+	// Cores > 1 runs every cell's engine on that many DVS cores under the
+	// Partition placement policy ("ff", "wf" or "global"; empty means
+	// "ff"). Both fields feed the sweep fingerprint, so multicore results
+	// can never be merged into a uniprocessor sweep or vice versa.
+	Cores     int    `json:"cores,omitempty"`
+	Partition string `json:"partition,omitempty"`
 }
 
 // Config materializes the spec into an experiment configuration, with
@@ -36,10 +42,12 @@ type SweepSpec struct {
 // content (unknown preset, malformed fault plan).
 func (s SweepSpec) Config() (experiment.Config, error) {
 	cfg := experiment.Config{
-		Energy:   energy.E1,
-		Loads:    s.Loads,
-		Horizon:  s.Horizon,
-		FastPath: s.FastPath,
+		Energy:    energy.E1,
+		Loads:     s.Loads,
+		Horizon:   s.Horizon,
+		FastPath:  s.FastPath,
+		Cores:     s.Cores,
+		Partition: s.Partition,
 	}
 	if s.Energy != "" {
 		cfg.Energy = energy.Preset(s.Energy)

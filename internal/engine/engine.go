@@ -1,9 +1,16 @@
-// Package engine is the uniprocessor DVS simulator: it releases jobs
-// according to each task's UAM arrival generator, invokes the scheduler at
-// every scheduling event (arrival, completion, termination expiry),
-// executes the selected job at the selected frequency with exact cycle
-// accounting, meters energy with Martin's model, and resolves every job as
-// completed or aborted.
+// Package engine is the DVS simulator: it releases jobs according to
+// each task's UAM arrival generator, invokes the scheduler at every
+// scheduling event (arrival, completion, termination expiry), executes
+// the selected jobs at the selected frequencies with exact cycle
+// accounting, meters energy with Martin's model, and resolves every job
+// as completed or aborted.
+//
+// The engine models m DVS cores (Config.Cores; the paper's uniprocessor
+// is m = 1, the default). Each core carries its own run state, frequency
+// ladder, switch-latency tracking and energy meter; Result sums the
+// per-core meters and also reports the per-core breakdown. A
+// uniprocessor run takes exactly the code path of the pre-multicore
+// engine — m = 1 results are bit-identical to it.
 //
 // The engine enforces the information split of the paper: schedulers see
 // allocations and executed cycles, never the realized demand; the engine
@@ -48,6 +55,8 @@ type Span struct {
 	Start, End float64
 	Frequency  float64
 	Cycles     float64
+	// Core is the executing core (always 0 on uniprocessor runs).
+	Core int
 }
 
 // Config parameterizes one simulation run.
@@ -56,6 +65,20 @@ type Config struct {
 	Scheduler sched.Scheduler
 	Freqs     cpu.FrequencyTable
 	Energy    energy.Model
+
+	// Cores is the number of DVS cores; 0 and 1 both select the paper's
+	// uniprocessor, whose results are bit-identical to the pre-multicore
+	// engine. With Cores > 1 the Scheduler must implement
+	// sched.MultiScheduler with a matching core count, and tasks with
+	// resource sections are rejected (the single-unit resource model is
+	// uniprocessor-only).
+	Cores int
+
+	// CoreFreqs optionally gives each core its own frequency table
+	// (heterogeneous ladders). When set its length must equal the core
+	// count; nil entries and a nil slice fall back to Freqs, which also
+	// remains the reference ladder for workload scaling.
+	CoreFreqs []cpu.FrequencyTable
 
 	// Horizon bounds job arrivals to [0, Horizon) seconds; the run itself
 	// continues until every released job is resolved.
@@ -76,23 +99,26 @@ type Config struct {
 	AbortAtTermination bool
 
 	// SwitchLatency is the time cost of a frequency change (seconds,
-	// default 0 as in the paper).
+	// default 0 as in the paper). Each core switches independently.
 	SwitchLatency float64
 
 	// EnergyBudget, when positive, models a finite battery — the paper's
 	// "scheduling under finite energy budgets" future-work scenario. Once
-	// the metered energy reaches the budget the processor halts: the
-	// partially executed span is cut at the exact depletion instant, all
-	// pending jobs are aborted, and later arrivals abort on release.
+	// the metered energy (summed over all cores) reaches the budget the
+	// system halts: partially executed spans are cut at the depletion
+	// instant, all pending jobs are aborted, and later arrivals abort on
+	// release. On multi-core runs depletion is resolved in core order
+	// within the final inter-event interval — exact for m = 1.
 	EnergyBudget float64
 
 	// IdleStaticPower, when positive, charges this constant power (model
-	// energy units per second) whenever the processor is not executing —
-	// the system-level cost of components that stay on regardless of CPU
-	// activity. The paper's per-cycle model charges only busy execution;
-	// this extension makes race-to-idle trade-offs visible. Idle draw
-	// counts toward the total (and Result.IdleEnergy) but a configured
-	// EnergyBudget is only checked against busy execution.
+	// energy units per second) per core whenever that core is not
+	// executing — the system-level cost of components that stay on
+	// regardless of CPU activity. The paper's per-cycle model charges
+	// only busy execution; this extension makes race-to-idle trade-offs
+	// visible. Idle draw counts toward the total (and Result.IdleEnergy)
+	// but a configured EnergyBudget is only checked against busy
+	// execution.
 	IdleStaticPower float64
 
 	// ProgressUtility enables the paper's second future-work model:
@@ -112,7 +138,8 @@ type Config struct {
 	// stalling frequency switches, abort-cost spikes, and adversarial
 	// UAM-bound arrival bursts. Every fault decision is a pure function of
 	// the plan seed and the affected entity's coordinates, so equal
-	// configs still produce identical results from any goroutine.
+	// configs still produce identical results from any goroutine. Switch
+	// faults are keyed by each core's own switch sequence.
 	Faults *faults.Plan
 
 	// AbortCost is the cycle cost of tearing down an aborted job
@@ -143,13 +170,30 @@ type Config struct {
 	// registry. A registry may be shared across runs — the euad service
 	// does — in which case counters accumulate; Result's integer fields
 	// remain strictly per-run either way. Nil (the default) costs nothing
-	// on the hot path.
+	// on the hot path. Multi-core runs additionally register core-labeled
+	// series (euastar_engine_core_*_total{core="k"}).
 	Telemetry *telemetry.Registry
 
 	// Trace, when non-nil, receives one TraceEvent per processed
 	// simulation event, scheduler decision, abort and watchdog detection.
 	// Nil (the default) skips all TraceEvent construction.
 	Trace telemetry.TraceFunc
+}
+
+// coreCount resolves Cores to the effective core count (>= 1).
+func (c *Config) coreCount() int {
+	if c.Cores > 1 {
+		return c.Cores
+	}
+	return 1
+}
+
+// coreTable returns core k's frequency ladder.
+func (c *Config) coreTable(k int) cpu.FrequencyTable {
+	if k < len(c.CoreFreqs) && c.CoreFreqs[k] != nil {
+		return c.CoreFreqs[k]
+	}
+	return c.Freqs
 }
 
 // Validate checks the configuration.
@@ -165,6 +209,35 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Energy.Validate(); err != nil {
 		return err
+	}
+	if c.Cores < 0 {
+		return fmt.Errorf("engine: core count %d must be non-negative", c.Cores)
+	}
+	m := c.coreCount()
+	if len(c.CoreFreqs) > 0 && len(c.CoreFreqs) != m {
+		return fmt.Errorf("engine: %d per-core frequency tables for %d cores", len(c.CoreFreqs), m)
+	}
+	for k, ft := range c.CoreFreqs {
+		if ft == nil {
+			continue
+		}
+		if err := ft.Validate(); err != nil {
+			return fmt.Errorf("engine: core %d table: %w", k, err)
+		}
+	}
+	if m > 1 {
+		ms, ok := c.Scheduler.(sched.MultiScheduler)
+		if !ok {
+			return fmt.Errorf("engine: %d cores need a sched.MultiScheduler, got %T", m, c.Scheduler)
+		}
+		if ms.Cores() != m {
+			return fmt.Errorf("engine: scheduler built for %d cores, config asks for %d", ms.Cores(), m)
+		}
+		for _, t := range c.Tasks {
+			if len(t.Sections) > 0 {
+				return fmt.Errorf("engine: task %v has resource sections; the single-unit resource model is uniprocessor-only", t)
+			}
+		}
 	}
 	if c.Horizon <= 0 || math.IsInf(c.Horizon, 0) || math.IsNaN(c.Horizon) {
 		return fmt.Errorf("engine: horizon %g must be positive and finite", c.Horizon)
@@ -197,6 +270,17 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// CoreResult is one core's share of the run's accounting. The per-core
+// energies, cycles and busy times sum exactly (same additions, same
+// order) to the corresponding Result totals.
+type CoreResult struct {
+	Energy     float64
+	IdleEnergy float64
+	Cycles     float64
+	BusyTime   float64
+	Switches   int
+}
+
 // Result summarizes one run.
 type Result struct {
 	SchedulerName string
@@ -218,6 +302,15 @@ type Result struct {
 	// job in favor of another.
 	Preemptions int
 	Trace       []Span // non-nil only when Config.RecordTrace
+
+	// Cores is the core count the run simulated, and PerCore each core's
+	// energy/cycle/switch breakdown (len == Cores). The breakdowns sum
+	// exactly to TotalEnergy, IdleEnergy, Cycles, BusyTime and Switches.
+	Cores   int
+	PerCore []CoreResult
+	// Migrations counts dispatches that moved a job to a different core
+	// than its previous dispatch (always 0 on uniprocessor runs).
+	Migrations int
 
 	// Depleted reports whether a configured energy budget ran out, and
 	// DepletedAt when.
@@ -252,24 +345,37 @@ func defaultArrivals(t *task.Task) uam.Generator {
 	return uam.Burst{S: t.Arrival}
 }
 
+// coreState is one core's run state: the job it is executing, when that
+// job (re)starts making progress after switch latency, the queued
+// completion event, and the core-local processor and energy meter.
+type coreState struct {
+	running    *task.Job
+	runStart   float64    // when the running job (re)starts making progress
+	completion *sim.Event // queued completion event of the running job
+	proc       *cpu.Processor
+	meter      *energy.Meter
+	switchSeq  int // commanded frequency switches, fault-plan label
+}
+
 // state is the mutable simulation state.
 type state struct {
 	cfg        Config
 	queue      sim.Queue
 	pending    []*task.Job
 	all        []*task.Job
-	running    *task.Job
-	runStart   float64    // when the running job (re)starts making progress
-	completion *sim.Event // queued completion event of the running job
+	cores      []coreState
+	multi      sched.MultiScheduler // non-nil iff len(cores) > 1
 	demandSrc  map[int]*rng.Source
-	proc       *cpu.Processor
-	meter      *energy.Meter
 	lastTime   float64
 	observer   EventObserver
 	readyBuf   []*task.Job // reusable Decide argument buffer
 	trace      []Span
 	depleted   bool
 	depletedAt float64
+
+	// lastCore remembers each unresolved job's previous dispatch core for
+	// migration accounting; nil on uniprocessor runs.
+	lastCore map[*task.Job]int
 
 	// ins holds every counting site of the run: always-on per-run
 	// counters feeding Result's integer fields, plus optional registered
@@ -279,11 +385,30 @@ type state struct {
 	// Resource state: holders maps resource id → holding job.
 	holders map[int]*task.Job
 
-	// Degradation state: the always-on invariant watchdog and the fault
-	// plan's switch-sequence label.
+	// Degradation state: the always-on invariant watchdog.
 	wd          *watchdog
-	switchSeq   int // commanded frequency switches, fault-plan label
 	abortCycles float64
+}
+
+// energyTotal sums the per-core meters. With one core the sum is the
+// single meter's total bit-for-bit (0 + x == x for the meters'
+// non-negative totals), so uniprocessor accounting is unchanged.
+func (st *state) energyTotal() float64 {
+	var e float64
+	for k := range st.cores {
+		e += st.cores[k].meter.Total()
+	}
+	return e
+}
+
+// coreOf returns the core executing j, or -1.
+func (st *state) coreOf(j *task.Job) int {
+	for k := range st.cores {
+		if st.cores[k].running == j {
+			return k
+		}
+	}
+	return -1
 }
 
 // Run executes one simulation and returns its result.
@@ -303,17 +428,31 @@ func Run(cfg Config) (res *Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	m := cfg.coreCount()
 	ctx := &sched.Context{Tasks: cfg.Tasks, Freqs: cfg.Freqs, Energy: cfg.Energy, Telemetry: cfg.Telemetry}
+	if m > 1 {
+		ctx.CoreFreqs = make([]cpu.FrequencyTable, m)
+		for k := range ctx.CoreFreqs {
+			ctx.CoreFreqs[k] = cfg.coreTable(k)
+		}
+	}
 	if err := cfg.Scheduler.Init(ctx); err != nil {
 		return nil, err
 	}
 	st := &state{
 		cfg:   cfg,
-		proc:  cpu.NewProcessor(cfg.Freqs, cfg.SwitchLatency),
-		meter: energy.NewMeter(cfg.Energy),
+		cores: make([]coreState, m),
 		wd:    newWatchdog(),
 	}
-	st.ins.init(cfg.Telemetry, cfg.Trace)
+	for k := range st.cores {
+		st.cores[k].proc = cpu.NewProcessor(cfg.coreTable(k), cfg.SwitchLatency)
+		st.cores[k].meter = energy.NewMeter(cfg.Energy)
+	}
+	if m > 1 {
+		st.multi = cfg.Scheduler.(sched.MultiScheduler)
+		st.lastCore = make(map[*task.Job]int)
+	}
+	st.ins.init(cfg.Telemetry, cfg.Trace, m)
 	if obs, ok := cfg.Scheduler.(EventObserver); ok {
 		st.observer = obs
 	}
@@ -343,24 +482,42 @@ func Run(cfg Config) (res *Result, err error) {
 	res = &Result{
 		SchedulerName:   cfg.Scheduler.Name(),
 		Jobs:            st.all,
-		TotalEnergy:     st.meter.Total(),
-		Cycles:          st.meter.Cycles(),
-		BusyTime:        st.meter.BusyTime(),
 		EndTime:         st.lastTime,
-		Switches:        st.proc.Switches(),
 		Decisions:       st.ins.decisions.Value(),
 		Events:          st.ins.eventTotal(),
 		Preemptions:     st.ins.preemptions.Value(),
 		Trace:           st.trace,
+		Cores:           m,
+		PerCore:         make([]CoreResult, m),
+		Migrations:      st.ins.migrations.Value(),
 		Depleted:        st.depleted,
 		DepletedAt:      st.depletedAt,
 		Inheritances:    st.ins.inherits.Value(),
-		IdleEnergy:      st.meter.IdleEnergy(),
 		FaultEvents:     st.ins.faults.Value(),
 		SafeModeEntries: st.ins.safeEntries.Value(),
 		JobsShed:        st.ins.shed.Value(),
 		AbortCycles:     st.abortCycles,
 	}
+	// Sum the per-core meters into the uniprocessor-era totals. The
+	// additions start from zero and run in core order, so m = 1 totals
+	// are the single meter's values bit-for-bit and multi-core totals
+	// equal the PerCore sums exactly.
+	for k := range st.cores {
+		c := &st.cores[k]
+		res.PerCore[k] = CoreResult{
+			Energy:     c.meter.Total(),
+			IdleEnergy: c.meter.IdleEnergy(),
+			Cycles:     c.meter.Cycles(),
+			BusyTime:   c.meter.BusyTime(),
+			Switches:   c.proc.Switches(),
+		}
+		res.TotalEnergy += res.PerCore[k].Energy
+		res.IdleEnergy += res.PerCore[k].IdleEnergy
+		res.Cycles += res.PerCore[k].Cycles
+		res.BusyTime += res.PerCore[k].BusyTime
+		res.Switches += res.PerCore[k].Switches
+	}
+	st.ins.noteCoreResults(res.PerCore)
 	return res, nil
 }
 
@@ -417,7 +574,7 @@ func (st *state) loop() error {
 			return st.ins.noteInvariant(ierr)
 		}
 		st.advance(now)
-		if ierr := st.wd.checkEnergy(now, st.meter.Total()); ierr != nil {
+		if ierr := st.wd.checkEnergy(now, st.energyTotal()); ierr != nil {
 			return st.ins.noteInvariant(ierr)
 		}
 		if err := st.handle(now, ev); err != nil {
@@ -450,30 +607,55 @@ func (st *state) loop() error {
 	return nil
 }
 
-// advance executes the running job from lastTime to now, cutting the span
-// at the energy budget's depletion instant if one is configured.
+// advance executes every core's running job from lastTime to now, cutting
+// spans at the energy budget's depletion instant if one is configured.
+// Cores advance in index order; once a core drains the budget, the
+// remaining cores' spans are cut at the same depletion instant (a
+// core-order resolution of simultaneous depletion, exact for m = 1).
 func (st *state) advance(now float64) {
+	wasDepleted := st.depleted
+	for k := range st.cores {
+		st.advanceCore(k, now)
+	}
+	if st.depleted && !wasDepleted {
+		for k := range st.cores {
+			st.stopCore(k)
+		}
+		// The battery is dead: every pending job is lost.
+		for len(st.pending) > 0 {
+			st.abort(st.depletedAt, st.pending[0], "energy budget depleted")
+		}
+	}
+	st.lastTime = now
+	for k := range st.cores {
+		st.cores[k].meter.Observe(now)
+	}
+}
+
+// advanceCore executes core k's running job over [lastTime, now].
+func (st *state) advanceCore(k int, now float64) {
+	c := &st.cores[k]
 	if st.cfg.IdleStaticPower > 0 {
 		// Charge the always-on subsystems for any non-executing portion
 		// of [lastTime, now): either the whole interval (idle) or the
 		// stretch before the running job makes progress (switch latency).
 		idleEnd := now
-		if st.running != nil && !st.depleted {
-			idleEnd = math.Min(now, math.Max(st.lastTime, st.runStart))
+		if c.running != nil && !st.depleted {
+			idleEnd = math.Min(now, math.Max(st.lastTime, c.runStart))
 		}
 		if dt := idleEnd - st.lastTime; dt > 0 {
-			st.meter.ChargeIdle(dt * st.cfg.IdleStaticPower)
+			c.meter.ChargeIdle(dt * st.cfg.IdleStaticPower)
 		}
 	}
-	if st.running != nil && !st.depleted {
-		start := math.Max(st.lastTime, st.runStart)
+	if c.running != nil && !st.depleted {
+		start := math.Max(st.lastTime, c.runStart)
 		if now > start {
 			dt := now - start
-			f := st.proc.Frequency()
+			f := c.proc.Frequency()
 			end := now
 			if st.cfg.EnergyBudget > 0 {
-				power := st.meter.Model().Power(f)
-				if left := st.cfg.EnergyBudget - st.meter.Total(); dt*power > left {
+				power := c.meter.Model().Power(f)
+				if left := st.cfg.EnergyBudget - st.energyTotal(); dt*power > left {
 					dt = left / power
 					end = start + dt
 					st.depleted = true
@@ -481,27 +663,39 @@ func (st *state) advance(now float64) {
 				}
 			}
 			cyc := dt * f
-			if rem := st.running.Remaining(); cyc > rem {
+			if rem := c.running.Remaining(); cyc > rem {
 				cyc = rem
 			}
-			st.running.Executed += cyc
-			st.meter.Charge(cyc, f, dt)
+			c.running.Executed += cyc
+			c.meter.Charge(cyc, f, dt)
 			if st.cfg.RecordTrace && cyc > 0 {
 				st.trace = append(st.trace, Span{
-					Job: st.running, Start: start, End: end, Frequency: f, Cycles: cyc,
+					Job: c.running, Start: start, End: end, Frequency: f, Cycles: cyc, Core: k,
 				})
 			}
-			if st.depleted {
-				st.stopRunning()
-				// The battery is dead: every pending job is lost.
-				for len(st.pending) > 0 {
-					st.abort(st.depletedAt, st.pending[0], "energy budget depleted")
-				}
+		}
+	} else if c.running != nil && st.depleted {
+		// An earlier core drained the budget during this same advance:
+		// this core's span is cut at the shared depletion instant. The
+		// battery has nothing left, so the cut stretch is not metered.
+		start := math.Max(st.lastTime, c.runStart)
+		end := math.Min(now, st.depletedAt)
+		if end > start {
+			dt := end - start
+			f := c.proc.Frequency()
+			cyc := dt * f
+			if rem := c.running.Remaining(); cyc > rem {
+				cyc = rem
+			}
+			c.running.Executed += cyc
+			c.meter.Charge(cyc, f, dt)
+			if st.cfg.RecordTrace && cyc > 0 {
+				st.trace = append(st.trace, Span{
+					Job: c.running, Start: start, End: end, Frequency: f, Cycles: cyc, Core: k,
+				})
 			}
 		}
 	}
-	st.lastTime = now
-	st.meter.Observe(now)
 }
 
 func (st *state) handle(now float64, ev *sim.Event) error {
@@ -537,7 +731,8 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 		}
 	case sim.Completion:
 		j := ev.Payload.(*task.Job)
-		if j != st.running {
+		k := st.coreOf(j)
+		if k < 0 {
 			if st.depleted && j.State != task.Pending {
 				return nil // stale event of a job the depletion aborted
 			}
@@ -554,8 +749,11 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 		st.wd.noteCompletion()
 		st.releaseAll(j)
 		st.removePending(j)
-		st.running = nil
-		st.completion = nil
+		st.cores[k].running = nil
+		st.cores[k].completion = nil
+		if st.lastCore != nil {
+			delete(st.lastCore, j)
+		}
 		if j.Task.Profiler != nil {
 			// Online profiling (Section 2.3): the measured cycle
 			// consumption of a finished job refines the task's demand
@@ -582,15 +780,17 @@ func (st *state) handle(now float64, ev *sim.Event) error {
 	case sim.Custom:
 		// A resource-section boundary of the running job: advance() has
 		// executed exactly up to it; sync acquires/releases and the
-		// decide() after this batch re-dispatches.
+		// decide() after this batch re-dispatches. Resource sections are
+		// uniprocessor-only, so the boundary always belongs to core 0.
 		j := ev.Payload.(*task.Job)
-		if j != st.running {
+		k := st.coreOf(j)
+		if k < 0 {
 			if st.depleted && j.State != task.Pending {
 				return nil
 			}
 			panic(fmt.Sprintf("engine: boundary event for non-running job %v", j))
 		}
-		st.stopRunning()
+		st.stopCore(k)
 		st.syncResources(j)
 	default:
 		panic(fmt.Sprintf("engine: unexpected event kind %v", ev.Kind))
@@ -620,6 +820,13 @@ func (st *state) abort(now float64, j *task.Job, reason string) {
 	if ierr := st.wd.checkResolved(j); ierr != nil {
 		panic(ierr) // recovered by Run into the structured error
 	}
+	// The teardown runs on (and is charged to) the core that was
+	// executing the job, or core 0 for a job aborted off-core.
+	k := st.coreOf(j)
+	chargeCore := k
+	if chargeCore < 0 {
+		chargeCore = 0
+	}
 	// Abort cost: tearing down the job (the termination-time exception
 	// handler) consumes cycles that are metered into the energy account
 	// at the current frequency. A dead battery has nothing left to spend.
@@ -628,14 +835,18 @@ func (st *state) abort(now float64, j *task.Job, reason string) {
 			cost *= fac
 			st.ins.faults.Inc()
 		}
-		f := st.proc.Frequency()
-		st.meter.Charge(cost, f, cost/f)
+		c := &st.cores[chargeCore]
+		f := c.proc.Frequency()
+		c.meter.Charge(cost, f, cost/f)
 		st.abortCycles += cost
 	}
 	st.releaseAll(j)
 	st.removePending(j)
-	if st.running == j {
-		st.stopRunning()
+	if k >= 0 {
+		st.stopCore(k)
+	}
+	if st.lastCore != nil {
+		delete(st.lastCore, j)
 	}
 }
 
@@ -649,14 +860,27 @@ func (st *state) removePending(j *task.Job) {
 	panic(fmt.Sprintf("engine: job %v not pending", j))
 }
 
+// decide invokes the scheduler once and applies its dispatch. The
+// uniprocessor path is kept verbatim (decideSingle) so m = 1 runs stay
+// bit-identical to the pre-multicore engine; decideMulti is the m > 1
+// generalization.
 func (st *state) decide(now float64) {
+	if st.multi != nil {
+		st.decideMulti(now)
+		return
+	}
+	st.decideSingle(now)
+}
+
+func (st *state) decideSingle(now float64) {
+	c := &st.cores[0]
 	if st.depleted || len(st.pending) == 0 {
-		st.stopRunning()
+		st.stopCore(0)
 		return
 	}
 	if st.cfg.EnergyBudget > 0 {
 		if bo, ok := st.cfg.Scheduler.(BudgetObserver); ok {
-			bo.OnEnergy(st.meter.Total(), st.cfg.EnergyBudget)
+			bo.OnEnergy(c.meter.Total(), st.cfg.EnergyBudget)
 		}
 	}
 	// Decide may reorder ready in place but must not retain it, so one
@@ -668,11 +892,11 @@ func (st *state) decide(now float64) {
 	for _, j := range d.Abort {
 		st.abort(now, j, "scheduler abort")
 	}
-	if st.running != nil && st.running.State != task.Pending {
-		st.stopRunning()
+	if c.running != nil && c.running.State != task.Pending {
+		st.stopCore(0)
 	}
 	if d.Run == nil {
-		st.stopRunning()
+		st.stopCore(0)
 		return
 	}
 	if d.Run.State != task.Pending {
@@ -688,69 +912,167 @@ func (st *state) decide(now float64) {
 		// Deadlock: abort the selected job (releasing its resources breaks
 		// the cycle) and re-evaluate.
 		st.abort(now, d.Run, "resource deadlock resolved")
-		st.decide(now)
+		st.decideSingle(now)
 		return
 	}
 	if eff != d.Run {
 		st.ins.inherits.Inc()
 	}
-	if eff == st.running && d.Freq == st.proc.Frequency() {
+	if eff == c.running && d.Freq == c.proc.Frequency() {
 		return // nothing changes; the queued progress event stands
 	}
-	// Everything that reaches stopRunning here with a different pending
+	// Everything that reaches stopCore here with a different pending
 	// job still installed is a preemption: the running job loses the
 	// processor to eff while it could have kept executing.
-	if st.running != nil && st.running != eff {
+	if c.running != nil && c.running != eff {
 		st.ins.preemptions.Inc()
 	}
-	st.stopRunning()
-	target := d.Freq
+	st.stopCore(0)
+	st.dispatch(0, now, eff, d.Freq)
+}
+
+// decideMulti applies a MultiDecision: per core, stop what should stop,
+// then dispatch what should run. Aborts are applied first (matching the
+// uniprocessor order) and a job selected on two cores is an invariant
+// violation.
+func (st *state) decideMulti(now float64) {
+	if st.depleted || len(st.pending) == 0 {
+		for k := range st.cores {
+			st.stopCore(k)
+		}
+		return
+	}
+	if st.cfg.EnergyBudget > 0 {
+		if bo, ok := st.cfg.Scheduler.(BudgetObserver); ok {
+			bo.OnEnergy(st.energyTotal(), st.cfg.EnergyBudget)
+		}
+	}
+	st.readyBuf = append(st.readyBuf[:0], st.pending...)
+	d := st.multi.DecideMulti(now, st.readyBuf)
+	st.ins.noteDecision(now, len(st.pending))
+	for _, j := range d.Abort {
+		st.abort(now, j, "scheduler abort")
+	}
+	if len(d.Cores) != len(st.cores) {
+		panic(fmt.Sprintf("engine: scheduler decided %d cores, engine has %d", len(d.Cores), len(st.cores)))
+	}
+	for k := range d.Cores {
+		j := d.Cores[k].Run
+		if j == nil {
+			continue
+		}
+		if j.State != task.Pending {
+			panic(fmt.Sprintf("engine: scheduler selected resolved job %v on core %d", j, k))
+		}
+		for l := k + 1; l < len(d.Cores); l++ {
+			if d.Cores[l].Run == j {
+				panic(fmt.Sprintf("engine: scheduler selected job %v on cores %d and %d", j, k, l))
+			}
+		}
+	}
+	// Pass 1: stop every core whose assignment changed, counting the
+	// preemptions (a still-pending running job displaced by another).
+	for k := range st.cores {
+		c := &st.cores[k]
+		if c.running == nil {
+			continue
+		}
+		target := d.Cores[k].Run
+		if c.running.State != task.Pending {
+			st.stopCore(k)
+			continue
+		}
+		if target != c.running {
+			if target != nil {
+				st.ins.preemptions.Inc()
+			}
+			st.stopCore(k)
+		}
+	}
+	// Pass 2: dispatch. A job that moved cores was stopped on its old
+	// core in pass 1, so dispatching it here is a migration.
+	for k := range st.cores {
+		c := &st.cores[k]
+		cd := d.Cores[k]
+		if cd.Run == nil {
+			st.stopCore(k)
+			continue
+		}
+		if !c.proc.Table.Contains(cd.Freq) {
+			panic(fmt.Sprintf("engine: scheduler chose frequency %g Hz outside core %d's table", cd.Freq, k))
+		}
+		if cd.Run == c.running {
+			if cd.Freq == c.proc.Frequency() {
+				continue // nothing changes; the queued progress event stands
+			}
+			st.stopCore(k) // same job, new frequency: requeue its progress event
+		}
+		st.dispatch(k, now, cd.Run, cd.Freq)
+	}
+}
+
+// dispatch installs run on core k at the requested frequency, applying
+// switch faults keyed by the core's own switch sequence, and queues the
+// job's next progress event (completion or resource boundary).
+func (st *state) dispatch(k int, now float64, run *task.Job, freq float64) {
+	c := &st.cores[k]
+	target := freq
 	var cost float64
-	if target != st.proc.Frequency() {
+	if target != c.proc.Frequency() {
 		// A real switch is commanded: the fault plan may make it stick
 		// (the CPU lands on an adjacent discrete step) or stall (an extra
 		// settling delay before the job makes progress).
-		if delta, ok := st.cfg.Faults.Sticky(st.switchSeq); ok {
-			idx := st.cfg.Freqs.Index(target) + delta
+		if delta, ok := st.cfg.Faults.Sticky(c.switchSeq); ok {
+			table := c.proc.Table
+			idx := table.Index(target) + delta
 			if idx < 0 {
 				idx = 0
-			} else if idx >= len(st.cfg.Freqs) {
-				idx = len(st.cfg.Freqs) - 1
+			} else if idx >= len(table) {
+				idx = len(table) - 1
 			}
-			if f := st.cfg.Freqs[idx]; f != target {
+			if f := table[idx]; f != target {
 				target = f
 				st.ins.faults.Inc()
 			}
 		}
-		stall, stalled := st.cfg.Faults.StallFor(st.switchSeq)
-		st.switchSeq++
+		stall, stalled := st.cfg.Faults.StallFor(c.switchSeq)
+		c.switchSeq++
 		st.ins.switches.Inc()
-		cost = st.proc.SetFrequency(target)
+		st.ins.noteCoreSwitch(k)
+		cost = c.proc.SetFrequency(target)
 		if stalled {
 			cost += stall
 			st.ins.faults.Inc()
 		}
 	}
+	if st.lastCore != nil {
+		if prev, ok := st.lastCore[run]; ok && prev != k {
+			st.ins.migrations.Inc()
+		}
+		st.lastCore[run] = k
+	}
+	st.ins.noteCoreDispatch(k)
 	// From here on the effective frequency is the processor's, which a
 	// sticky switch may have left one step away from the scheduler's
 	// choice.
-	f := st.proc.Frequency()
-	st.running = eff
-	st.runStart = now + cost
-	remCyc := eff.Remaining()
-	if boundCyc := nextBoundaryCycles(eff); boundCyc < remCyc {
-		st.completion = st.queue.Push(st.runStart+boundCyc/f, sim.Custom, eff)
+	f := c.proc.Frequency()
+	c.running = run
+	c.runStart = now + cost
+	remCyc := run.Remaining()
+	if boundCyc := nextBoundaryCycles(run); boundCyc < remCyc {
+		c.completion = st.queue.Push(c.runStart+boundCyc/f, sim.Custom, run)
 	} else {
-		st.completion = st.queue.Push(st.runStart+remCyc/f, sim.Completion, eff)
+		c.completion = st.queue.Push(c.runStart+remCyc/f, sim.Completion, run)
 	}
 }
 
-// stopRunning cancels the running job's pending completion event (the job
-// itself stays pending unless separately resolved).
-func (st *state) stopRunning() {
-	if st.completion != nil {
-		st.queue.Cancel(st.completion)
-		st.completion = nil
+// stopCore cancels core k's pending completion event and idles it (the
+// job itself stays pending unless separately resolved).
+func (st *state) stopCore(k int) {
+	c := &st.cores[k]
+	if c.completion != nil {
+		st.queue.Cancel(c.completion)
+		c.completion = nil
 	}
-	st.running = nil
+	c.running = nil
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"github.com/euastar/euastar/internal/sim"
 	"github.com/euastar/euastar/internal/task"
 	"github.com/euastar/euastar/internal/telemetry"
@@ -22,6 +24,14 @@ const (
 	MetricInherit      = "euastar_engine_inheritances_total"
 	MetricPendingJobs  = "euastar_engine_pending_jobs"
 	MetricQueueDepth   = "euastar_engine_queue_depth"
+
+	// Multi-core-only families, registered only when the run has more than
+	// one core so uniprocessor runs export exactly the pre-multicore set.
+	MetricMigrations   = "euastar_engine_migrations_total"
+	MetricCoreSwitches = "euastar_engine_core_freq_switches_total"
+	MetricCoreDispatch = "euastar_engine_core_dispatches_total"
+	MetricCoreEnergy   = "euastar_engine_core_energy_joules"
+	MetricCoreBusy     = "euastar_engine_core_busy_seconds"
 )
 
 // eventKinds is the fixed set of simulation event kinds the engine
@@ -82,18 +92,47 @@ type instruments struct {
 	safeEntries pairCounter
 	shed        pairCounter
 	switches    pairCounter
+	migrations  pairCounter
 
 	// Registered-only series: no Result field reads them back.
 	aborts     map[string]*telemetry.Counter // by normalized reason
 	invariants map[string]*telemetry.Counter // by invariant name
 	pending    *telemetry.Gauge
 	queueDepth *telemetry.Histogram
+
+	// Core-labeled registered-only series, non-nil only on multi-core
+	// runs with a registry (indexed by core id).
+	coreSwitches []*telemetry.Counter
+	coreDispatch []*telemetry.Counter
+	coreEnergy   []*telemetry.Gauge
+	coreBusy     []*telemetry.Gauge
 }
 
-func (ins *instruments) init(reg *telemetry.Registry, trace telemetry.TraceFunc) {
+func (ins *instruments) init(reg *telemetry.Registry, trace telemetry.TraceFunc, cores int) {
 	ins.trace = trace
 	if reg == nil {
 		return // per-run counters stay standalone; every reg pointer stays nil
+	}
+	if cores > 1 {
+		// Core-labeled families exist only on multi-core runs so that
+		// uniprocessor runs keep exporting exactly the pre-multicore set.
+		ins.migrations.reg = reg.Counter(MetricMigrations,
+			"Dispatches that moved a job to a different core than its previous dispatch.")
+		ins.coreSwitches = make([]*telemetry.Counter, cores)
+		ins.coreDispatch = make([]*telemetry.Counter, cores)
+		ins.coreEnergy = make([]*telemetry.Gauge, cores)
+		ins.coreBusy = make([]*telemetry.Gauge, cores)
+		for k := 0; k < cores; k++ {
+			l := telemetry.L("core", fmt.Sprint(k))
+			ins.coreSwitches[k] = reg.Counter(MetricCoreSwitches,
+				"Commanded DVS frequency switches by core.", l)
+			ins.coreDispatch[k] = reg.Counter(MetricCoreDispatch,
+				"Job dispatches by core.", l)
+			ins.coreEnergy[k] = reg.Gauge(MetricCoreEnergy,
+				"Per-core metered energy of the last finished run.", l)
+			ins.coreBusy[k] = reg.Gauge(MetricCoreBusy,
+				"Per-core busy seconds of the last finished run.", l)
+		}
 	}
 	for i, kind := range eventKinds {
 		ins.events[i].reg = reg.Counter(MetricEvents,
@@ -186,6 +225,33 @@ func (ins *instruments) noteInvariant(ierr *InvariantError) *InvariantError {
 		ins.trace(telemetry.TraceEvent{Time: ierr.Time, Kind: "invariant", Detail: ierr.Invariant})
 	}
 	return ierr
+}
+
+// noteCoreSwitch mirrors one commanded frequency switch into core k's
+// labeled series (multi-core runs with a registry only).
+func (ins *instruments) noteCoreSwitch(k int) {
+	if ins.coreSwitches != nil {
+		ins.coreSwitches[k].Inc()
+	}
+}
+
+// noteCoreDispatch counts one dispatch onto core k.
+func (ins *instruments) noteCoreDispatch(k int) {
+	if ins.coreDispatch != nil {
+		ins.coreDispatch[k].Inc()
+	}
+}
+
+// noteCoreResults exports the finished run's per-core energy and busy
+// time (multi-core runs with a registry only).
+func (ins *instruments) noteCoreResults(per []CoreResult) {
+	if ins.coreEnergy == nil {
+		return
+	}
+	for k := range per {
+		ins.coreEnergy[k].Set(per[k].Energy)
+		ins.coreBusy[k].Set(per[k].BusyTime)
+	}
 }
 
 // noteDecision records one scheduler invocation and the pending-queue

@@ -24,6 +24,7 @@ import (
 	"github.com/euastar/euastar/internal/sched/eua"
 	"github.com/euastar/euastar/internal/sched/gus"
 	"github.com/euastar/euastar/internal/sched/laedf"
+	"github.com/euastar/euastar/internal/sched/partition"
 	"github.com/euastar/euastar/internal/stats"
 	"github.com/euastar/euastar/internal/task"
 	"github.com/euastar/euastar/internal/telemetry"
@@ -89,6 +90,17 @@ type Config struct {
 	Horizon float64 // seconds of arrivals per run
 	// Apps defaults to the three Table 1 applications combined.
 	Apps []workload.App
+
+	// Cores selects the simulated core count. 0 and 1 both run the
+	// paper's uniprocessor — bit-identical to the pre-multicore code, and
+	// excluded from Describe() so existing checkpoint fingerprints keep
+	// matching. With Cores > 1 every scheme in the sweep runs wrapped in
+	// the partitioned (or global) multiprocessor meta-scheduler.
+	Cores int
+	// Partition selects the multiprocessor policy when Cores > 1:
+	// "ff" (first-fit, the default), "wf" (worst-fit), or "global"
+	// (shared ready queue, top-m UER dispatch with migration).
+	Partition string
 
 	// Workers bounds how many simulations run concurrently. Zero (the
 	// default) selects runtime.GOMAXPROCS(0); 1 recovers the strictly
@@ -183,6 +195,9 @@ func (c Config) withDefaults() Config {
 	if len(c.Apps) == 0 {
 		c.Apps = workload.Table1()
 	}
+	if c.Cores > 1 && c.Partition == "" {
+		c.Partition = string(partition.FirstFit)
+	}
 	return c
 }
 
@@ -243,17 +258,16 @@ func runRaw(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 	if opts.faults != nil {
 		plan = opts.faults
 	}
-	scheduler := scheme.New()
-	if cfg.FastPath {
-		if s, ok := scheduler.(*eua.Scheduler); ok {
-			s.EnableFastPath()
-		}
+	scheduler, err := buildScheduler(cfg, scheme)
+	if err != nil {
+		return nil, err
 	}
 	res, err := engine.Run(engine.Config{
 		Tasks:              ts,
 		Scheduler:          scheduler,
 		Freqs:              ft,
 		Energy:             model,
+		Cores:              cfg.Cores,
 		Horizon:            cfg.Horizon,
 		Seed:               seed,
 		Arrivals:           opts.arrivals,
@@ -271,6 +285,33 @@ func runRaw(cfg Config, scheme Scheme, ts task.Set, seed uint64, opts runOptions
 		return nil, err
 	}
 	return res, nil
+}
+
+// buildScheduler constructs one run's scheduler: the scheme itself on a
+// uniprocessor config, the scheme wrapped in the partitioned (or global)
+// multiprocessor meta-scheduler when Cores > 1. The fast path applies to
+// every EUA*-family instance either way — including each per-core one.
+func buildScheduler(cfg Config, scheme Scheme) (sched.Scheduler, error) {
+	mk := func() sched.Scheduler {
+		s := scheme.New()
+		if cfg.FastPath {
+			if e, ok := s.(*eua.Scheduler); ok {
+				e.EnableFastPath()
+			}
+		}
+		return s
+	}
+	if cfg.Cores <= 1 {
+		return mk(), nil
+	}
+	if cfg.Partition == "global" {
+		return partition.NewGlobal(cfg.Cores), nil
+	}
+	policy, err := partition.ParsePolicy(cfg.Partition)
+	if err != nil {
+		return nil, err
+	}
+	return partition.New(cfg.Cores, policy, mk), nil
 }
 
 // Row is one load point of a normalized comparison: per scheme, the mean
@@ -354,7 +395,9 @@ func sweepCell(cfg Config, schemes []Scheme, shape workload.Shape, burstOverride
 		u.Utility = make(map[string]float64, len(schemes))
 		u.Energy = make(map[string]float64, len(schemes))
 		var oracles *cellOracle
-		if cfg.Oracles {
+		// The YDS and branch-and-bound oracles bound a single processor;
+		// multi-core cells run without the gap columns.
+		if cfg.Oracles && cfg.Cores <= 1 {
 			if oracles, err = newCellOracle(cfg, baseRes); err != nil {
 				return sweepUnit{}, err
 			}
@@ -680,6 +723,12 @@ func Describe(cfg Config) string {
 	}
 	if cfg.SafeModeMisses != 0 {
 		s += fmt.Sprintf(" safeMode=%d/%g", cfg.SafeModeMisses, cfg.SafeModeShed)
+	}
+	// Appended only for true multiprocessor configs, so every
+	// uniprocessor fingerprint matches checkpoints written before the
+	// multi-core refactor.
+	if cfg.Cores > 1 {
+		s += fmt.Sprintf(" cores=%d partition=%s", cfg.Cores, cfg.Partition)
 	}
 	return s
 }

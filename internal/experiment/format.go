@@ -152,6 +152,31 @@ func WriteFig3(w io.Writer, rows []Fig3Row) error {
 	return tw.Flush()
 }
 
+// WriteSpeedup prints the multiprocessor speedup sweep: per core count,
+// partitioned EUA*'s accrued utility and energy normalized to the
+// uniprocessor EUA* run on the identical workload.
+func WriteSpeedup(w io.Writer, rows []SpeedupRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	cores := CoreCounts(rows)
+	fmt.Fprintln(w, "Speedup — partitioned EUA* normalized to uniprocessor EUA* (utility / energy)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "load")
+	for _, m := range cores {
+		fmt.Fprintf(tw, "\tU, m=%d\tE, m=%d", m, m)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f", r.Load)
+		for _, m := range cores {
+			fmt.Fprintf(tw, "\t%.3f\t%.3f", r.Utility[m], r.Energy[m])
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
 // WriteAssurance prints the Section 4 verification sweep.
 func WriteAssurance(w io.Writer, rows []AssuranceRow) error {
 	names := map[string]bool{}

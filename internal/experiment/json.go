@@ -17,6 +17,7 @@ type JSONDocument struct {
 	Assurance  []AssuranceRow `json:"assurance_rows,omitempty"`
 	Threshold  []ThresholdRow `json:"threshold_rows,omitempty"`
 	Gaps       []GapRow       `json:"gap_rows,omitempty"`
+	Speedup    []SpeedupRow   `json:"speedup_rows,omitempty"`
 }
 
 // WriteJSON encodes a document with stable indentation.
@@ -61,6 +62,59 @@ func (r *Fig3Row) UnmarshalJSON(data []byte) error {
 			return fmt.Errorf("fig3 row: bound key %q is not an integer", k)
 		}
 		r.Energy[a] = v
+	}
+	return nil
+}
+
+// MarshalJSON flattens the SpeedupRow core-count keys to strings, like
+// Fig3Row's bound keys.
+func (r SpeedupRow) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		Load    float64            `json:"load"`
+		Utility map[string]float64 `json:"utility_by_cores"`
+		Energy  map[string]float64 `json:"energy_by_cores"`
+	}
+	out := wire{
+		Load:    r.Load,
+		Utility: make(map[string]float64, len(r.Utility)),
+		Energy:  make(map[string]float64, len(r.Energy)),
+	}
+	for m, v := range r.Utility {
+		out.Utility[strconv.Itoa(m)] = v
+	}
+	for m, v := range r.Energy {
+		out.Energy[strconv.Itoa(m)] = v
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON reverses MarshalJSON's string keys back to core counts.
+func (r *SpeedupRow) UnmarshalJSON(data []byte) error {
+	type wire struct {
+		Load    float64            `json:"load"`
+		Utility map[string]float64 `json:"utility_by_cores"`
+		Energy  map[string]float64 `json:"energy_by_cores"`
+	}
+	var in wire
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	r.Load = in.Load
+	r.Utility = make(map[int]float64, len(in.Utility))
+	for k, v := range in.Utility {
+		m, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("speedup row: core key %q is not an integer", k)
+		}
+		r.Utility[m] = v
+	}
+	r.Energy = make(map[int]float64, len(in.Energy))
+	for k, v := range in.Energy {
+		m, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("speedup row: core key %q is not an integer", k)
+		}
+		r.Energy[m] = v
 	}
 	return nil
 }

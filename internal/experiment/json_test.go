@@ -43,6 +43,34 @@ func TestFig3RowJSONKeys(t *testing.T) {
 	}
 }
 
+func TestSpeedupRowJSONRoundTrip(t *testing.T) {
+	row := SpeedupRow{
+		Load:    1.6,
+		Utility: map[int]float64{1: 1, 2: 1.18, 4: 1.21},
+		Energy:  map[int]float64{1: 1, 2: 1.27, 4: 1.33},
+	}
+	raw, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"load":1.6`, `"utility_by_cores"`, `"energy_by_cores"`, `"4":1.21`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("json %s missing %q", s, want)
+		}
+	}
+	var got SpeedupRow
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load != row.Load || got.Utility[4] != row.Utility[4] || got.Energy[2] != row.Energy[2] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if err := json.Unmarshal([]byte(`{"load":1,"utility_by_cores":{"x":1}}`), &got); err == nil {
+		t.Fatal("want error for non-integer core key")
+	}
+}
+
 func TestWriteJSONAssurance(t *testing.T) {
 	doc := JSONDocument{
 		Experiment: "assurance",

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpeedupSweep runs the multiprocessor speedup sweep at 1/2/4 cores
+// (4 parallel workers, so `make test-race` exercises the 4-core
+// partitioned engine under the race detector) and pins its semantics:
+// m=1 is the uniprocessor run itself (ratios exactly 1), and at
+// overload the extra cores accrue at least as much utility.
+func TestSpeedupSweep(t *testing.T) {
+	cfg := quickCfg(0.8, 1.6)
+	cfg.Workers = 4
+	rows, err := Speedup(cfg, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	if got := CoreCounts(rows); len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("core counts %v, want [1 2 4]", got)
+	}
+	for _, r := range rows {
+		// m=1 runs the identical uniprocessor configuration as the
+		// baseline cell, so normalization is exactly 1.
+		if r.Utility[1] != 1 || r.Energy[1] != 1 {
+			t.Fatalf("load %.1f: m=1 ratios (%v, %v), want exactly (1, 1)",
+				r.Load, r.Utility[1], r.Energy[1])
+		}
+	}
+	over := rows[1]
+	if over.Utility[4] < over.Utility[1] {
+		t.Fatalf("overload: 4-core utility ratio %.3f below uniprocessor %.3f",
+			over.Utility[4], over.Utility[1])
+	}
+	var sb strings.Builder
+	if err := WriteSpeedup(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "m=4") {
+		t.Fatalf("speedup table missing m=4 column:\n%s", sb.String())
+	}
+}
+
+// TestDescribeCores pins the fingerprint-compatibility contract: a
+// uniprocessor config describes exactly as before (existing checkpoints
+// keep their fingerprints), and the core count and partition policy
+// appear only for multicore configs.
+func TestDescribeCores(t *testing.T) {
+	uni := Describe(Config{})
+	if strings.Contains(uni, "cores=") {
+		t.Fatalf("uniprocessor describe leaks cores: %q", uni)
+	}
+	one := Describe(Config{Cores: 1})
+	if one != uni {
+		t.Fatalf("cores=1 describe %q differs from uniprocessor %q", one, uni)
+	}
+	multi := Describe(Config{Cores: 4, Partition: "wf"})
+	if !strings.Contains(multi, "cores=4") || !strings.Contains(multi, "partition=wf") {
+		t.Fatalf("multicore describe missing cores/partition: %q", multi)
+	}
+}

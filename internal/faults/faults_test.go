@@ -46,8 +46,8 @@ func TestValidateRejectsMalformedPlans(t *testing.T) {
 		{OverrunProb: 0.5, OverrunFactor: 0.5},
 		{OverrunProb: 0.5, OverrunFactor: math.Inf(1)},
 		{StickyProb: 2},
-		{StallProb: 0.5},             // stall duration missing
-		{StallProb: 0.5, Stall: -1},  // negative stall
+		{StallProb: 0.5},            // stall duration missing
+		{StallProb: 0.5, Stall: -1}, // negative stall
 		{Stall: math.NaN()},
 		{AbortSpikeProb: 0.5, AbortSpikeFactor: 1},
 	}
@@ -157,13 +157,13 @@ func TestParseRoundTrip(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"overrun",           // not key=value
-		"overrun=x",         // bad number
-		"seed=-1",           // bad seed
-		"bogus=1",           // unknown key
-		"overrun=2",         // out of range (via Validate)
-		"stall-prob=0.5",    // stall duration missing
-		"bursts=maybe",      // bad bool
+		"overrun",        // not key=value
+		"overrun=x",      // bad number
+		"seed=-1",        // bad seed
+		"bogus=1",        // unknown key
+		"overrun=2",      // out of range (via Validate)
+		"stall-prob=0.5", // stall duration missing
+		"bursts=maybe",   // bad bool
 	}
 	for _, spec := range cases {
 		if _, err := Parse(spec); err == nil {

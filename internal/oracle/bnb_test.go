@@ -51,7 +51,7 @@ func TestSolveUAOverloadPicksHigherUtility(t *testing.T) {
 // interference windows, not just sequential stacking.
 func TestSolveUAPreemptionHelps(t *testing.T) {
 	jobs := []UAJob{
-		{Release: 0, Cycles: 200, TUF: tuf.NewStep(5, 1.0)},  // loose
+		{Release: 0, Cycles: 200, TUF: tuf.NewStep(5, 1.0)},   // loose
 		{Release: 0.05, Cycles: 50, TUF: tuf.NewStep(5, 0.1)}, // tight, mid-release
 	}
 	// fm = 1000: the loose job alone takes 0.2s. Running it to

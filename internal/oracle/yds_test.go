@@ -92,12 +92,12 @@ func TestYDSZeroCycleJobsIgnored(t *testing.T) {
 
 func TestYDSValidation(t *testing.T) {
 	bad := []Instance{
-		{Jobs: []Job{{Release: 0, Deadline: 0, Cycles: 1}}},             // empty window
-		{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: -1}}},            // negative work
-		{Jobs: []Job{{Release: math.NaN(), Deadline: 1, Cycles: 1}}},    // NaN release
-		{Jobs: []Job{{Release: 0, Deadline: math.Inf(1), Cycles: 1}}},   // infinite deadline
-		{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: math.Inf(1)}}},   // infinite work
-		{Jobs: []Job{{Release: 0, Deadline: -1, Cycles: math.NaN()}}},   // NaN work
+		{Jobs: []Job{{Release: 0, Deadline: 0, Cycles: 1}}},              // empty window
+		{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: -1}}},             // negative work
+		{Jobs: []Job{{Release: math.NaN(), Deadline: 1, Cycles: 1}}},     // NaN release
+		{Jobs: []Job{{Release: 0, Deadline: math.Inf(1), Cycles: 1}}},    // infinite deadline
+		{Jobs: []Job{{Release: 0, Deadline: 1, Cycles: math.Inf(1)}}},    // infinite work
+		{Jobs: []Job{{Release: 0, Deadline: -1, Cycles: math.NaN()}}},    // NaN work
 		{Jobs: []Job{{Release: 2, Deadline: 1, Cycles: 1}, {Cycles: 0}}}, // inverted window
 	}
 	for i, in := range bad {

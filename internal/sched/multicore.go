@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"github.com/euastar/euastar/internal/cpu"
+	"github.com/euastar/euastar/internal/task"
+)
+
+// CoreDecision is one core's slot in a multiprocessor decision: the job
+// the core executes next (nil to idle the core) and the core-local DVS
+// frequency, which must be a step of that core's table.
+type CoreDecision struct {
+	Run  *task.Job
+	Freq float64
+}
+
+// MultiDecision is a multiprocessor scheduler's answer at a scheduling
+// event: one CoreDecision per core (indexed by core id) plus the jobs to
+// abort. A job may appear on at most one core.
+type MultiDecision struct {
+	Cores []CoreDecision
+	Abort []*task.Job
+}
+
+// MultiScheduler is the multiprocessor scheduler contract. The engine
+// requires it whenever Config.Cores > 1: Decide is never called on a
+// multi-core run — DecideMulti is — but implementations keep the single
+// Decide for the uniprocessor (m = 1) degenerate case, where they must
+// behave exactly like the scheme they wrap.
+type MultiScheduler interface {
+	Scheduler
+	// Cores returns the core count the scheduler was built for; the
+	// engine rejects a mismatch with Config.Cores at Validate time.
+	Cores() int
+	// DecideMulti selects, at time now, one job and frequency per core.
+	// ready holds all released, unfinished, unaborted jobs of the whole
+	// system; like Decide it may be reordered in place but not mutated,
+	// and the returned slice headers must not be retained.
+	DecideMulti(now float64, ready []*task.Job) MultiDecision
+}
+
+// CoreTables resolves the per-core frequency tables for m cores: entry k
+// of CoreFreqs when set, the shared Freqs ladder otherwise.
+func (c *Context) CoreTables(m int) []cpu.FrequencyTable {
+	tables := make([]cpu.FrequencyTable, m)
+	for k := range tables {
+		if k < len(c.CoreFreqs) && c.CoreFreqs[k] != nil {
+			tables[k] = c.CoreFreqs[k]
+		} else {
+			tables[k] = c.Freqs
+		}
+	}
+	return tables
+}

@@ -22,6 +22,12 @@ type Context struct {
 	Freqs  cpu.FrequencyTable
 	Energy energy.Model
 
+	// CoreFreqs, on a multiprocessor run (engine Config.Cores > 1), holds
+	// each core's frequency table — heterogeneous ladders allowed. Nil
+	// (every uniprocessor run) means all cores share Freqs, which then
+	// doubles as the fastest reference ladder.
+	CoreFreqs []cpu.FrequencyTable
+
 	// Telemetry, when non-nil, is the registry schedulers report their
 	// per-decision metrics into (via Instruments). The engine forwards
 	// its Config.Telemetry here; nil keeps scheduling uninstrumented at

@@ -17,6 +17,13 @@ func (s *Server) triage(spec JobSpec) *JobError {
 	if spec.Kind != KindSimulate {
 		return nil
 	}
+	if cores, _ := s.multiDefaults(spec); cores > 1 {
+		// The analytical bound is a uniprocessor capacity test. On m
+		// cores feasibility is decided by the partitioned packing at
+		// engine Init, so a workload that overloads one core may still
+		// be schedulable — defer to the simulator.
+		return nil
+	}
 	ts, err := loadTasks(spec)
 	if err != nil {
 		return nil

@@ -206,3 +206,31 @@ func TestAdmissionRejectRecovery(t *testing.T) {
 		t.Errorf("rejected job was re-enqueued at startup:\n%s", data)
 	}
 }
+
+// TestMulticoreTriageDefers: the analytical admission bound is a
+// uniprocessor capacity test, so a simulate job headed for a multicore
+// engine — whether the spec asks for cores or the daemon default does —
+// must bypass the fast-reject and reach the simulator.
+func TestMulticoreTriageDefers(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	defer s.Close()
+	spec := fmt.Sprintf(
+		`{"id":"mc-defer","kind":"simulate","scheme":"EUA*","cores":2,"horizon":0.05,"tasks":%s}`,
+		rejectDoc)
+	if resp, data := post(t, ts.URL, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("multicore submit: %d %s, want 202 (triage must defer)", resp.StatusCode, data)
+	}
+
+	sd, tsd := newTestServer(t, Config{Workers: 1, DefaultCores: 2})
+	defer sd.Close()
+	spec = fmt.Sprintf(
+		`{"id":"mc-defer-def","kind":"simulate","scheme":"EUA*","horizon":0.05,"tasks":%s}`,
+		rejectDoc)
+	if resp, data := post(t, tsd.URL, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("daemon-default submit: %d %s, want 202 (triage must defer)", resp.StatusCode, data)
+	}
+	// The same document on one core still fast-rejects.
+	if resp, _ := post(t, ts.URL, rejectSpec("mc-uni")); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("uniprocessor submit: %d, want 422", resp.StatusCode)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/euastar/euastar/internal/experiment"
 	"github.com/euastar/euastar/internal/faults"
 	"github.com/euastar/euastar/internal/metrics"
+	"github.com/euastar/euastar/internal/sched/partition"
 	"github.com/euastar/euastar/internal/task"
 )
 
@@ -87,6 +88,10 @@ type simulateResult struct {
 	CriticalMisses     int     `json:"critical_misses"`
 	AssuranceSatisfied bool    `json:"assurance_satisfied"`
 
+	// Multiprocessor fields, present only when the job ran on >1 cores.
+	Cores      int `json:"cores,omitempty"`
+	Migrations int `json:"migrations,omitempty"`
+
 	PerTask []simulateTask `json:"per_task"`
 }
 
@@ -126,10 +131,24 @@ func (s *Server) runSimulate(spec JobSpec, interrupt <-chan struct{}) (any, erro
 	if seed == 0 {
 		seed = 1
 	}
+	cores, policyName := s.multiDefaults(spec)
+	scheduler := scheme.New()
+	if cores > 1 {
+		if policyName == "global" {
+			scheduler = partition.NewGlobal(cores)
+		} else {
+			policy, perr := partition.ParsePolicy(policyName)
+			if perr != nil {
+				return nil, invalidf("%v", perr)
+			}
+			scheduler = partition.New(cores, policy, scheme.New)
+		}
+	}
 	res, err := engine.Run(engine.Config{
 		Tasks:              ts,
-		Scheduler:          scheme.New(),
+		Scheduler:          scheduler,
 		Freqs:              ft,
+		Cores:              cores,
 		Energy:             model,
 		Horizon:            horizon,
 		Seed:               seed,
@@ -156,6 +175,10 @@ func (s *Server) runSimulate(spec JobSpec, interrupt <-chan struct{}) (any, erro
 		Aborted:            rep.Aborted,
 		CriticalMisses:     rep.CriticalMisses,
 		AssuranceSatisfied: rep.AssuranceSatisfied(),
+	}
+	if res.Cores > 1 {
+		out.Cores = res.Cores
+		out.Migrations = res.Migrations
 	}
 	for _, pt := range rep.PerTask {
 		out.PerTask = append(out.PerTask, simulateTask{
@@ -198,10 +221,33 @@ func faultPlan(spec JobSpec) (*faults.Plan, *JobError) {
 	return plan, nil
 }
 
+// multiDefaults resolves a job's core count and partition policy against
+// the daemon's -cores/-partition defaults: a spec that says nothing
+// inherits the flags, a spec that speaks wins.
+func (s *Server) multiDefaults(spec JobSpec) (cores int, policy string) {
+	cores, policy = spec.Cores, spec.Partition
+	if cores == 0 {
+		cores = s.cfg.DefaultCores
+	}
+	if cores <= 1 {
+		return cores, policy
+	}
+	if policy == "" {
+		policy = s.cfg.DefaultPartition
+	}
+	if policy == "" {
+		policy = "ff"
+	}
+	return cores, policy
+}
+
 // sweepSpecOf projects a job spec onto the distributable sweep spec —
 // the shared conversion both the coordinator and its workers derive
 // their cell plans from, so their fingerprints agree by construction.
-func sweepSpecOf(spec JobSpec) coordinator.SweepSpec {
+// The daemon's multiprocessor defaults are resolved here, before the
+// spec is shipped, so coordinator and worker plans see identical values.
+func (s *Server) sweepSpecOf(spec JobSpec) coordinator.SweepSpec {
+	cores, policy := s.multiDefaults(spec)
 	return coordinator.SweepSpec{
 		Experiment: spec.Experiment,
 		Energy:     spec.Energy,
@@ -211,12 +257,14 @@ func sweepSpecOf(spec JobSpec) coordinator.SweepSpec {
 		Bounds:     spec.Bounds,
 		Faults:     spec.Faults,
 		FastPath:   spec.FastPath,
+		Cores:      cores,
+		Partition:  policy,
 	}
 }
 
 // sweepConfig materializes a sweep spec into an experiment configuration.
 func (s *Server) sweepConfig(spec JobSpec, interrupt <-chan struct{}) (experiment.Config, *JobError) {
-	cfg, err := sweepSpecOf(spec).Config()
+	cfg, err := s.sweepSpecOf(spec).Config()
 	if err != nil {
 		return cfg, invalidf("%v", err)
 	}
@@ -273,7 +321,7 @@ func (s *Server) runSweep(spec JobSpec, interrupt <-chan struct{}) (any, error) 
 		if cfg.Store == nil {
 			cfg.Store = experiment.NewMemStore()
 		}
-		if err := s.coord.Distribute(spec.ID, sweepSpecOf(spec), cfg.Store, interrupt); err != nil {
+		if err := s.coord.Distribute(spec.ID, s.sweepSpecOf(spec), cfg.Store, interrupt); err != nil {
 			s.logf("euad: job %s: distribute: %v; completing locally", spec.ID, err)
 		}
 	}

@@ -81,6 +81,11 @@ type Config struct {
 	// MaxTimeout caps what any job may request. Zero means unlimited.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// DefaultCores and DefaultPartition apply to sweep and simulate jobs
+	// that do not set cores/partition themselves (the euad -cores and
+	// -partition flags). Zero/empty mean uniprocessor.
+	DefaultCores     int
+	DefaultPartition string
 	// RetryAfter is the backpressure hint returned with 429 (default 1s).
 	RetryAfter time.Duration
 	// MaxBody bounds a submission body (default 1 MiB).
@@ -131,19 +136,19 @@ func (c Config) withDefaults() Config {
 
 // job is the server-side state of one submission.
 type job struct {
-	spec       JobSpec
-	specRaw    []byte // canonical spec JSON (idempotency comparison, journal)
-	tenant     string
+	spec    JobSpec
+	specRaw []byte // canonical spec JSON (idempotency comparison, journal)
+	tenant  string
 	// unjournaled marks a job admitted while storage was degraded: no
 	// submission record exists, so no terminal record may be written
 	// either — the job lives and dies in memory.
 	unjournaled bool
 	state       string
-	result     json.RawMessage
-	jerr       *JobError
-	done       chan struct{} // closed on terminal state
-	admittedAt time.Time     // when the job entered the queue (or was recovered)
-	timings    JobTimings    // phase durations, filled in as phases complete
+	result      json.RawMessage
+	jerr        *JobError
+	done        chan struct{} // closed on terminal state
+	admittedAt  time.Time     // when the job entered the queue (or was recovered)
+	timings     JobTimings    // phase durations, filled in as phases complete
 }
 
 // Server is the euad daemon core: admission, queueing, execution,

@@ -173,6 +173,63 @@ func TestSimulateJob(t *testing.T) {
 	}
 }
 
+// TestMulticoreSimulateJob: a simulate job with cores set runs on the
+// partitioned multiprocessor engine and reports the core count; a second
+// job without cores inherits the daemon's -cores default.
+func TestMulticoreSimulateJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, DefaultCores: 2})
+	defer s.Close()
+	spec := fmt.Sprintf(`{"id":"sim-mc","kind":"simulate","scheme":"EUA*","load":1.2,"horizon":0.2,"cores":2,"tasks":%s}`, tasksDoc)
+	if resp, data := post(t, ts.URL, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	st := waitJob(t, ts.URL, "sim-mc")
+	if st.State != StateDone {
+		t.Fatalf("job state %s, error %v", st.State, st.Error)
+	}
+	var res simulateResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 2 {
+		t.Fatalf("cores %d, want 2 (result %+v)", res.Cores, res)
+	}
+	if res.Scheduler != "EUA*/P2ff" {
+		t.Fatalf("scheduler %q, want partitioned EUA*", res.Scheduler)
+	}
+
+	// No cores in the spec: the server default (2) applies.
+	spec = fmt.Sprintf(`{"id":"sim-def","kind":"simulate","scheme":"EUA*","load":1.2,"horizon":0.2,"tasks":%s}`, tasksDoc)
+	if resp, data := post(t, ts.URL, spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	st = waitJob(t, ts.URL, "sim-def")
+	if st.State != StateDone {
+		t.Fatalf("default-cores job state %s, error %v", st.State, st.Error)
+	}
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores != 2 {
+		t.Fatalf("default cores %d, want 2", res.Cores)
+	}
+}
+
+// TestMulticoreSpecValidation: negative cores and unknown partition
+// policies are refused at submission.
+func TestMulticoreSpecValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	defer s.Close()
+	spec := fmt.Sprintf(`{"id":"sim-bad","kind":"simulate","scheme":"EUA*","cores":-1,"tasks":%s}`, tasksDoc)
+	if resp, _ := post(t, ts.URL, spec); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative cores accepted: %d", resp.StatusCode)
+	}
+	spec = fmt.Sprintf(`{"id":"sim-bad2","kind":"simulate","scheme":"EUA*","cores":2,"partition":"rr","tasks":%s}`, tasksDoc)
+	if resp, _ := post(t, ts.URL, spec); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown partition accepted: %d", resp.StatusCode)
+	}
+}
+
 // TestIdempotentResubmit: same ID + same spec replays the status; same
 // ID + different spec is a 409.
 func TestIdempotentResubmit(t *testing.T) {

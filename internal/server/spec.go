@@ -52,6 +52,13 @@ type JobSpec struct {
 	Faults     string    `json:"faults,omitempty"`     // deterministic fault plan spec
 	FastPath   bool      `json:"fastpath,omitempty"`   // incremental EUA* core
 
+	// Multiprocessor parameters (sweep and simulate jobs). Cores > 1 runs
+	// each engine on that many DVS cores; Partition picks the placement
+	// policy (ff | wf | global, default ff). Zero/empty inherit the
+	// daemon's -cores/-partition defaults.
+	Cores     int    `json:"cores,omitempty"`
+	Partition string `json:"partition,omitempty"`
+
 	// Task-set parameters (Kind == "analyze" or "simulate"): a task-set
 	// document in the internal/config JSON format.
 	Tasks  json.RawMessage `json:"tasks,omitempty"`
@@ -88,6 +95,14 @@ func (s *JobSpec) Validate(testJobs bool) error {
 	}
 	if s.Seeds < 0 {
 		return fmt.Errorf("seeds must be non-negative")
+	}
+	if s.Cores < 0 {
+		return fmt.Errorf("cores must be non-negative")
+	}
+	switch s.Partition {
+	case "", "ff", "wf", "global":
+	default:
+		return fmt.Errorf("unknown partition policy %q (ff|wf|global)", s.Partition)
 	}
 	switch s.Kind {
 	case KindSweep:

@@ -367,7 +367,7 @@ func TestWriteStatsGolden(t *testing.T) {
 		h.Observe(1.5e-6)
 	}
 	h.Observe(3e-6)
-	h.Observe(1e-3) // overflow
+	h.Observe(1e-3)                                      // overflow
 	r.Histogram("sched_empty_seconds", "", []float64{1}) // empty → omitted
 
 	var b strings.Builder

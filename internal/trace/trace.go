@@ -1,9 +1,11 @@
 // Package trace validates and exports execution traces produced by the
-// engine. The validator checks the physical invariants any uniprocessor
-// schedule must satisfy — no overlapping execution, no execution before
-// arrival or after resolution, table frequencies only, cycle conservation
-// — and the model invariants of the paper (aborted jobs never finish after
-// their termination time; completed jobs executed exactly their demand).
+// engine. The validator checks the physical invariants any schedule must
+// satisfy — no overlapping execution on the same core, no execution
+// before arrival or after resolution, table frequencies only, cycle
+// conservation — and the model invariants of the paper (aborted jobs
+// never finish after their termination time; completed jobs executed
+// exactly their demand). Spans of different cores may overlap in time;
+// each core's own span sequence must not.
 package trace
 
 import (
@@ -23,14 +25,18 @@ const tol = 1e-6
 
 // Validate checks the invariants of a recorded run. The result must have
 // been produced with Config.RecordTrace set; an empty trace with executed
-// cycles is itself an error.
-func Validate(res *engine.Result, table cpu.FrequencyTable) error {
+// cycles is itself an error. On multi-core runs with heterogeneous
+// ladders, pass the per-core tables after the shared one: a span on core
+// k is then checked against coreTables[k] (nil entries fall back to
+// table).
+func Validate(res *engine.Result, table cpu.FrequencyTable, coreTables ...cpu.FrequencyTable) error {
 	if res == nil {
 		return fmt.Errorf("trace: nil result")
 	}
 	spans := res.Trace
 	var total float64
 	perJob := make(map[*task.Job]float64)
+	prevEnd := make(map[int]float64) // per-core end of the previous span
 	for i, sp := range spans {
 		if sp.Job == nil {
 			return fmt.Errorf("trace: span %d has no job", i)
@@ -38,10 +44,15 @@ func Validate(res *engine.Result, table cpu.FrequencyTable) error {
 		if sp.End <= sp.Start {
 			return fmt.Errorf("trace: span %d is empty or reversed [%g, %g]", i, sp.Start, sp.End)
 		}
-		if i > 0 && sp.Start < spans[i-1].End-tol {
-			return fmt.Errorf("trace: span %d overlaps previous (%g < %g)", i, sp.Start, spans[i-1].End)
+		if end, ok := prevEnd[sp.Core]; ok && sp.Start < end-tol {
+			return fmt.Errorf("trace: span %d overlaps core %d's previous span (%g < %g)", i, sp.Core, sp.Start, end)
 		}
-		if !table.Contains(sp.Frequency) {
+		prevEnd[sp.Core] = sp.End
+		spanTable := table
+		if sp.Core < len(coreTables) && coreTables[sp.Core] != nil {
+			spanTable = coreTables[sp.Core]
+		}
+		if !spanTable.Contains(sp.Frequency) {
 			return fmt.Errorf("trace: span %d at non-table frequency %g", i, sp.Frequency)
 		}
 		if want := (sp.End - sp.Start) * sp.Frequency; absDiff(sp.Cycles, want) > tol*want+1 {
@@ -91,10 +102,23 @@ func absDiff(a, b float64) float64 {
 }
 
 // WriteCSV exports spans as CSV with the header
-// task,job,start,end,frequency_hz,cycles.
+// task,job,start,end,frequency_hz,cycles. Multi-core traces (any span
+// with a non-zero core) gain a trailing core column; uniprocessor output
+// is byte-identical to the pre-multicore format.
 func WriteCSV(w io.Writer, spans []engine.Span) error {
+	multi := false
+	for _, sp := range spans {
+		if sp.Core > 0 {
+			multi = true
+			break
+		}
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"task", "job", "start", "end", "frequency_hz", "cycles"}); err != nil {
+	header := []string{"task", "job", "start", "end", "frequency_hz", "cycles"}
+	if multi {
+		header = append(header, "core")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, sp := range spans {
@@ -105,6 +129,9 @@ func WriteCSV(w io.Writer, spans []engine.Span) error {
 			formatFloat(sp.End),
 			formatFloat(sp.Frequency),
 			formatFloat(sp.Cycles),
+		}
+		if multi {
+			rec = append(rec, strconv.Itoa(sp.Core))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
